@@ -1,0 +1,50 @@
+// §4 sanity check: the runtime's adaptive degree choice (Eq. 1 over
+// d in {1, 2, n}) should track the empirically best degree.
+//
+// For every (size, nodes) cell we simulate all three degrees plus the
+// adaptive runtime, and report whether adaptive landed within 10% of the
+// best forced degree.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/units.h"
+
+using namespace hoplite;
+using namespace hoplite::bench;
+
+namespace {
+
+double ReduceWith(int nodes, std::int64_t bytes, int degree /* 0 = adaptive */) {
+  auto options = PaperCluster(nodes);
+  options.hoplite.forced_reduce_degree = degree;
+  options.directory.inline_threshold = 1;  // force the tree path for all sizes
+  core::HopliteCluster cluster(options);
+  const auto ready = std::vector<SimTime>(static_cast<std::size_t>(nodes), 0);
+  return HopliteReduce(cluster, bytes, ready);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Adaptive reduce degree vs best forced degree");
+  std::printf("  %-8s %-6s %10s %10s %8s %s\n", "size", "nodes", "adaptive",
+              "best-forced", "ratio", "ok?");
+  int cells = 0;
+  int good = 0;
+  for (const std::int64_t bytes : {KB(128), MB(1), MB(8), MB(64)}) {
+    for (const int nodes : {8, 16, 32}) {
+      const double adaptive = ReduceWith(nodes, bytes, 0);
+      double best = 1e30;
+      for (const int d : {1, 2, nodes}) best = std::min(best, ReduceWith(nodes, bytes, d));
+      const double ratio = adaptive / best;
+      const bool ok = ratio < 1.10;
+      ++cells;
+      good += ok ? 1 : 0;
+      std::printf("  %-8s %-6d %9.3fms %9.3fms %7.2fx %s\n", HumanBytes(bytes).c_str(),
+                  nodes, adaptive * 1e3, best * 1e3, ratio, ok ? "yes" : "NO");
+    }
+  }
+  std::printf("\n%d/%d cells within 10%% of the best forced degree.\n", good, cells);
+  return good == cells ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// §5.1.1 microbenchmark: object-directory operation latencies.
+//
+// Paper reference: writing object locations takes 167 us (sd 12 us), reading
+// takes 177 us (sd 14 us). Our directory charges exactly those constants, so
+// this bench doubles as a self-check that the simulated control plane is
+// calibrated to the paper's measurements.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "directory/object_directory.h"
+
+using namespace hoplite;
+using namespace hoplite::bench;
+
+int main() {
+  PrintHeader("5.1.1: object directory operation latency");
+  auto options = PaperCluster(16);
+  core::HopliteCluster cluster(options);
+  auto& dir = cluster.directory();
+  auto& sim = cluster.simulator();
+
+  RunStats write_stats;
+  RunStats read_stats;
+  for (int i = 0; i < 10; ++i) {
+    const ObjectID object = ObjectID::FromName("dir-bench").WithIndex(i);
+    // Location write.
+    const SimTime write_start = sim.Now();
+    SimTime write_done = 0;
+    dir.RegisterPartial(object, 1, MB(1));
+    // RegisterPartial is fire-and-forget; observe its effect via a probe.
+    sim.RunUntilPredicate([&] { return dir.HasObject(object); });
+    write_done = sim.Now();
+    write_stats.Add(ToMicroseconds(write_done - write_start));
+
+    // Location read (claim).
+    const SimTime read_start = sim.Now();
+    SimTime read_done = 0;
+    dir.ClaimSender(object, 5, [&](const directory::ClaimReply&) { read_done = sim.Now(); });
+    sim.RunUntilPredicate([&] { return read_done != 0; });
+    read_stats.Add(ToMicroseconds(read_done - read_start));
+  }
+
+  std::printf("  location write: %8.1f us  (paper: 167 +- 12 us)\n", write_stats.mean());
+  std::printf("  location read:  %8.1f us  (paper: 177 +- 14 us)\n", read_stats.mean());
+  std::printf("  directory ops served: %llu\n",
+              static_cast<unsigned long long>(dir.ops_served()));
+  return 0;
+}

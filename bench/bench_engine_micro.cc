@@ -1,0 +1,91 @@
+// Engine micro-benchmarks (google-benchmark): wall-clock performance of the
+// hot paths everything else is built on — event queue throughput, NIC
+// scheduling, chunked end-to-end transfers, reduce-tree math, and full
+// collective simulations per simulated byte.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/reduce_tree.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace hoplite;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    Rng rng(7);
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.ScheduleAt(static_cast<SimTime>(rng.NextBounded(1'000'000)), [&] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1'000)->Arg(100'000);
+
+void BM_NicSchedulerSends(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::NetworkModel net(sim, bench::PaperCluster(16).network);
+    int delivered = 0;
+    for (int i = 0; i < n; ++i) {
+      net.Send(static_cast<NodeID>(i % 16), static_cast<NodeID>((i + 1) % 16), MB(1),
+               [&] { ++delivered; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NicSchedulerSends)->Arg(10'000);
+
+void BM_HopliteBroadcastSimulation(benchmark::State& state) {
+  const auto nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::HopliteCluster cluster(bench::PaperCluster(nodes));
+    const auto ready = std::vector<SimTime>(static_cast<std::size_t>(nodes), 0);
+    benchmark::DoNotOptimize(bench::HopliteBroadcast(cluster, MB(256), ready));
+  }
+}
+BENCHMARK(BM_HopliteBroadcastSimulation)->Arg(4)->Arg(16);
+
+void BM_HopliteReduceSimulation(benchmark::State& state) {
+  const auto nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::HopliteCluster cluster(bench::PaperCluster(nodes));
+    const auto ready = std::vector<SimTime>(static_cast<std::size_t>(nodes), 0);
+    benchmark::DoNotOptimize(bench::HopliteReduce(cluster, MB(256), ready));
+  }
+}
+BENCHMARK(BM_HopliteReduceSimulation)->Arg(4)->Arg(16);
+
+void BM_ReduceTreeFillSequence(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::ReduceTreeShape shape(n, 2);
+    benchmark::DoNotOptimize(shape.FillSequence());
+  }
+}
+BENCHMARK(BM_ReduceTreeFillSequence)->Arg(64)->Arg(4096);
+
+void BM_RngThroughput(benchmark::State& state) {
+  Rng rng(1);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc ^= rng.NextU64();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Figure 11: Ray Serve ensemble throughput (queries/s) for an ensemble of
+// image-classification models on 8 and 16 replica nodes, Hoplite vs Ray.
+//
+// Paper reference: 2.2x (8 nodes) and 3.3x (16 nodes) speedup. Each query
+// broadcasts a 64-image 256x256 batch to every replica and gathers the
+// majority vote.
+#include <cstdio>
+
+#include "apps/serving.h"
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+using namespace hoplite;
+using namespace hoplite::apps;
+
+namespace {
+
+constexpr int kRepeats = 3;
+
+double Throughput(int replicas, Backend backend) {
+  RunStats stats;
+  for (int i = 0; i < kRepeats; ++i) {
+    ServingOptions options;
+    options.backend = backend;
+    options.num_nodes = replicas + 1;
+    options.inference_compute = ComputeModel{Milliseconds(40), 0.15};
+    options.num_queries = 25;
+    options.seed = static_cast<std::uint64_t>(i + 1);
+    stats.Add(RunServing(options).queries_per_second);
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 11: model-serving ensemble throughput (queries/s)");
+  std::printf("  %-9s %12s %12s %9s %14s\n", "replicas", "Hoplite", "Ray", "speedup",
+              "paper speedup");
+  const double paper[] = {2.2, 3.3};
+  int idx = 0;
+  for (const int replicas : {8, 16}) {
+    const double hoplite = Throughput(replicas, Backend::kHoplite);
+    const double ray = Throughput(replicas, Backend::kRay);
+    std::printf("  %-9d %12.2f %12.2f %8.1fx %13.1fx\n", replicas, hoplite, ray,
+                hoplite / ray, paper[idx++]);
+  }
+  std::printf(
+      "\nExpected shape: the broadcast tree keeps Hoplite's query latency\n"
+      "nearly flat in replica count while Ray's frontend NIC serializes\n"
+      "per-replica copies, so the gap widens from 8 to 16 replicas.\n");
+  return 0;
+}

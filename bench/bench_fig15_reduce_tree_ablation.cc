@@ -1,0 +1,59 @@
+// Figure 15 (Appendix B): ablation of the reduce-tree degree d in {1, 2, n}
+// across object sizes (4 KB - 32 MB) and participant counts (8 - 64).
+//
+// Paper reference: d = n wins for small objects (latency-bound), d = 1
+// (chain) wins for 16 MB+ (bandwidth-bound), and 4-8 MB mid-sizes switch
+// between d = 1 and d = 2 with the participant count. Eq. (1)'s model
+// prediction is printed alongside the simulated latency.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/units.h"
+#include "core/reduce_tree.h"
+
+using namespace hoplite;
+using namespace hoplite::bench;
+
+namespace {
+
+double ReduceWithDegree(int nodes, std::int64_t bytes, int degree) {
+  auto options = PaperCluster(nodes);
+  options.hoplite.forced_reduce_degree = degree;
+  // The paper's Appendix B exercises the tree for every size; disable the
+  // small-object inline path so 4-32 KB objects build real trees too.
+  options.directory.inline_threshold = 1;
+  core::HopliteCluster cluster(options);
+  const auto ready = std::vector<SimTime>(static_cast<std::size_t>(nodes), 0);
+  return HopliteReduce(cluster, bytes, ready);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 15 (Appendix B): reduce latency vs tree degree d (ms)");
+  const std::vector<std::int64_t> sizes{KB(4),  KB(32), KB(256), MB(1),
+                                        MB(4),  MB(8),  MB(16),  MB(32)};
+  const std::vector<int> node_counts{8, 16, 32, 48, 64};
+  for (const std::int64_t bytes : sizes) {
+    std::printf("\n-- object size %s --\n", HumanBytes(bytes).c_str());
+    std::printf("  %-6s %10s %10s %10s   %s\n", "nodes", "d=1", "d=2", "d=n",
+                "winner (sim / Eq.1)");
+    for (const int n : node_counts) {
+      const double d1 = ReduceWithDegree(n, bytes, 1);
+      const double d2 = ReduceWithDegree(n, bytes, 2);
+      const double dn = ReduceWithDegree(n, bytes, n);
+      const char* sim_winner = d1 <= d2 && d1 <= dn ? "d=1" : (d2 <= dn ? "d=2" : "d=n");
+      const int model_d = core::ChooseReduceDegree(
+          n, ToSeconds(Nanoseconds(42'500) + Microseconds(5)), Gbps(10),
+          static_cast<double>(bytes), static_cast<double>(MB(4)));
+      std::printf("  %-6d %10.3f %10.3f %10.3f   %s / d=%s\n", n, d1 * 1e3, d2 * 1e3,
+                  dn * 1e3, sim_winner,
+                  model_d == n ? "n" : (model_d == 1 ? "1" : "2"));
+    }
+  }
+  std::printf(
+      "\nExpected shape: d=n wins small sizes, d=1 wins 16MB+, the 4-8MB\n"
+      "band switches with participant count; Eq. (1) predicts the winner.\n");
+  return 0;
+}

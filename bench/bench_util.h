@@ -1,0 +1,176 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Each bench binary prints the rows/series of one paper figure. Collective
+// latencies follow the paper's measurement convention (§5.1.2): time from
+// when the inputs are ready (or the operation starts) to when the last
+// participant finishes; Get uses the read-only fast path, like the paper's
+// Hoplite/Ray measurements.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "core/client.h"
+#include "core/cluster.h"
+#include "store/buffer.h"
+
+namespace hoplite::bench {
+
+/// Fresh cluster with the paper's fabric (10 Gbps, ~85 us RTT).
+[[nodiscard]] inline core::HopliteCluster::Options PaperCluster(int nodes) {
+  core::HopliteCluster::Options options;
+  options.network.num_nodes = nodes;
+  options.network.nic_bandwidth = Gbps(10);
+  options.network.one_way_latency = Nanoseconds(42'500);
+  options.network.memcpy_bandwidth = GBps(10);
+  options.network.per_message_overhead = Microseconds(5);
+  return options;
+}
+
+/// Staggered start times: participant i becomes ready at i * interval.
+[[nodiscard]] inline std::vector<SimTime> Staggered(int n, SimDuration interval) {
+  std::vector<SimTime> at(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) at[static_cast<std::size_t>(i)] = interval * i;
+  return at;
+}
+
+// ----------------------------------------------------------------------
+// Hoplite collective runners. Each returns the simulated completion time in
+// seconds (from t = 0) of the whole operation.
+// ----------------------------------------------------------------------
+
+/// Broadcast: node 0 Puts at ready_at[0]; every other node Gets at its
+/// ready_at. Returns when the last receiver holds the object.
+[[nodiscard]] inline double HopliteBroadcast(core::HopliteCluster& cluster,
+                                             std::int64_t bytes,
+                                             const std::vector<SimTime>& ready_at) {
+  const ObjectID object = ObjectID::FromName("bcast-object");
+  auto& sim = cluster.simulator();
+  sim.ScheduleAt(ready_at[0], [&cluster, object, bytes] {
+    cluster.client(0).Put(object, store::Buffer::OfSize(bytes));
+  });
+  int remaining = cluster.num_nodes() - 1;
+  SimTime last = 0;
+  for (NodeID r = 1; r < cluster.num_nodes(); ++r) {
+    sim.ScheduleAt(ready_at[static_cast<std::size_t>(r)], [&cluster, &remaining, &last, r,
+                                                           object] {
+      cluster.client(r).Get(object, core::GetOptions{.read_only = true},
+                            [&cluster, &remaining, &last](const store::Buffer&) {
+                              --remaining;
+                              last = cluster.Now();
+                            });
+    });
+  }
+  cluster.RunAll();
+  HOPLITE_CHECK_EQ(remaining, 0);
+  return ToSeconds(last);
+}
+
+/// Gather: every node Puts at its ready_at; node 0 then Gets every object.
+[[nodiscard]] inline double HopliteGather(core::HopliteCluster& cluster, std::int64_t bytes,
+                                          const std::vector<SimTime>& ready_at) {
+  auto& sim = cluster.simulator();
+  int remaining = cluster.num_nodes() - 1;
+  SimTime last = 0;
+  for (NodeID w = 1; w < cluster.num_nodes(); ++w) {
+    const ObjectID object = ObjectID::FromName("gather").WithIndex(w);
+    sim.ScheduleAt(ready_at[static_cast<std::size_t>(w)], [&cluster, w, object, bytes] {
+      cluster.client(w).Put(object, store::Buffer::OfSize(bytes));
+    });
+    cluster.client(0).Get(object, core::GetOptions{.read_only = true},
+                          [&cluster, &remaining, &last](const store::Buffer&) {
+                            --remaining;
+                            last = cluster.Now();
+                          });
+  }
+  cluster.RunAll();
+  HOPLITE_CHECK_EQ(remaining, 0);
+  return ToSeconds(last);
+}
+
+/// Reduce: every node Puts at its ready_at; node 0 Reduces all and Gets the
+/// result (read-only), per §5.1.2's measurement.
+[[nodiscard]] inline double HopliteReduce(core::HopliteCluster& cluster, std::int64_t bytes,
+                                          const std::vector<SimTime>& ready_at,
+                                          int forced_degree = 0) {
+  (void)forced_degree;  // configured via cluster options
+  auto& sim = cluster.simulator();
+  std::vector<ObjectID> sources;
+  for (NodeID w = 0; w < cluster.num_nodes(); ++w) {
+    const ObjectID object = ObjectID::FromName("reduce").WithIndex(w);
+    sources.push_back(object);
+    sim.ScheduleAt(ready_at[static_cast<std::size_t>(w)], [&cluster, w, object, bytes] {
+      cluster.client(w).Put(object, store::Buffer::OfSize(bytes));
+    });
+  }
+  const ObjectID target = ObjectID::FromName("reduce-sum");
+  SimTime done = 0;
+  core::ReduceSpec spec;
+  spec.target = target;
+  spec.sources = std::move(sources);
+  cluster.client(0).Reduce(std::move(spec));
+  cluster.client(0).Get(target, core::GetOptions{.read_only = true},
+                        [&cluster, &done](const store::Buffer&) { done = cluster.Now(); });
+  cluster.RunAll();
+  HOPLITE_CHECK_GT(done, 0);
+  return ToSeconds(done);
+}
+
+/// Allreduce: reduce at node 0 + every node Gets the result (§3.4.3).
+[[nodiscard]] inline double HopliteAllreduce(core::HopliteCluster& cluster,
+                                             std::int64_t bytes,
+                                             const std::vector<SimTime>& ready_at) {
+  auto& sim = cluster.simulator();
+  std::vector<ObjectID> sources;
+  for (NodeID w = 0; w < cluster.num_nodes(); ++w) {
+    const ObjectID object = ObjectID::FromName("allreduce").WithIndex(w);
+    sources.push_back(object);
+    sim.ScheduleAt(ready_at[static_cast<std::size_t>(w)], [&cluster, w, object, bytes] {
+      cluster.client(w).Put(object, store::Buffer::OfSize(bytes));
+    });
+  }
+  const ObjectID target = ObjectID::FromName("allreduce-sum");
+  core::ReduceSpec spec;
+  spec.target = target;
+  spec.sources = std::move(sources);
+  cluster.client(0).Reduce(std::move(spec));
+  int remaining = cluster.num_nodes();
+  SimTime last = 0;
+  for (NodeID w = 0; w < cluster.num_nodes(); ++w) {
+    cluster.client(w).Get(target, core::GetOptions{.read_only = true},
+                          [&cluster, &remaining, &last](const store::Buffer&) {
+                            --remaining;
+                            last = cluster.Now();
+                          });
+  }
+  cluster.RunAll();
+  HOPLITE_CHECK_EQ(remaining, 0);
+  return ToSeconds(last);
+}
+
+// ----------------------------------------------------------------------
+// Output formatting
+// ----------------------------------------------------------------------
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+[[nodiscard]] inline std::string HumanBytes(std::int64_t bytes) {
+  char buf[32];
+  if (bytes >= GB(1)) {
+    std::snprintf(buf, sizeof(buf), "%lldGB", static_cast<long long>(bytes / GB(1)));
+  } else if (bytes >= MB(1)) {
+    std::snprintf(buf, sizeof(buf), "%lldMB", static_cast<long long>(bytes / MB(1)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldKB", static_cast<long long>(bytes / KB(1)));
+  }
+  return buf;
+}
+
+}  // namespace hoplite::bench

@@ -1,0 +1,144 @@
+// Baseline collective-communication systems (§5.1's comparators).
+//
+// These reproduce the *algorithms* of the systems the paper benchmarks
+// against, running over the same simulated fabric as Hoplite so the
+// comparison isolates scheduling/protocol differences:
+//
+//   MpiLikeCollectives  — OpenMPI-style static collectives: rank-ordered
+//     segmented binomial broadcast (partial progress only when receivers
+//     arrive in tree order, §7), segmented binary-tree reduce and ring /
+//     recursive-doubling allreduce that start only once *all* participants
+//     are ready (§5.1.3), linear gather, and raw point-to-point send.
+//
+//   GlooLikeCollectives — Gloo's algorithms: unoptimized linear broadcast,
+//     ring-chunked allreduce, halving-doubling allreduce.
+//
+// MPI/Gloo know every participant and location up front, pay no directory
+// lookups, and move data directly between ranks — which is why they win on
+// small static transfers (Figure 6a) and lose on dynamic arrivals (Figure 8).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace hoplite::baselines {
+
+/// One rank of a static collective: where it runs and when it becomes ready
+/// (calls into the collective). ready_at models the task-arrival staggering
+/// of §5.1.3.
+struct Participant {
+  NodeID node = kInvalidNode;
+  SimTime ready_at = 0;
+};
+
+using DoneCallback = std::function<void()>;
+
+/// Tunables for the MPI-like implementation.
+struct MpiConfig {
+  /// Segment size for pipelined tree algorithms (OpenMPI segments large
+  /// messages; 4 MB keeps it comparable to Hoplite's pipeline block).
+  std::int64_t segment_bytes = 4 * 1024 * 1024;
+  /// In-flight segments per edge (hides per-segment latency).
+  int window = 2;
+  /// Message-size threshold below which allreduce uses recursive doubling
+  /// instead of the ring (OpenMPI switches algorithms by size, see the
+  /// footnote to Figure 7).
+  std::int64_t allreduce_ring_threshold = 64 * 1024;
+  /// Above this size, broadcast and reduce switch from the binomial/binary
+  /// tree to the pipelined chain algorithm, mirroring OpenMPI's tuned
+  /// decision tables: a k-child tree root pushes k full copies through its
+  /// NIC, so large messages favor depth over fan-out.
+  std::int64_t chain_threshold = 4 * 1024 * 1024;
+};
+
+class MpiLikeCollectives {
+ public:
+  MpiLikeCollectives(sim::Simulator& simulator, net::NetworkModel& network,
+                     MpiConfig config);
+
+  /// One-directional eager/rendezvous send (Figure 6 builds RTTs from two).
+  void Send(NodeID src, NodeID dst, std::int64_t bytes, DoneCallback done);
+
+  /// Segmented binomial-tree broadcast rooted at participants[0]. An edge
+  /// activates once both of its endpoints are ready, so progress before the
+  /// last arrival exists only along rank order (§7).
+  void Broadcast(std::vector<Participant> participants, std::int64_t bytes,
+                 DoneCallback done);
+
+  /// Segmented binary-tree reduce towards participants[0]. Starts only when
+  /// every participant is ready (§5.1.3).
+  void Reduce(std::vector<Participant> participants, std::int64_t bytes,
+              DoneCallback done);
+
+  /// Linear gather: every rank sends its object to the root directly.
+  void Gather(std::vector<Participant> participants, std::int64_t bytes,
+              DoneCallback done);
+
+  /// Ring allreduce for large payloads, recursive doubling for small ones.
+  /// Starts only when every participant is ready.
+  void Allreduce(std::vector<Participant> participants, std::int64_t bytes,
+                 DoneCallback done);
+
+ private:
+  sim::Simulator& sim_;
+  net::NetworkModel& net_;
+  MpiConfig config_;
+};
+
+/// Tunables for the Gloo-like implementation.
+struct GlooConfig {
+  /// Ring-chunked segment size (Gloo default chunking is finer than MPI's).
+  std::int64_t segment_bytes = 1024 * 1024;
+};
+
+class GlooLikeCollectives {
+ public:
+  GlooLikeCollectives(sim::Simulator& simulator, net::NetworkModel& network,
+                      GlooConfig config);
+
+  /// Gloo does not optimize broadcast (§5.1.2): the root sends the full
+  /// object to every receiver, serialized by its NIC.
+  void Broadcast(std::vector<Participant> participants, std::int64_t bytes,
+                 DoneCallback done);
+
+  /// Ring-chunked allreduce: reduce-scatter + allgather around the ring,
+  /// 2(n-1) pipelined block steps. Starts when all are ready.
+  void RingChunkedAllreduce(std::vector<Participant> participants, std::int64_t bytes,
+                            DoneCallback done);
+
+  /// Halving-doubling allreduce (recursive halving reduce-scatter, then
+  /// recursive doubling allgather). Non-power-of-two participant counts pay
+  /// a fold-in/fold-out round, like the real implementation.
+  void HalvingDoublingAllreduce(std::vector<Participant> participants,
+                                std::int64_t bytes, DoneCallback done);
+
+ private:
+  sim::Simulator& sim_;
+  net::NetworkModel& net_;
+  GlooConfig config_;
+};
+
+// ----------------------------------------------------------------------
+// Shared building blocks (exposed for tests).
+// ----------------------------------------------------------------------
+
+/// Binomial-tree parent of position i (position 0 is the root).
+[[nodiscard]] int BinomialParent(int i);
+/// Binomial-tree children of position i among n positions.
+[[nodiscard]] std::vector<int> BinomialChildren(int i, int n);
+
+/// Ring allreduce over `nodes` (all ready at `start`), `blocks` pipelined
+/// block steps of `block_bytes` each, 2(n-1) rounds. Invokes `done` when the
+/// slowest rank finishes. Shared by MPI and Gloo.
+void RunRingAllreduce(sim::Simulator& simulator, net::NetworkModel& network,
+                      std::vector<NodeID> nodes, std::int64_t bytes,
+                      std::int64_t segment_bytes, SimTime start, DoneCallback done);
+
+}  // namespace hoplite::baselines

@@ -1,0 +1,124 @@
+#include "baselines/ray_like.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace hoplite::baselines {
+
+RayLikeTransport::RayLikeTransport(sim::Simulator& simulator, net::NetworkModel& network,
+                                   RayLikeConfig config)
+    : sim_(simulator), net_(network), config_(config) {}
+
+void RayLikeTransport::Put(NodeID node, ObjectID object, std::int64_t size,
+                           DoneCallback done) {
+  HOPLITE_CHECK_GE(size, 0);
+  // Blocking worker->store copy; the location is published only afterwards
+  // (no pipelining, §3.3).
+  net_.Memcpy(node, config_.blocking_copies ? size : 0, [this, node, object, size,
+                                                         done = std::move(done)] {
+    sim_.ScheduleAfter(config_.per_op_overhead, [this, node, object, size,
+                                                 done = std::move(done)] {
+      Meta& meta = objects_[object];
+      meta.size = size;
+      meta.locations.push_back(node);
+      if (done) done();
+      // Serve parked fetches.
+      auto waiters = std::move(meta.waiters);
+      meta.waiters.clear();
+      for (auto& [waiter_node, waiter_done] : waiters) {
+        StartFetch(waiter_node, object, std::move(waiter_done));
+      }
+    });
+  });
+}
+
+void RayLikeTransport::Get(NodeID node, ObjectID object, DoneCallback done) {
+  // Location lookup (+ scheduler hop for Dask), then fetch.
+  sim_.ScheduleAfter(config_.per_op_overhead + config_.scheduler_hop,
+                     [this, node, object, done = std::move(done)]() mutable {
+                       auto it = objects_.find(object);
+                       if (it == objects_.end() || it->second.locations.empty()) {
+                         objects_[object].waiters.emplace_back(node, std::move(done));
+                         return;
+                       }
+                       StartFetch(node, object, std::move(done));
+                     });
+}
+
+void RayLikeTransport::StartFetch(NodeID node, ObjectID object, DoneCallback done) {
+  const Meta& meta = objects_.at(object);
+  const NodeID src = meta.locations.front();  // always the owner: no re-serving
+  const std::int64_t size = meta.size;
+  if (src == node) {
+    // Local hit: store->worker copy only.
+    net_.Memcpy(node, config_.blocking_copies ? size : 0,
+                [done = std::move(done)] { if (done) done(); });
+    return;
+  }
+  net_.Send(src, node, WireBytes(size), [this, node, size, done = std::move(done)] {
+    // Blocking store->worker copy after the whole object arrived.
+    net_.Memcpy(node, config_.blocking_copies ? size : 0,
+                [done = std::move(done)] { if (done) done(); });
+  });
+}
+
+void RayLikeTransport::Delete(ObjectID object) { objects_.erase(object); }
+
+void RayLikeTransport::Broadcast(ObjectID object, const std::vector<NodeID>& receivers,
+                                 DoneCallback done) {
+  if (receivers.empty()) {
+    if (done) done();
+    return;
+  }
+  auto remaining = std::make_shared<int>(static_cast<int>(receivers.size()));
+  auto shared_done = std::make_shared<DoneCallback>(std::move(done));
+  for (const NodeID receiver : receivers) {
+    Get(receiver, object, [remaining, shared_done] {
+      if (--*remaining == 0 && *shared_done) (*shared_done)();
+    });
+  }
+}
+
+void RayLikeTransport::Reduce(NodeID root, const std::vector<ObjectID>& sources,
+                              ObjectID target, std::int64_t size, DoneCallback done) {
+  HOPLITE_CHECK(!sources.empty());
+  auto remaining = std::make_shared<int>(static_cast<int>(sources.size()));
+  auto shared_done = std::make_shared<DoneCallback>(std::move(done));
+  for (const ObjectID source : sources) {
+    Get(root, source, [this, root, target, size, remaining, shared_done] {
+      // Accumulate into the running sum at memcpy speed.
+      net_.Memcpy(root, size, [this, root, target, size, remaining, shared_done] {
+        if (--*remaining > 0) return;
+        Put(root, target, size, [shared_done] {
+          if (*shared_done) (*shared_done)();
+        });
+      });
+    });
+  }
+}
+
+void RayLikeTransport::Gather(NodeID root, const std::vector<ObjectID>& sources,
+                              DoneCallback done) {
+  HOPLITE_CHECK(!sources.empty());
+  auto remaining = std::make_shared<int>(static_cast<int>(sources.size()));
+  auto shared_done = std::make_shared<DoneCallback>(std::move(done));
+  for (const ObjectID source : sources) {
+    Get(root, source, [remaining, shared_done] {
+      if (--*remaining == 0 && *shared_done) (*shared_done)();
+    });
+  }
+}
+
+void RayLikeTransport::Allreduce(NodeID root, const std::vector<ObjectID>& sources,
+                                 ObjectID target, std::int64_t size,
+                                 const std::vector<NodeID>& receivers,
+                                 DoneCallback done) {
+  Reduce(root, sources, target, size,
+         [this, target, receivers, done = std::move(done)]() mutable {
+           Broadcast(target, receivers, std::move(done));
+         });
+}
+
+}  // namespace hoplite::baselines

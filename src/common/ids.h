@@ -1,0 +1,92 @@
+// Strongly-typed identifiers used throughout the system.
+//
+// The paper's ObjectID is "a unique string" chosen by the application; we keep
+// the human-readable name for debugging but identify objects by a 64-bit FNV-1a
+// hash of it so that maps stay cheap. NodeID indexes into the simulated
+// cluster's node table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace hoplite {
+
+/// Index of a physical node in the simulated cluster, dense in [0, n).
+using NodeID = std::int32_t;
+
+inline constexpr NodeID kInvalidNode = -1;
+
+/// Identifier of an immutable object (a future's target value).
+///
+/// Value type: cheap to copy, hashable, totally ordered. Construct with
+/// ObjectID::FromName (deterministic) or derive related ids with
+/// WithSuffix (used e.g. for per-round gradient objects).
+class ObjectID {
+ public:
+  constexpr ObjectID() noexcept = default;
+
+  /// Deterministically derives an id from an application-chosen unique name.
+  [[nodiscard]] static ObjectID FromName(std::string_view name) noexcept {
+    return ObjectID{Fnv1a(kFnvOffset, name)};
+  }
+
+  /// Derives a related id, e.g. `id.WithSuffix("round7")`.
+  [[nodiscard]] ObjectID WithSuffix(std::string_view suffix) const noexcept {
+    return ObjectID{Fnv1a(id_ ^ kFnvOffset, suffix)};
+  }
+
+  /// Derives a related id from an integer (round number, shard index, ...).
+  [[nodiscard]] ObjectID WithIndex(std::int64_t index) const noexcept {
+    std::uint64_t h = id_;
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ static_cast<std::uint64_t>((index >> (8 * i)) & 0xff)) * kFnvPrime;
+    }
+    return ObjectID{h};
+  }
+
+  [[nodiscard]] constexpr bool IsNil() const noexcept { return id_ == 0; }
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return id_; }
+
+  friend constexpr bool operator==(ObjectID a, ObjectID b) noexcept { return a.id_ == b.id_; }
+  friend constexpr bool operator!=(ObjectID a, ObjectID b) noexcept { return a.id_ != b.id_; }
+  friend constexpr bool operator<(ObjectID a, ObjectID b) noexcept { return a.id_ < b.id_; }
+
+  friend std::ostream& operator<<(std::ostream& os, ObjectID id) {
+    return os << "obj#" << std::hex << id.id_ << std::dec;
+  }
+
+ private:
+  static constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+  constexpr explicit ObjectID(std::uint64_t id) noexcept : id_(id) {}
+
+  [[nodiscard]] static constexpr std::uint64_t Fnv1a(std::uint64_t seed,
+                                                     std::string_view data) noexcept {
+    std::uint64_t h = seed;
+    for (char c : data) {
+      h = (h ^ static_cast<unsigned char>(c)) * kFnvPrime;
+    }
+    // Avoid colliding with the nil id for any realistic input.
+    return h == 0 ? kFnvPrime : h;
+  }
+
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace hoplite
+
+template <>
+struct std::hash<hoplite::ObjectID> {
+  [[nodiscard]] std::size_t operator()(hoplite::ObjectID id) const noexcept {
+    // The id is already a hash; mix once more to spread low bits.
+    std::uint64_t v = id.value();
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdull;
+    v ^= v >> 33;
+    return static_cast<std::size_t>(v);
+  }
+};

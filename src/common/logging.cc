@@ -1,0 +1,10 @@
+#include "common/logging.h"
+
+namespace hoplite::internal {
+
+LogLevel& LogThreshold() noexcept {
+  static LogLevel threshold = LogLevel::kWarning;
+  return threshold;
+}
+
+}  // namespace hoplite::internal

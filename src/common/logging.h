@@ -1,0 +1,84 @@
+// Lightweight logging and checked assertions.
+//
+// HOPLITE_CHECK is used for invariants that indicate a bug in this library if
+// violated (Core Guidelines I.6/E.12 style contracts); it aborts with a
+// source location. Logging is deliberately minimal: benches and tests own
+// their output formats, so the library itself stays quiet by default.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hoplite::internal {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarning
+/// so library internals never pollute bench output.
+LogLevel& LogThreshold() noexcept;
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Name(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    if (level_ >= LogThreshold()) {
+      std::cerr << stream_.str() << std::endl;
+    }
+    if (level_ == LogLevel::kFatal) {
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() noexcept { return stream_; }
+
+ private:
+  static const char* Name(LogLevel level) noexcept {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarning: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kFatal: return "FATAL";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* path) noexcept {
+    const char* base = path;
+    for (const char* p = path; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace hoplite::internal
+
+#define HOPLITE_LOG(level)                                                                 \
+  ::hoplite::internal::LogMessage(::hoplite::internal::LogLevel::k##level, __FILE__, \
+                                  __LINE__)                                                \
+      .stream()
+
+/// Aborts with a message when `cond` is false. Use for library invariants.
+#define HOPLITE_CHECK(cond)                                              \
+  if (!(cond))                                                           \
+  ::hoplite::internal::LogMessage(::hoplite::internal::LogLevel::kFatal, \
+                                  __FILE__, __LINE__)                    \
+      .stream()                                                          \
+      << "Check failed: " #cond " "
+
+#define HOPLITE_CHECK_EQ(a, b) HOPLITE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HOPLITE_CHECK_NE(a, b) HOPLITE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HOPLITE_CHECK_LT(a, b) HOPLITE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HOPLITE_CHECK_LE(a, b) HOPLITE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HOPLITE_CHECK_GT(a, b) HOPLITE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HOPLITE_CHECK_GE(a, b) HOPLITE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "

@@ -1,0 +1,66 @@
+// Units and conversion helpers shared across all Hoplite modules.
+//
+// Simulated time is an integer nanosecond count (`SimTime`) so that event
+// ordering is exact and runs are bit-reproducible; floating point seconds are
+// only used at the edges (reporting, bandwidth math).
+#pragma once
+
+#include <cstdint>
+
+namespace hoplite {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A duration in simulated nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = INT64_MAX;
+
+/// Nanoseconds.
+[[nodiscard]] constexpr SimDuration Nanoseconds(std::int64_t n) noexcept { return n; }
+/// Microseconds.
+[[nodiscard]] constexpr SimDuration Microseconds(std::int64_t us) noexcept { return us * 1'000; }
+/// Milliseconds.
+[[nodiscard]] constexpr SimDuration Milliseconds(std::int64_t ms) noexcept { return ms * 1'000'000; }
+/// Whole seconds.
+[[nodiscard]] constexpr SimDuration Seconds(std::int64_t s) noexcept { return s * 1'000'000'000; }
+/// Fractional seconds (rounds to nearest nanosecond).
+[[nodiscard]] constexpr SimDuration SecondsF(double s) noexcept {
+  return static_cast<SimDuration>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts a simulated duration to floating-point seconds for reporting.
+[[nodiscard]] constexpr double ToSeconds(SimDuration d) noexcept {
+  return static_cast<double>(d) * 1e-9;
+}
+/// Converts a simulated duration to floating-point milliseconds for reporting.
+[[nodiscard]] constexpr double ToMilliseconds(SimDuration d) noexcept {
+  return static_cast<double>(d) * 1e-6;
+}
+/// Converts a simulated duration to floating-point microseconds for reporting.
+[[nodiscard]] constexpr double ToMicroseconds(SimDuration d) noexcept {
+  return static_cast<double>(d) * 1e-3;
+}
+
+/// Kibibytes/mebibytes/gibibytes in bytes. The paper's "1 KB / 1 MB / 1 GB"
+/// object sizes follow the binary convention used by the reference code.
+[[nodiscard]] constexpr std::int64_t KB(std::int64_t n) noexcept { return n * 1024; }
+[[nodiscard]] constexpr std::int64_t MB(std::int64_t n) noexcept { return n * 1024 * 1024; }
+[[nodiscard]] constexpr std::int64_t GB(std::int64_t n) noexcept { return n * 1024 * 1024 * 1024; }
+
+/// Bandwidth expressed in bytes per (real, simulated) second.
+using BytesPerSecond = double;
+
+[[nodiscard]] constexpr BytesPerSecond Gbps(double gigabits) noexcept {
+  return gigabits * 1e9 / 8.0;
+}
+[[nodiscard]] constexpr BytesPerSecond GBps(double gigabytes) noexcept { return gigabytes * 1e9; }
+
+/// Time to push `bytes` through a link of bandwidth `bw`, as a SimDuration.
+[[nodiscard]] constexpr SimDuration TransferTime(std::int64_t bytes, BytesPerSecond bw) noexcept {
+  if (bytes <= 0) return 0;
+  return static_cast<SimDuration>(static_cast<double>(bytes) / bw * 1e9 + 0.5);
+}
+
+}  // namespace hoplite

@@ -1,0 +1,662 @@
+#include "core/client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/cluster.h"
+#include "core/reduce.h"
+
+namespace hoplite::core {
+
+HopliteClient::HopliteClient(HopliteCluster& cluster, NodeID node, HopliteConfig config)
+    : cluster_(cluster), node_(node), config_(config) {}
+
+HopliteClient::~HopliteClient() = default;
+
+store::LocalStore& HopliteClient::local_store() { return cluster_.store(node_); }
+
+// ======================================================================
+// Put
+// ======================================================================
+
+void HopliteClient::Put(ObjectID object, store::Buffer payload, PutCallback done) {
+  auto& dir = cluster_.directory();
+  if (payload.size() < dir.config().inline_threshold) {
+    // Small-object fast path: the payload lives in the directory (§3.2).
+    dir.PutInline(object, node_, std::move(payload), [done = std::move(done)] {
+      if (done) done();
+    });
+    return;
+  }
+
+  auto& st = local_store();
+  HOPLITE_CHECK(!st.Contains(object))
+      << "Put of " << object << " on node " << node_ << ": object already exists "
+      << "(objects are immutable; use a fresh ObjectID)";
+  st.CreatePartial(object, payload.size(), store::CopyKind::kPrimary, config_.chunk_size);
+  // Publish before the worker->store copy completes so remote fetches can
+  // begin immediately (§3.3).
+  dir.RegisterPartial(object, node_, payload.size());
+
+  const store::ChunkLayout layout{payload.size(), config_.chunk_size};
+  const std::int64_t total = layout.num_chunks();
+  const std::uint64_t inc = incarnation_;
+
+  if (!config_.pipeline_worker_copies) {
+    // Ablation mode: one monolithic blocking copy, then publish completion.
+    cluster_.network().Memcpy(
+        node_, payload.size(), [this, inc, object, payload, done = std::move(done)] {
+          if (inc != incarnation_ || !local_store().Contains(object)) return;
+          local_store().MarkComplete(object, payload);
+          cluster_.directory().MarkComplete(object, node_);
+          if (done) done();
+        });
+    return;
+  }
+
+  for (std::int64_t i = 0; i < total; ++i) {
+    const bool last = i + 1 == total;
+    cluster_.network().Memcpy(
+        node_, layout.ChunkBytes(i), [this, inc, object, payload, done, i, last] {
+          if (inc != incarnation_ || !local_store().Contains(object)) return;
+          if (last) {
+            local_store().MarkComplete(object, payload);
+            cluster_.directory().MarkComplete(object, node_);
+            if (done) done();
+          } else {
+            local_store().AdvanceChunks(object, i + 1);
+          }
+        });
+  }
+}
+
+// ======================================================================
+// Get (fetch side of broadcast)
+// ======================================================================
+
+void HopliteClient::Get(ObjectID object, GetOptions options, GetCallback callback) {
+  HOPLITE_CHECK(callback != nullptr);
+  if (local_store().Contains(object)) {
+    DeliverLocal(object, options, std::move(callback));
+    return;
+  }
+  auto it = fetches_.find(object);
+  if (it != fetches_.end()) {
+    it->second.early_waiters.emplace_back(options, std::move(callback));
+    return;
+  }
+  FetchSession session;
+  session.object = object;
+  session.early_waiters.emplace_back(options, std::move(callback));
+  fetches_.emplace(object, std::move(session));
+  StartFetch(object);
+}
+
+void HopliteClient::StartFetch(ObjectID object) {
+  auto it = fetches_.find(object);
+  if (it == fetches_.end()) return;
+  it->second.claiming = true;
+  it->second.sender = kInvalidNode;
+  const std::uint64_t inc = incarnation_;
+  cluster_.directory().ClaimSender(
+      object, node_, [this, inc](const directory::ClaimReply& reply) {
+        if (inc != incarnation_) return;
+        OnClaimReply(reply);
+      });
+}
+
+void HopliteClient::OnClaimReply(const directory::ClaimReply& reply) {
+  auto it = fetches_.find(reply.object);
+  if (it == fetches_.end()) {
+    // The fetch was purged while the claim was in flight; release the grant
+    // so the sender does not stay busy forever.
+    if (!reply.inline_payload) {
+      cluster_.directory().TransferAborted(reply.object, reply.sender, node_,
+                                           /*sender_alive=*/true);
+    }
+    return;
+  }
+  FetchSession& session = it->second;
+
+  if (reply.local_copy) {
+    // The object is materializing in our own store (e.g. a Reduce sink).
+    auto waiters = std::move(session.early_waiters);
+    fetches_.erase(it);
+    if (local_store().Contains(reply.object)) {
+      for (auto& [options, callback] : waiters) {
+        DeliverLocal(reply.object, options, std::move(callback));
+      }
+    } else {
+      // Raced with a Delete; drop the waiters (framework contract, §6).
+      HOPLITE_LOG(Warning) << "local-copy claim for missing object " << reply.object;
+    }
+    return;
+  }
+
+  if (reply.inline_payload) {
+    auto waiters = std::move(session.early_waiters);
+    fetches_.erase(it);
+    const std::uint64_t inc = incarnation_;
+    for (auto& [options, callback] : waiters) {
+      if (options.read_only) {
+        callback(reply.payload);
+      } else {
+        cluster_.network().Memcpy(
+            node_, reply.payload.size(),
+            [this, inc, callback = std::move(callback), payload = reply.payload] {
+              if (inc == incarnation_) callback(payload);
+            });
+      }
+    }
+    return;
+  }
+
+  session.claiming = false;
+  session.sender = reply.sender;
+  session.sender_chain = reply.sender_chain;
+  session.object_size = reply.object_size;
+
+  auto& st = local_store();
+  if (!st.Contains(reply.object)) {
+    st.CreatePartial(reply.object, reply.object_size, store::CopyKind::kReplica,
+                     config_.chunk_size);
+  }
+  for (auto& [options, callback] : session.early_waiters) {
+    DeliverLocal(reply.object, options, std::move(callback));
+  }
+  session.early_waiters.clear();
+
+  const std::int64_t resume = st.ChunksReady(reply.object);
+  const std::uint32_t epoch = session.expected_epoch;
+  const ObjectID object = reply.object;
+  const NodeID sender = reply.sender;
+  const NodeID receiver = node_;
+  cluster_.SendControl(node_, sender, [this, object, sender, receiver, resume, epoch] {
+    cluster_.client(sender).HandleStartPush(object, receiver, resume, epoch);
+  });
+}
+
+void HopliteClient::AbortFetchAndReclaim(ObjectID object, bool sender_alive) {
+  auto it = fetches_.find(object);
+  if (it == fetches_.end() || it->second.claiming) return;
+  const NodeID old_sender = it->second.sender;
+  it->second.sender = kInvalidNode;
+  it->second.claiming = true;
+  cluster_.directory().TransferAborted(object, old_sender, node_, sender_alive);
+  if (sender_alive) {
+    const NodeID receiver = node_;
+    cluster_.SendControl(node_, old_sender, [this, object, old_sender, receiver] {
+      cluster_.client(old_sender).HandleStopPush(object, receiver);
+    });
+  }
+  StartFetch(object);
+}
+
+void HopliteClient::FinishFetch(ObjectID object, store::Buffer payload) {
+  auto it = fetches_.find(object);
+  HOPLITE_CHECK(it != fetches_.end());
+  const NodeID sender = it->second.sender;
+  fetches_.erase(it);
+  // MarkComplete fires worker deliveries and any downstream push sessions.
+  local_store().MarkComplete(object, std::move(payload));
+  cluster_.directory().TransferFinished(object, sender, node_);
+}
+
+// ======================================================================
+// Worker-side delivery (store -> worker copy, pipelined)
+// ======================================================================
+
+void HopliteClient::DeliverLocal(ObjectID object, GetOptions options, GetCallback callback) {
+  auto& st = local_store();
+  HOPLITE_CHECK(st.Contains(object));
+  const std::uint64_t inc = incarnation_;
+
+  if (options.read_only) {
+    // Immutable get (§3.3): hand out a reference into the store, no copy.
+    if (st.IsComplete(object)) {
+      callback(st.PayloadOf(object));
+      return;
+    }
+    st.OnCompletion(object, [this, inc, callback = std::move(callback)](
+                                const store::Buffer& payload) {
+      if (inc == incarnation_) callback(payload);
+    });
+    return;
+  }
+
+  auto delivery = std::make_shared<Delivery>();
+  delivery->object = object;
+  delivery->options = options;
+  delivery->callback = std::move(callback);
+  delivery->total_chunks = st.StateOf(object).layout.num_chunks();
+  st.Ref(object);
+  delivery->store_reffed = true;
+  deliveries_[object].push_back(delivery);
+
+  if (!config_.pipeline_worker_copies) {
+    // Ablation mode: wait for the full object, then one blocking copy.
+    st.OnCompletion(object, [this, inc, delivery](const store::Buffer& payload) {
+      if (inc != incarnation_ || delivery->cancelled) return;
+      cluster_.network().Memcpy(node_, payload.size(), [this, inc, delivery, payload] {
+        if (inc != incarnation_ || delivery->cancelled) return;
+        delivery->finished = true;
+        ReleaseDelivery(delivery);
+        delivery->callback(payload);
+      });
+    });
+    return;
+  }
+
+  delivery->store_sub =
+      st.OnChunkProgress(object, [this, delivery](std::int64_t) { PumpDelivery(delivery); });
+  PumpDelivery(delivery);
+}
+
+void HopliteClient::PumpDelivery(const std::shared_ptr<Delivery>& delivery) {
+  if (delivery->cancelled || delivery->finished) return;
+  auto& st = local_store();
+  if (!st.Contains(delivery->object)) {
+    delivery->cancelled = true;
+    return;
+  }
+  const auto& state = st.StateOf(delivery->object);
+  const std::uint64_t inc = incarnation_;
+  const std::uint32_t epoch = delivery->epoch;
+  while (delivery->copies_issued < state.chunks_ready) {
+    const std::int64_t i = delivery->copies_issued++;
+    cluster_.network().Memcpy(node_, state.layout.ChunkBytes(i),
+                              [this, inc, epoch, delivery] {
+                                if (inc != incarnation_ || delivery->cancelled ||
+                                    epoch != delivery->epoch) {
+                                  return;
+                                }
+                                ++delivery->copies_done;
+                                MaybeFinishDelivery(delivery);
+                              });
+  }
+}
+
+void HopliteClient::MaybeFinishDelivery(const std::shared_ptr<Delivery>& delivery) {
+  if (delivery->finished || delivery->cancelled) return;
+  auto& st = local_store();
+  if (!st.Contains(delivery->object) || !st.IsComplete(delivery->object)) return;
+  if (delivery->copies_done < delivery->total_chunks) return;
+  delivery->finished = true;
+  st.Unsubscribe(delivery->object, delivery->store_sub);
+  auto map_it = deliveries_.find(delivery->object);
+  if (map_it != deliveries_.end()) {
+    auto& vec = map_it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), delivery), vec.end());
+    if (vec.empty()) deliveries_.erase(map_it);
+  }
+  // Copy the payload handle before releasing the eviction guard.
+  const store::Buffer payload = st.PayloadOf(delivery->object);
+  ReleaseDelivery(delivery);
+  delivery->callback(payload);
+}
+
+void HopliteClient::ReleaseDelivery(const std::shared_ptr<Delivery>& delivery) {
+  if (!delivery->store_reffed) return;
+  delivery->store_reffed = false;
+  local_store().Unref(delivery->object);
+}
+
+void HopliteClient::ResetDeliveries(ObjectID object) {
+  auto it = deliveries_.find(object);
+  if (it == deliveries_.end()) return;
+  for (const auto& delivery : it->second) {
+    if (delivery->finished || delivery->cancelled) continue;
+    delivery->epoch += 1;  // invalidates in-flight memcpy completions
+    delivery->copies_issued = 0;
+    delivery->copies_done = 0;
+  }
+}
+
+// ======================================================================
+// Push side (sender of broadcast streams)
+// ======================================================================
+
+void HopliteClient::HandleStartPush(ObjectID object, NodeID receiver,
+                                    std::int64_t from_chunk, std::uint32_t epoch) {
+  auto& st = local_store();
+  if (!st.Contains(object)) {
+    // Evicted (or deleted) since the directory granted us: tell the receiver
+    // to claim elsewhere.
+    const NodeID sender = node_;
+    cluster_.SendControl(node_, receiver, [this, object, sender, receiver] {
+      cluster_.client(receiver).HandleSenderGone(object, sender);
+    });
+    return;
+  }
+  const PushKey key{object.value(), receiver};
+  if (pushes_.count(key) > 0) return;  // duplicate request
+  PushSession session;
+  session.object = object;
+  session.receiver = receiver;
+  session.next_chunk = from_chunk;
+  session.total_chunks = st.StateOf(object).layout.num_chunks();
+  session.epoch = epoch;
+  st.Ref(object);
+  session.store_reffed = true;
+  session.store_sub =
+      st.OnChunkProgress(object, [this, key](std::int64_t) { PumpPush(key); });
+  pushes_.emplace(key, session);
+  PumpPush(key);
+}
+
+void HopliteClient::PumpPush(PushKey key) {
+  auto it = pushes_.find(key);
+  if (it == pushes_.end()) return;
+  PushSession& push = it->second;
+  auto& st = local_store();
+  if (!st.Contains(push.object)) {
+    EndPush(key);
+    return;
+  }
+  const auto& state = st.StateOf(push.object);
+  while (push.next_chunk < state.chunks_ready && push.in_flight < config_.transfer_window &&
+         !push.final_sent) {
+    const std::int64_t i = push.next_chunk;
+    const bool final = i + 1 == push.total_chunks;
+    if (final && !state.complete) break;  // payload not attached yet
+    ++push.next_chunk;
+    ++push.in_flight;
+    const ObjectID object = push.object;
+    const NodeID sender = node_;
+    const NodeID receiver = push.receiver;
+    const std::uint32_t epoch = push.epoch;
+    const std::int64_t upto = i + 1;
+    store::Buffer payload = final ? state.payload : store::Buffer{};
+    cluster_.SendData(node_, receiver, state.layout.ChunkBytes(i),
+                      [this, key, object, sender, receiver, epoch, upto, final,
+                       payload = std::move(payload)] {
+                        cluster_.client(receiver).HandleObjectChunk(
+                            object, sender, epoch, upto, final, payload);
+                        // Flow-control ack back to the sender (same instant;
+                        // the wire is drained once the last byte arrived).
+                        cluster_.client(sender).OnPushChunkDelivered(key);
+                      });
+    if (final) push.final_sent = true;
+  }
+  if (push.final_sent && push.in_flight == 0) EndPush(key);
+}
+
+void HopliteClient::OnPushChunkDelivered(PushKey key) {
+  auto it = pushes_.find(key);
+  if (it == pushes_.end()) return;  // session ended (reset/stop/death)
+  it->second.in_flight -= 1;
+  PumpPush(key);
+}
+
+void HopliteClient::EndPush(PushKey key) {
+  auto it = pushes_.find(key);
+  if (it == pushes_.end()) return;
+  PushSession& push = it->second;
+  auto& st = local_store();
+  if (st.Contains(push.object)) {
+    st.Unsubscribe(push.object, push.store_sub);
+    if (push.store_reffed) st.Unref(push.object);
+  }
+  pushes_.erase(it);
+}
+
+void HopliteClient::HandleStopPush(ObjectID object, NodeID receiver) {
+  EndPush(PushKey{object.value(), receiver});
+}
+
+void HopliteClient::HandleSenderGone(ObjectID object, NodeID sender) {
+  auto it = fetches_.find(object);
+  if (it == fetches_.end() || it->second.sender != sender) return;
+  AbortFetchAndReclaim(object, /*sender_alive=*/true);
+}
+
+void HopliteClient::HandleObjectChunk(ObjectID object, NodeID sender, std::uint32_t epoch,
+                                      std::int64_t chunk_upto, bool final,
+                                      store::Buffer payload) {
+  auto it = fetches_.find(object);
+  if (it == fetches_.end()) return;  // stray chunk after abort/purge
+  FetchSession& session = it->second;
+  if (session.sender != sender || session.expected_epoch != epoch) return;  // stale
+  auto& st = local_store();
+  if (!st.Contains(object)) return;
+  if (final) {
+    FinishFetch(object, std::move(payload));
+  } else {
+    st.AdvanceChunks(object, chunk_upto);
+  }
+}
+
+void HopliteClient::HandleFetchReset(ObjectID object, std::uint32_t new_epoch) {
+  auto it = fetches_.find(object);
+  if (it != fetches_.end()) {
+    it->second.expected_epoch = new_epoch;
+  }
+  auto& st = local_store();
+  if (!st.Contains(object)) return;
+  if (st.IsComplete(object)) {
+    // Can only happen for a reset racing a finished broadcast of a finished
+    // reduce — the content is final by then, so the reset is stale.
+    HOPLITE_LOG(Warning) << "ignoring reset of complete object " << object;
+    return;
+  }
+  st.ResetProgress(object);
+  ResetDeliveries(object);
+  CascadeObjectReset(object);
+}
+
+void HopliteClient::CascadeObjectReset(ObjectID object) {
+  for (auto& [key, push] : pushes_) {
+    if (push.object != object) continue;
+    push.epoch += 1;
+    push.next_chunk = 0;
+    push.final_sent = false;
+    const NodeID receiver = push.receiver;
+    const std::uint32_t epoch = push.epoch;
+    cluster_.SendControl(node_, receiver, [this, object, receiver, epoch] {
+      cluster_.client(receiver).HandleFetchReset(object, epoch);
+    });
+  }
+  // Progress may already allow re-sending chunk 0 onwards.
+  std::vector<PushKey> keys;
+  for (const auto& [key, push] : pushes_) {
+    if (push.object == object) keys.push_back(key);
+  }
+  for (const auto& key : keys) PumpPush(key);
+}
+
+// ======================================================================
+// Delete
+// ======================================================================
+
+void HopliteClient::Delete(ObjectID object, DeleteCallback done) {
+  const std::uint64_t inc = incarnation_;
+  cluster_.directory().DeleteObject(
+      object, [this, inc, object, done = std::move(done)](std::vector<NodeID> holders) {
+        if (inc != incarnation_) return;
+        for (const NodeID holder : holders) {
+          if (!cluster_.IsAlive(holder)) continue;
+          if (holder == node_) {
+            PurgeObject(object);
+            continue;
+          }
+          cluster_.SendControl(node_, holder, [this, holder, object] {
+            cluster_.client(holder).HandleDeleteLocal(object);
+          });
+        }
+        if (done) done();
+      });
+}
+
+void HopliteClient::HandleDeleteLocal(ObjectID object) { PurgeObject(object); }
+
+void HopliteClient::PurgeObject(ObjectID object) {
+  fetches_.erase(object);
+  std::vector<PushKey> keys;
+  for (const auto& [key, push] : pushes_) {
+    if (push.object == object) keys.push_back(key);
+  }
+  for (const auto& key : keys) EndPush(key);
+  if (auto it = deliveries_.find(object); it != deliveries_.end()) {
+    for (const auto& delivery : it->second) delivery->cancelled = true;
+    deliveries_.erase(it);
+  }
+  local_store().Remove(object);
+}
+
+// ======================================================================
+// Reduce
+// ======================================================================
+
+void HopliteClient::Reduce(ReduceSpec spec, ReduceCallback callback) {
+  HOPLITE_CHECK(!spec.sources.empty()) << "Reduce needs at least one source";
+  if (spec.num_objects == 0 || spec.num_objects > spec.sources.size()) {
+    spec.num_objects = spec.sources.size();
+  }
+  const ReduceId id = (static_cast<ReduceId>(static_cast<std::uint64_t>(node_) + 1) << 40) |
+                      next_reduce_id_seed_++;
+  auto coordinator =
+      std::make_unique<ReduceCoordinator>(*this, id, std::move(spec), std::move(callback));
+  auto* raw = coordinator.get();
+  coordinators_.emplace(id, std::move(coordinator));
+  raw->Start();
+}
+
+void HopliteClient::HandleReduceAssign(const ReduceAssignment& assignment) {
+  const std::pair<ReduceId, int> key{assignment.reduce_id, assignment.tree_index};
+  auto it = reduce_sessions_.find(key);
+  if (it != reduce_sessions_.end()) {
+    it->second->UpdateAssignment(assignment);
+    return;
+  }
+  auto [new_it, inserted] =
+      reduce_sessions_.emplace(key, std::make_unique<ReduceSession>(*this, assignment));
+  // Replay child chunks that arrived before the assignment (no cross-pair
+  // FIFO guarantee); stale epochs are filtered inside the session.
+  if (auto pending = pending_reduce_chunks_.find(key);
+      pending != pending_reduce_chunks_.end()) {
+    auto msgs = std::move(pending->second);
+    pending_reduce_chunks_.erase(pending);
+    for (const auto& msg : msgs) new_it->second->OnChildChunk(msg);
+  }
+}
+
+void HopliteClient::HandleReduceChunk(const ReduceChunkMsg& msg) {
+  if (msg.to_index == -1) {
+    RouteSinkChunk(msg);
+    return;
+  }
+  const std::pair<ReduceId, int> key{msg.reduce_id, msg.to_index};
+  auto it = reduce_sessions_.find(key);
+  if (it == reduce_sessions_.end()) {
+    pending_reduce_chunks_[key].push_back(msg);
+    return;
+  }
+  it->second->OnChildChunk(msg);
+}
+
+void HopliteClient::HandleReduceReset(ReduceId id, int tree_index, ReduceEpoch out_epoch,
+                                      std::vector<std::pair<int, ReduceEpoch>> child_epochs) {
+  auto it = reduce_sessions_.find({id, tree_index});
+  if (it == reduce_sessions_.end()) return;
+  it->second->Reset(out_epoch, std::move(child_epochs));
+}
+
+void HopliteClient::HandleReduceRepush(ReduceId id, int tree_index) {
+  auto it = reduce_sessions_.find({id, tree_index});
+  if (it == reduce_sessions_.end()) return;
+  it->second->Repush();
+}
+
+void HopliteClient::HandleReduceTeardown(ReduceId id) {
+  reduce_sessions_.erase(reduce_sessions_.lower_bound({id, INT32_MIN}),
+                         reduce_sessions_.lower_bound({id + 1, INT32_MIN}));
+  pending_reduce_chunks_.erase(pending_reduce_chunks_.lower_bound({id, INT32_MIN}),
+                               pending_reduce_chunks_.lower_bound({id + 1, INT32_MIN}));
+}
+
+void HopliteClient::RouteSinkChunk(const ReduceChunkMsg& msg) {
+  auto it = coordinators_.find(msg.reduce_id);
+  if (it == coordinators_.end()) return;  // finished or never ours
+  it->second->OnSinkChunk(msg);
+}
+
+void HopliteClient::SendReduceChunk(NodeID to, std::int64_t bytes, ReduceChunkMsg msg) {
+  const ReduceId id = msg.reduce_id;
+  const int from_index = msg.from_index;
+  cluster_.SendData(node_, to, bytes, [this, to, id, from_index, msg = std::move(msg)] {
+    cluster_.client(to).HandleReduceChunk(msg);
+    OnReduceChunkDelivered(id, from_index);
+  });
+}
+
+void HopliteClient::OnReduceChunkDelivered(ReduceId id, int tree_index) {
+  auto it = reduce_sessions_.find({id, tree_index});
+  if (it == reduce_sessions_.end()) return;  // torn down / reassigned
+  it->second->OnChunkDelivered();
+}
+
+void HopliteClient::FinishCoordinator(ReduceId id) {
+  // Deferred: the coordinator calls this from inside its own methods.
+  const std::uint64_t inc = incarnation_;
+  cluster_.simulator().ScheduleAfter(0, [this, inc, id] {
+    if (inc != incarnation_) return;
+    coordinators_.erase(id);
+  });
+}
+
+// ======================================================================
+// Failure handling
+// ======================================================================
+
+void HopliteClient::OnPeerFailed(NodeID failed) {
+  // Broadcast fetches streaming from the dead node: re-claim and resume.
+  std::vector<ObjectID> to_reclaim;
+  for (const auto& [object, session] : fetches_) {
+    if (!session.claiming && session.sender == failed) to_reclaim.push_back(object);
+  }
+  for (const ObjectID object : to_reclaim) {
+    AbortFetchAndReclaim(object, /*sender_alive=*/false);
+  }
+
+  // Push streams towards the dead node are pointless now.
+  std::vector<PushKey> dead_pushes;
+  for (const auto& [key, push] : pushes_) {
+    if (push.receiver == failed) dead_pushes.push_back(key);
+  }
+  for (const auto& key : dead_pushes) EndPush(key);
+
+  // Reduce coordinators repair their trees.
+  for (auto& [id, coordinator] : coordinators_) coordinator->OnNodeFailed(failed);
+
+  // Reduce sessions whose coordinator died are orphans.
+  for (auto it = reduce_sessions_.begin(); it != reduce_sessions_.end();) {
+    if (it->second->coordinator_node() == failed) {
+      it = reduce_sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void HopliteClient::OnKilled() {
+  ++incarnation_;
+  fetches_.clear();
+  pushes_.clear();  // store is wiped below; no need to unsubscribe
+  for (auto& [object, vec] : deliveries_) {
+    for (const auto& delivery : vec) delivery->cancelled = true;
+  }
+  deliveries_.clear();
+  coordinators_.clear();
+  reduce_sessions_.clear();
+  pending_reduce_chunks_.clear();
+  auto& st = local_store();
+  for (const ObjectID object : st.ListObjects()) st.Remove(object);
+}
+
+void HopliteClient::OnRecovered() {
+  // Fresh process, empty store: nothing to restore. Tasks re-Put their
+  // outputs via the framework's lineage reconstruction.
+}
+
+}  // namespace hoplite::core

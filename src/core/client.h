@@ -1,0 +1,247 @@
+// Per-node Hoplite client: the public object-store API of Table 1 plus the
+// wire-level protocol handlers that the receiver-driven coordination scheme
+// (§3.4) runs between nodes.
+//
+// One HopliteClient runs on every node of the cluster. The public surface is
+// exactly the paper's core interface:
+//
+//   Put(id, buffer)        store an immutable object, publish immediately
+//   Get(id [, options])    fetch an object into worker memory (broadcast is
+//                          implicit: many concurrent Gets of one object form
+//                          a dynamic distribution tree via the directory)
+//   Delete(id)             drop all copies cluster-wide
+//   Reduce(spec)           build a new object by reducing a set of objects
+//                          over a dynamically constructed d-ary tree
+//
+// Everything else on this class is protocol machinery: push/fetch sessions
+// for chunk-pipelined object transfer, reduce session routing, and failure
+// notifications. Those methods are public because in the real system they
+// are RPC endpoints; they are invoked through HopliteCluster::SendControl /
+// SendData, never called directly by applications.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "core/types.h"
+#include "directory/object_directory.h"
+#include "store/buffer.h"
+#include "store/local_store.h"
+
+namespace hoplite::core {
+
+class HopliteCluster;
+class ReduceCoordinator;
+class ReduceSession;
+
+class HopliteClient {
+ public:
+  HopliteClient(HopliteCluster& cluster, NodeID node, HopliteConfig config);
+  ~HopliteClient();
+  HopliteClient(const HopliteClient&) = delete;
+  HopliteClient& operator=(const HopliteClient&) = delete;
+
+  // ------------------------------------------------------------------
+  // Public API (Table 1).
+  // ------------------------------------------------------------------
+
+  /// Stores `payload` under `object`. The location is published to the
+  /// directory immediately (before the worker->store copy finishes) so
+  /// receivers can start pipelined fetches (§3.3). Small objects take the
+  /// directory inline fast path instead (§3.2). `done` fires when the local
+  /// copy is complete.
+  void Put(ObjectID object, store::Buffer payload, PutCallback done = nullptr);
+
+  /// Fetches `object` into worker memory; `callback` receives the payload.
+  /// With read_only set, the copy out of the local store is skipped
+  /// ("immutable get", §3.3).
+  void Get(ObjectID object, GetOptions options, GetCallback callback);
+  void Get(ObjectID object, GetCallback callback) {
+    Get(object, GetOptions{}, std::move(callback));
+  }
+
+  /// Deletes all copies of `object` across the cluster (Table 1; §6). Must
+  /// only be called once the framework knows no task references the id.
+  void Delete(ObjectID object, DeleteCallback done = nullptr);
+
+  /// Reduces `spec.num_objects` of `spec.sources` into `spec.target` over a
+  /// dynamically built tree (§3.4.2). The result object materializes in this
+  /// node's local store (and the directory), so a subsequent Get — from this
+  /// node or any other — streams it out, possibly before it is complete.
+  void Reduce(ReduceSpec spec, ReduceCallback callback = nullptr);
+
+  [[nodiscard]] NodeID node() const noexcept { return node_; }
+  [[nodiscard]] const HopliteConfig& config() const noexcept { return config_; }
+  [[nodiscard]] HopliteCluster& cluster() noexcept { return cluster_; }
+  [[nodiscard]] store::LocalStore& local_store();
+
+  // ------------------------------------------------------------------
+  // Protocol handlers (RPC endpoints; invoked via HopliteCluster).
+  // ------------------------------------------------------------------
+
+  /// Receiver asked this node to stream `object` starting at `from_chunk`,
+  /// tagging chunks with `epoch` (bumped across failure resets).
+  void HandleStartPush(ObjectID object, NodeID receiver, std::int64_t from_chunk,
+                       std::uint32_t epoch);
+
+  /// Receiver no longer wants the stream (re-claimed elsewhere / deleted).
+  void HandleStopPush(ObjectID object, NodeID receiver);
+
+  /// The node we asked to push no longer holds the object (evicted).
+  void HandleSenderGone(ObjectID object, NodeID sender);
+
+  /// One chunk of a broadcast/get stream arrived from `sender`.
+  void HandleObjectChunk(ObjectID object, NodeID sender, std::uint32_t epoch,
+                         std::int64_t chunk_upto, bool final, store::Buffer payload);
+
+  /// Upstream content was invalidated (reduce reset): roll the local partial
+  /// copy back to zero and cascade to our own downstream receivers.
+  void HandleFetchReset(ObjectID object, std::uint32_t new_epoch);
+
+  /// Framework-initiated local purge (Delete fan-out).
+  void HandleDeleteLocal(ObjectID object);
+
+  /// Reduce plumbing: position assignment, data chunks, failure resets.
+  void HandleReduceAssign(const ReduceAssignment& assignment);
+  void HandleReduceChunk(const ReduceChunkMsg& msg);
+  void HandleReduceReset(ReduceId id, int tree_index, ReduceEpoch out_epoch,
+                         std::vector<std::pair<int, ReduceEpoch>> child_epochs);
+  void HandleReduceRepush(ReduceId id, int tree_index);
+  void HandleReduceTeardown(ReduceId id);
+
+  // ------------------------------------------------------------------
+  // Failure notifications (from HopliteCluster).
+  // ------------------------------------------------------------------
+
+  /// A peer died (socket liveness noticed after the detection delay).
+  void OnPeerFailed(NodeID failed);
+  /// This node died: wipe all volatile state.
+  void OnKilled();
+  /// This node rejoined with a fresh, empty store.
+  void OnRecovered();
+
+  // ------------------------------------------------------------------
+  // Introspection for tests and benches.
+  // ------------------------------------------------------------------
+
+  [[nodiscard]] bool HasFetchSession(ObjectID object) const {
+    return fetches_.count(object) > 0;
+  }
+  [[nodiscard]] std::size_t active_push_sessions() const noexcept { return pushes_.size(); }
+  [[nodiscard]] std::size_t active_reduce_sessions() const noexcept {
+    return reduce_sessions_.size();
+  }
+  [[nodiscard]] std::size_t active_coordinators() const noexcept {
+    return coordinators_.size();
+  }
+
+ private:
+  friend class ReduceCoordinator;
+  friend class ReduceSession;
+
+  /// One worker-side delivery of an object (the store->worker copy of a Get),
+  /// chunk-pipelined against the object's network arrival.
+  struct Delivery {
+    ObjectID object;
+    GetOptions options;
+    GetCallback callback;
+    std::int64_t total_chunks = 0;
+    std::int64_t copies_issued = 0;
+    std::int64_t copies_done = 0;
+    std::uint32_t epoch = 0;  ///< bumped on content resets
+    std::uint64_t store_sub = 0;
+    bool cancelled = false;
+    bool finished = false;
+    /// Deliveries hold a store reference so LRU eviction cannot reap the
+    /// entry between completion and the last worker memcpy.
+    bool store_reffed = false;
+  };
+
+  /// Receiver side of an in-flight object fetch.
+  struct FetchSession {
+    ObjectID object;
+    NodeID sender = kInvalidNode;  ///< invalid while (re-)claiming
+    std::vector<NodeID> sender_chain;
+    std::int64_t object_size = -1;
+    std::uint32_t expected_epoch = 0;
+    bool claiming = true;
+    /// Gets that arrived before the object size (and store entry) existed.
+    std::vector<std::pair<GetOptions, GetCallback>> early_waiters;
+  };
+
+  /// Sender side of an object stream to one receiver.
+  struct PushSession {
+    ObjectID object;
+    NodeID receiver = kInvalidNode;
+    std::int64_t next_chunk = 0;
+    std::int64_t total_chunks = 0;
+    std::uint32_t epoch = 0;
+    std::uint64_t store_sub = 0;
+    bool store_reffed = false;
+    int in_flight = 0;  ///< chunks on the wire (bounded by transfer_window)
+    bool final_sent = false;
+  };
+
+  using PushKey = std::pair<std::uint64_t, NodeID>;  // (object id value, receiver)
+
+  void StartFetch(ObjectID object);
+  void OnClaimReply(const directory::ClaimReply& reply);
+  void AbortFetchAndReclaim(ObjectID object, bool sender_alive);
+  void FinishFetch(ObjectID object, store::Buffer payload);
+
+  /// Attaches a worker delivery to an existing local store entry.
+  void DeliverLocal(ObjectID object, GetOptions options, GetCallback callback);
+  void PumpDelivery(const std::shared_ptr<Delivery>& delivery);
+  void MaybeFinishDelivery(const std::shared_ptr<Delivery>& delivery);
+  void ReleaseDelivery(const std::shared_ptr<Delivery>& delivery);
+  void ResetDeliveries(ObjectID object);
+
+  void PumpPush(PushKey key);
+  void OnPushChunkDelivered(PushKey key);
+  void EndPush(PushKey key);
+  /// Flow-control acknowledgement for a reduce session's output stream.
+  void OnReduceChunkDelivered(ReduceId id, int tree_index);
+
+  /// Invalidate downstream copies after a local content reset (reduce).
+  void CascadeObjectReset(ObjectID object);
+
+  /// Drops sessions, deliveries and the store entry for `object`.
+  void PurgeObject(ObjectID object);
+
+  /// Hands a sink chunk to the owning coordinator (to_index == -1).
+  void RouteSinkChunk(const ReduceChunkMsg& msg);
+
+  /// Streams one reduce chunk to the session/sink on `to`.
+  void SendReduceChunk(NodeID to, std::int64_t bytes, ReduceChunkMsg msg);
+
+  void FinishCoordinator(ReduceId id);
+
+  HopliteCluster& cluster_;
+  NodeID node_;
+  HopliteConfig config_;
+
+  /// Bumped when this node dies; stale callbacks from a previous life check
+  /// it and bail out.
+  std::uint64_t incarnation_ = 0;
+
+  std::unordered_map<ObjectID, FetchSession> fetches_;
+  std::map<PushKey, PushSession> pushes_;
+  std::unordered_map<ObjectID, std::vector<std::shared_ptr<Delivery>>> deliveries_;
+
+  ReduceId next_reduce_id_seed_ = 1;
+  std::unordered_map<ReduceId, std::unique_ptr<ReduceCoordinator>> coordinators_;
+  std::map<std::pair<ReduceId, int>, std::unique_ptr<ReduceSession>> reduce_sessions_;
+  /// Chunks that raced ahead of their session's assignment message (child
+  /// streams and assignments travel on different sender->receiver pairs, so
+  /// there is no FIFO guarantee between them). Replayed on assignment.
+  std::map<std::pair<ReduceId, int>, std::vector<ReduceChunkMsg>> pending_reduce_chunks_;
+};
+
+}  // namespace hoplite::core

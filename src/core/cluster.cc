@@ -1,0 +1,74 @@
+#include "core/cluster.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "core/client.h"
+
+namespace hoplite::core {
+
+HopliteCluster::HopliteCluster(Options options) : options_(std::move(options)) {
+  network_ = std::make_unique<net::NetworkModel>(sim_, options_.network);
+  directory_ = std::make_unique<directory::ObjectDirectory>(*network_, options_.directory);
+  const int n = options_.network.num_nodes;
+  stores_.reserve(static_cast<std::size_t>(n));
+  clients_.reserve(static_cast<std::size_t>(n));
+  for (NodeID node = 0; node < n; ++node) {
+    stores_.push_back(
+        std::make_unique<store::LocalStore>(node, options_.store_capacity_bytes));
+    clients_.push_back(std::make_unique<HopliteClient>(*this, node, options_.hoplite));
+  }
+}
+
+HopliteCluster::~HopliteCluster() = default;
+
+HopliteClient& HopliteCluster::client(NodeID node) {
+  HOPLITE_CHECK_GE(node, 0);
+  HOPLITE_CHECK_LT(node, num_nodes());
+  return *clients_[static_cast<std::size_t>(node)];
+}
+
+store::LocalStore& HopliteCluster::store(NodeID node) {
+  HOPLITE_CHECK_GE(node, 0);
+  HOPLITE_CHECK_LT(node, num_nodes());
+  return *stores_[static_cast<std::size_t>(node)];
+}
+
+void HopliteCluster::SendControl(NodeID from, NodeID to, std::function<void()> handler) {
+  SendData(from, to, 0, std::move(handler));
+}
+
+void HopliteCluster::SendData(NodeID from, NodeID to, std::int64_t bytes,
+                              std::function<void()> handler) {
+  if (network_->IsFailed(from) || network_->IsFailed(to)) return;  // dropped
+  network_->Send(from, to, bytes, std::move(handler));
+}
+
+void HopliteCluster::KillNode(NodeID node) {
+  HOPLITE_CHECK(IsAlive(node)) << "node " << node << " is already dead";
+  // The process state vanishes immediately...
+  network_->FailNode(node);
+  client(node).OnKilled();
+  // ...but the rest of the cluster only notices after the socket-liveness
+  // detection delay. The directory is cleaned first (same timestamp, FIFO)
+  // so that re-claims triggered by the notifications never see the dead
+  // node's locations.
+  sim_.ScheduleAfter(options_.network.failure_detection_delay, [this, node] {
+    directory_->NodeFailed(node);
+    for (NodeID peer = 0; peer < num_nodes(); ++peer) {
+      if (peer != node && IsAlive(peer)) client(peer).OnPeerFailed(node);
+    }
+    for (const auto& listener : membership_listeners_) listener(node, /*alive=*/false);
+  });
+}
+
+void HopliteCluster::RecoverNode(NodeID node) {
+  HOPLITE_CHECK(!IsAlive(node)) << "node " << node << " is not dead";
+  network_->RecoverNode(node);
+  client(node).OnRecovered();
+  for (const auto& listener : membership_listeners_) listener(node, /*alive=*/true);
+}
+
+bool HopliteCluster::IsAlive(NodeID node) const { return !network_->IsFailed(node); }
+
+}  // namespace hoplite::core

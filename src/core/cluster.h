@@ -1,0 +1,91 @@
+// HopliteCluster: assembles the whole simulated system — event engine,
+// network fabric, per-node stores, the object directory, and one Hoplite
+// client per node — and provides the failure-injection surface (KillNode /
+// RecoverNode) that the fault-tolerance evaluation uses.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "core/types.h"
+#include "directory/object_directory.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "store/local_store.h"
+
+namespace hoplite::core {
+
+class HopliteClient;
+
+class HopliteCluster {
+ public:
+  struct Options {
+    net::ClusterConfig network;
+    directory::DirectoryConfig directory;
+    HopliteConfig hoplite;
+    /// Per-node store capacity in bytes; 0 = unlimited (default for benches).
+    std::int64_t store_capacity_bytes = 0;
+  };
+
+  explicit HopliteCluster(Options options);
+  ~HopliteCluster();
+  HopliteCluster(const HopliteCluster&) = delete;
+  HopliteCluster& operator=(const HopliteCluster&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::NetworkModel& network() noexcept { return *network_; }
+  [[nodiscard]] directory::ObjectDirectory& directory() noexcept { return *directory_; }
+  [[nodiscard]] HopliteClient& client(NodeID node);
+  [[nodiscard]] store::LocalStore& store(NodeID node);
+  [[nodiscard]] int num_nodes() const noexcept { return options_.network.num_nodes; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  [[nodiscard]] SimTime Now() const noexcept { return sim_.Now(); }
+
+  // ------------------------------------------------------------------
+  // Messaging between per-node clients. Control messages are latency-only
+  // (zero payload bytes); data messages occupy NIC bandwidth. A message to
+  // or from a dead node is silently dropped, exactly like a TCP segment.
+  // ------------------------------------------------------------------
+
+  void SendControl(NodeID from, NodeID to, std::function<void()> handler);
+  void SendData(NodeID from, NodeID to, std::int64_t bytes, std::function<void()> handler);
+
+  // ------------------------------------------------------------------
+  // Failure injection (§3.5, §5.5).
+  // ------------------------------------------------------------------
+
+  /// Kills a node: its client/store state vanishes now; the directory and
+  /// every surviving client learn about it one failure-detection delay later
+  /// (socket liveness, §5.5).
+  void KillNode(NodeID node);
+
+  /// Brings a node back with an empty store and a fresh client state.
+  void RecoverNode(NodeID node);
+
+  [[nodiscard]] bool IsAlive(NodeID node) const;
+
+  /// Registers an observer of membership changes. Kill notifications arrive
+  /// after the failure-detection delay (like every other observer of a
+  /// death); recovery notifications arrive immediately.
+  using MembershipListener = std::function<void(NodeID, bool alive)>;
+  void AddMembershipListener(MembershipListener listener) {
+    membership_listeners_.push_back(std::move(listener));
+  }
+
+  /// Runs the simulation until the event queue drains.
+  void RunAll() { sim_.Run(); }
+
+ private:
+  Options options_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::NetworkModel> network_;
+  std::unique_ptr<directory::ObjectDirectory> directory_;
+  std::vector<std::unique_ptr<store::LocalStore>> stores_;
+  std::vector<std::unique_ptr<HopliteClient>> clients_;
+  std::vector<MembershipListener> membership_listeners_;
+};
+
+}  // namespace hoplite::core

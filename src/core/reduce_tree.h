@@ -1,0 +1,158 @@
+// Reduce-tree topology math (§3.4.2).
+//
+// Hoplite reduces n objects over a d-ary tree whose *shape* is fixed by
+// (n, d) — a complete d-ary tree in level order — and whose *positions* are
+// filled dynamically as objects become ready, following a generalized
+// in-order traversal (first child subtree, the node itself, then the
+// remaining child subtrees). In-order filling is what lets the earliest
+// arrivals start reducing immediately at the bottom-left of the tree.
+//
+// Degree conventions: d = 1 is a chain (every node has one child), d = n is
+// a star (the root receives from everyone else). Internally a star over n
+// nodes is a complete (n-1)-ary tree of depth 1.
+//
+// Everything here is pure and deterministic; the coordinator layers timing,
+// messaging and failures on top.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace hoplite::core {
+
+/// Shape of a reduce tree over `n` positions with requested degree `d`
+/// (1 <= d <= n). Positions are level-order indices in [0, n).
+class ReduceTreeShape {
+ public:
+  /// Degrees above n are clamped to a star (d = n).
+  ReduceTreeShape(int n, int d) : n_(n), degree_(EffectiveDegree(n, d)) {
+    HOPLITE_CHECK_GE(n, 1);
+    HOPLITE_CHECK_GE(d, 1);
+  }
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+
+  /// Level-order parent of `pos` (-1 for the root, position 0).
+  [[nodiscard]] int Parent(int pos) const {
+    CheckPos(pos);
+    return pos == 0 ? -1 : (pos - 1) / degree_;
+  }
+
+  /// Level-order children of `pos`, possibly empty.
+  [[nodiscard]] std::vector<int> Children(int pos) const {
+    CheckPos(pos);
+    std::vector<int> kids;
+    const std::int64_t first = static_cast<std::int64_t>(pos) * degree_ + 1;
+    for (std::int64_t c = first; c < first + degree_ && c < n_; ++c) {
+      kids.push_back(static_cast<int>(c));
+    }
+    return kids;
+  }
+
+  /// Chain of ancestors of `pos` from its parent up to the root.
+  [[nodiscard]] std::vector<int> Ancestors(int pos) const {
+    CheckPos(pos);
+    std::vector<int> chain;
+    for (int p = Parent(pos); p != -1; p = Parent(p)) chain.push_back(p);
+    return chain;
+  }
+
+  /// The order in which positions are filled by arriving objects: the k-th
+  /// ready object occupies FillSequence()[k]. Generalized in-order: first
+  /// child subtree, then the node, then the remaining child subtrees.
+  [[nodiscard]] std::vector<int> FillSequence() const {
+    std::vector<int> seq;
+    seq.reserve(static_cast<std::size_t>(n_));
+    VisitInOrder(0, seq);
+    HOPLITE_CHECK_EQ(static_cast<int>(seq.size()), n_);
+    return seq;
+  }
+
+  /// Depth of `pos` (root = 0).
+  [[nodiscard]] int Depth(int pos) const {
+    CheckPos(pos);
+    int depth = 0;
+    for (int p = pos; p != 0; p = Parent(p)) ++depth;
+    return depth;
+  }
+
+ private:
+  static int EffectiveDegree(int n, int d) {
+    if (n <= 1) return 1;
+    // d == n means a star: the root takes all n-1 others as direct children.
+    return d >= n ? n - 1 : d;
+  }
+
+  void CheckPos(int pos) const {
+    HOPLITE_CHECK_GE(pos, 0);
+    HOPLITE_CHECK_LT(pos, n_);
+  }
+
+  void VisitInOrder(int pos, std::vector<int>& out) const {
+    const std::vector<int> kids = Children(pos);
+    if (!kids.empty()) VisitInOrder(kids[0], out);
+    out.push_back(pos);
+    for (std::size_t i = 1; i < kids.size(); ++i) VisitInOrder(kids[i], out);
+  }
+
+  int n_;
+  int degree_;
+};
+
+/// Default pipelining block size assumed by the cost model (4 MB, §5.1.1).
+inline constexpr double kDefaultChunkBytes = 4.0 * 1024 * 1024;
+
+/// Predicted completion time of a d-ary tree reduce. This refines Eq. (1)
+/// of the paper with the pipelining granularity the paper's runtime
+/// calibrates empirically ("based on an empirical measure of these three
+/// factors", §3.4.2): a hop forwards data in blocks of `chunk` bytes, so
+/// the per-hop pipeline latency is max(L, min(S, chunk)/B), which reduces
+/// to Eq. (1) exactly when S >> chunk (large objects) or chunk/B << L
+/// (small objects):
+///   T(1) = (n-1)*hop + L + S/B   (chain; the bandwidth term paid once)
+///   T(d) = hop*log_d(n) + d*S/B  (d >= 2)
+///   T(n) = L + n*S/B             (star)
+/// L = per-hop latency (seconds), B = bandwidth (bytes/s), S = object bytes.
+[[nodiscard]] inline double PredictReduceSeconds(int n, int d, double latency_s,
+                                                 double bandwidth_bps, double size_bytes,
+                                                 double chunk_bytes = kDefaultChunkBytes) {
+  HOPLITE_CHECK_GE(n, 1);
+  HOPLITE_CHECK_GE(d, 1);
+  const double hop =
+      latency_s + std::min(size_bytes, chunk_bytes) / bandwidth_bps;
+  if (n == 1) return latency_s + size_bytes / bandwidth_bps;
+  if (d == 1) return (n - 1) * hop + latency_s + size_bytes / bandwidth_bps;
+  if (d >= n) return latency_s + n * size_bytes / bandwidth_bps;
+  return hop * std::log(static_cast<double>(n)) / std::log(static_cast<double>(d)) +
+         d * size_bytes / bandwidth_bps;
+}
+
+/// Picks the degree in {1, 2, n} minimizing the predicted time (§4: "we
+/// observe that setting d to 1, 2, or n ... is enough for our
+/// applications"). Candidates are evaluated in the order n, 2, 1 so ties go
+/// to the flatter tree (lower recovery fan-in).
+[[nodiscard]] inline int ChooseReduceDegree(int n, double latency_s, double bandwidth_bps,
+                                            double size_bytes,
+                                            double chunk_bytes = kDefaultChunkBytes) {
+  HOPLITE_CHECK_GE(n, 1);
+  if (n <= 2) return n;
+  int best_d = n;
+  double best_t =
+      PredictReduceSeconds(n, n, latency_s, bandwidth_bps, size_bytes, chunk_bytes);
+  for (int d : {2, 1}) {
+    const double t =
+        PredictReduceSeconds(n, d, latency_s, bandwidth_bps, size_bytes, chunk_bytes);
+    if (t < best_t) {
+      best_t = t;
+      best_d = d;
+    }
+  }
+  return best_d;
+}
+
+}  // namespace hoplite::core

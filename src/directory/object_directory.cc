@@ -1,0 +1,423 @@
+#include "directory/object_directory.h"
+
+#include <algorithm>
+
+namespace hoplite::directory {
+
+ObjectDirectory::ObjectDirectory(net::NetworkModel& network, DirectoryConfig config)
+    : network_(network), sim_(network.simulator()), config_(config) {}
+
+void ObjectDirectory::ApplyWrite(std::function<void()> mutation) {
+  ++ops_served_;
+  sim_.ScheduleAfter(config_.write_latency, std::move(mutation));
+}
+
+void ObjectDirectory::RegisterPartial(ObjectID object, NodeID node, std::int64_t size) {
+  HOPLITE_CHECK_GE(size, 0);
+  ApplyWrite([this, object, node, size] {
+    ObjectEntry& entry = EntryOf(object);
+    if (entry.size < 0) entry.size = size;
+    HOPLITE_CHECK_EQ(entry.size, size) << "conflicting sizes registered for " << object;
+    if (entry.locations.count(node) > 0) return;  // idempotent
+    entry.locations.emplace(node, Location{LocationState::kAvailablePartial, {}});
+    Publish(object, entry, LocationEvent{object, node, entry.size, false, false});
+    ServeParked(object);
+  });
+}
+
+void ObjectDirectory::MarkComplete(ObjectID object, NodeID node) {
+  ApplyWrite([this, object, node] {
+    auto obj_it = objects_.find(object);
+    if (obj_it == objects_.end()) return;  // deleted concurrently
+    ObjectEntry& entry = obj_it->second;
+    auto it = entry.locations.find(node);
+    if (it == entry.locations.end()) return;  // removed concurrently (failure)
+    it->second.chain.clear();
+    it->second.complete = true;
+    if (it->second.state != LocationState::kBusy) {
+      it->second.state = LocationState::kAvailableComplete;
+    }
+    // If busy: completeness is recorded now and takes effect when the
+    // location returns to the pool.
+    Publish(object, entry, LocationEvent{object, node, entry.size, true, false});
+    ServeParked(object);
+  });
+}
+
+void ObjectDirectory::RemoveLocation(ObjectID object, NodeID node) {
+  ApplyWrite([this, object, node] {
+    auto obj_it = objects_.find(object);
+    if (obj_it == objects_.end()) return;
+    ObjectEntry& entry = obj_it->second;
+    if (entry.locations.erase(node) > 0) {
+      Publish(object, entry, LocationEvent{object, node, entry.size, false, true});
+    }
+  });
+}
+
+void ObjectDirectory::PutInline(ObjectID object, NodeID creator, store::Buffer payload,
+                                std::function<void()> on_stored) {
+  HOPLITE_CHECK_LT(payload.size(), config_.inline_threshold);
+  const NodeID shard = LiveShardOf(object);
+  const std::int64_t bytes = payload.size();
+  ++ops_served_;
+  // The payload rides along with the location write to the shard node.
+  network_.Send(creator, shard, bytes,
+                [this, object, payload = std::move(payload), on_stored = std::move(on_stored)] {
+                  sim_.ScheduleAfter(config_.write_latency, [this, object, payload,
+                                                             on_stored] {
+                    ObjectEntry& entry = EntryOf(object);
+                    entry.size = payload.size();
+                    entry.is_inline = true;
+                    entry.inline_payload = payload;
+                    Publish(object, entry,
+                            LocationEvent{object, ShardOf(object), entry.size, true, false,
+                                          /*is_inline=*/true});
+                    ServeParked(object);
+                    if (on_stored) on_stored();
+                  });
+                });
+}
+
+void ObjectDirectory::DeleteObject(ObjectID object,
+                                   std::function<void(std::vector<NodeID>)> on_deleted) {
+  ApplyWrite([this, object, on_deleted = std::move(on_deleted)] {
+    std::vector<NodeID> holders;
+    auto it = objects_.find(object);
+    if (it != objects_.end()) {
+      for (const auto& [node, loc] : it->second.locations) holders.push_back(node);
+      std::sort(holders.begin(), holders.end());
+      // Parked claims on a deleted object are dropped: the framework only
+      // calls Delete once no task can still reference the ObjectID (§6).
+      objects_.erase(it);
+    }
+    if (on_deleted) on_deleted(std::move(holders));
+  });
+}
+
+NodeID ObjectDirectory::PickSender(const ObjectEntry& entry, NodeID receiver) const {
+  NodeID best = kInvalidNode;
+  bool best_complete = false;
+  for (const auto& [node, loc] : entry.locations) {
+    if (node == receiver) continue;
+    if (loc.state == LocationState::kBusy) continue;
+    const bool complete = loc.state == LocationState::kAvailableComplete;
+    if (!complete) {
+      // Reject partial senders whose upstream chain contains the receiver:
+      // granting one would create a cyclic fetch (§3.5.1).
+      if (std::find(loc.chain.begin(), loc.chain.end(), receiver) != loc.chain.end()) {
+        continue;
+      }
+    }
+    // Prefer complete copies; tie-break on the smaller node id so that the
+    // choice is deterministic (unordered_map iteration order is not).
+    if (best == kInvalidNode || (complete && !best_complete) ||
+        (complete == best_complete && node < best)) {
+      best = node;
+      best_complete = complete;
+    }
+  }
+  return best;
+}
+
+void ObjectDirectory::Grant(ObjectID object, ObjectEntry& entry, NodeID sender,
+                            NodeID receiver, ClaimCallback callback,
+                            SimDuration reply_latency) {
+  auto sender_it = entry.locations.find(sender);
+  HOPLITE_CHECK(sender_it != entry.locations.end());
+  ClaimReply reply;
+  reply.object = object;
+  reply.object_size = entry.size;
+  reply.sender = sender;
+  reply.sender_complete = sender_it->second.state == LocationState::kAvailableComplete;
+  reply.sender_chain = sender_it->second.chain;
+  reply.sender_chain.push_back(sender);
+
+  // One receiver per sender: the granted location leaves the pool (§3.4.1).
+  sender_it->second.state = LocationState::kBusy;
+  sender_it->second.serving = receiver;
+
+  // The receiver becomes a partial location immediately, inheriting the
+  // dependency chain, so later receivers can pipeline from it.
+  auto [recv_it, inserted] = entry.locations.emplace(receiver, Location{});
+  recv_it->second.chain = reply.sender_chain;
+  recv_it->second.fetch_origin = true;
+  if (inserted) {
+    Publish(object, entry, LocationEvent{object, receiver, entry.size, false, false});
+  }
+
+  sim_.ScheduleAfter(reply_latency,
+                     [callback = std::move(callback), reply = std::move(reply)] {
+                       callback(reply);
+                     });
+}
+
+void ObjectDirectory::ClaimSender(ObjectID object, NodeID receiver, ClaimCallback callback) {
+  ++ops_served_;
+  sim_.ScheduleAfter(config_.read_latency, [this, object, receiver,
+                                            callback = std::move(callback)]() mutable {
+    ObjectEntry& entry = EntryOf(object);
+    if (entry.is_inline) {
+      ClaimReply reply;
+      reply.object = object;
+      reply.object_size = entry.size;
+      reply.inline_payload = true;
+      reply.payload = entry.inline_payload;
+      // Payload bytes travel from the shard node to the receiver.
+      const NodeID shard = LiveShardOf(object);
+      network_.Send(shard, receiver, entry.size,
+                    [callback = std::move(callback), reply = std::move(reply)] {
+                      callback(reply);
+                    });
+      return;
+    }
+    if (auto self = entry.locations.find(receiver);
+        self != entry.locations.end() &&
+        (!self->second.fetch_origin ||
+         self->second.state == LocationState::kAvailableComplete)) {
+      // The receiver already holds (or is locally producing) the object.
+      ClaimReply reply;
+      reply.object = object;
+      reply.object_size = entry.size;
+      reply.local_copy = true;
+      reply.sender = receiver;
+      callback(reply);
+      return;
+    }
+    const NodeID sender = PickSender(entry, receiver);
+    if (sender == kInvalidNode) {
+      entry.parked.push_back(ParkedClaim{receiver, std::move(callback)});
+      return;
+    }
+    Grant(object, entry, sender, receiver, std::move(callback), SimDuration{0});
+  });
+}
+
+void ObjectDirectory::CancelClaim(ObjectID object, NodeID receiver) {
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return;
+  auto& parked = it->second.parked;
+  parked.erase(std::remove_if(parked.begin(), parked.end(),
+                              [receiver](const ParkedClaim& c) {
+                                return c.receiver == receiver;
+                              }),
+               parked.end());
+}
+
+void ObjectDirectory::ServeParked(ObjectID object) {
+  auto obj_it = objects_.find(object);
+  if (obj_it == objects_.end()) return;
+  ObjectEntry& entry = obj_it->second;
+  if (entry.is_inline) {
+    // Everything parked resolves through the inline cache.
+    auto parked = std::move(entry.parked);
+    entry.parked.clear();
+    for (auto& claim : parked) {
+      ClaimReply reply;
+      reply.object = object;
+      reply.object_size = entry.size;
+      reply.inline_payload = true;
+      reply.payload = entry.inline_payload;
+      network_.Send(LiveShardOf(object), claim.receiver, entry.size,
+                    [callback = std::move(claim.callback), reply = std::move(reply)] {
+                      callback(reply);
+                    });
+    }
+    return;
+  }
+  // Serve claims FIFO while senders are available. A claim that still has no
+  // suitable sender blocks the ones behind it (fairness; also matches the
+  // behaviour of a per-object wait queue in the reference implementation).
+  while (!entry.parked.empty()) {
+    const NodeID receiver = entry.parked.front().receiver;
+    const auto self = entry.locations.find(receiver);
+    if (self != entry.locations.end() &&
+        (!self->second.fetch_origin ||
+         self->second.state == LocationState::kAvailableComplete)) {
+      // The receiver became a location itself (e.g. a reduce sink landed on
+      // it): resolve the claim locally.
+      ParkedClaim claim = std::move(entry.parked.front());
+      entry.parked.pop_front();
+      ClaimReply reply;
+      reply.object = object;
+      reply.object_size = entry.size;
+      reply.local_copy = true;
+      reply.sender = receiver;
+      sim_.ScheduleAfter(config_.notify_latency,
+                         [callback = std::move(claim.callback), reply] { callback(reply); });
+      continue;
+    }
+    const NodeID sender = PickSender(entry, receiver);
+    if (sender == kInvalidNode) return;
+    ParkedClaim claim = std::move(entry.parked.front());
+    entry.parked.pop_front();
+    Grant(object, entry, sender, claim.receiver, std::move(claim.callback),
+          config_.notify_latency);
+  }
+}
+
+void ObjectDirectory::TransferFinished(ObjectID object, NodeID sender, NodeID receiver) {
+  ApplyWrite([this, object, sender, receiver] {
+    auto obj_it = objects_.find(object);
+    if (obj_it == objects_.end()) return;
+    ObjectEntry& entry = obj_it->second;
+    if (auto it = entry.locations.find(sender); it != entry.locations.end()) {
+      // The sender returns to the pool with its recorded completeness.
+      it->second.state = it->second.AvailableState();
+      it->second.serving = kInvalidNode;
+      Publish(object, entry,
+              LocationEvent{object, sender, entry.size, it->second.complete, false});
+    }
+    if (auto it = entry.locations.find(receiver); it != entry.locations.end()) {
+      it->second.chain.clear();
+      it->second.complete = true;
+      if (it->second.state != LocationState::kBusy) {
+        it->second.state = LocationState::kAvailableComplete;
+      }
+      Publish(object, entry, LocationEvent{object, receiver, entry.size, true, false});
+    }
+    ServeParked(object);
+  });
+}
+
+void ObjectDirectory::TransferAborted(ObjectID object, NodeID sender, NodeID receiver,
+                                      bool sender_alive) {
+  ApplyWrite([this, object, sender, receiver, sender_alive] {
+    auto obj_it = objects_.find(object);
+    if (obj_it == objects_.end()) return;
+    ObjectEntry& entry = obj_it->second;
+    if (sender_alive) {
+      if (auto it = entry.locations.find(sender); it != entry.locations.end()) {
+        it->second.state = it->second.AvailableState();
+        it->second.serving = kInvalidNode;
+      }
+    } else {
+      entry.locations.erase(sender);
+    }
+    if (auto it = entry.locations.find(receiver); it != entry.locations.end()) {
+      // The receiver keeps its prefix but no longer depends on anyone until
+      // it re-claims.
+      it->second.chain.clear();
+    }
+    ServeParked(object);
+  });
+}
+
+ObjectDirectory::SubscriptionId ObjectDirectory::Subscribe(ObjectID object,
+                                                           SubscriptionCallback callback) {
+  ++ops_served_;
+  const SubscriptionId id = next_subscription_++;
+  // Register synchronously (so an Unsubscribe always wins over the pending
+  // snapshot); the current-state snapshot is delivered one read latency
+  // later, like any async query reply (§3.2).
+  EntryOf(object).subscribers.emplace(id, std::move(callback));
+  sim_.ScheduleAfter(config_.read_latency, [this, object, id] {
+    auto obj_it = objects_.find(object);
+    if (obj_it == objects_.end()) return;
+    ObjectEntry& entry = obj_it->second;
+    auto sub_it = entry.subscribers.find(id);
+    if (sub_it == entry.subscribers.end()) return;  // unsubscribed meanwhile
+    // Copy: the callback may unsubscribe (invalidating the iterator).
+    const SubscriptionCallback cb = sub_it->second;
+    if (entry.is_inline) {
+      cb(LocationEvent{object, ShardOf(object), entry.size, true, false,
+                       /*is_inline=*/true});
+    } else {
+      std::vector<LocationEvent> events;
+      events.reserve(entry.locations.size());
+      for (const auto& [node, loc] : entry.locations) {
+        events.push_back(LocationEvent{object, node, entry.size,
+                                       loc.state == LocationState::kAvailableComplete,
+                                       false});
+      }
+      for (const auto& event : events) cb(event);
+    }
+  });
+  return id;
+}
+
+void ObjectDirectory::Unsubscribe(ObjectID object, SubscriptionId id) {
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return;
+  it->second.subscribers.erase(id);
+}
+
+void ObjectDirectory::Publish(ObjectID object, const ObjectEntry& entry,
+                              const LocationEvent& event) {
+  (void)object;
+  if (entry.subscribers.empty()) return;
+  for (const auto& [id, callback] : entry.subscribers) {
+    sim_.ScheduleAfter(config_.notify_latency, [callback, event] { callback(event); });
+  }
+}
+
+void ObjectDirectory::NodeFailed(NodeID node) {
+  // Failure cleanup is applied immediately: the directory learns about the
+  // death from the failure detector, which already waited the detection
+  // delay before telling anyone.
+  for (auto& [object, entry] : objects_) {
+    if (entry.locations.erase(node) > 0) {
+      Publish(object, entry, LocationEvent{object, node, entry.size, false, true});
+    }
+    // Senders that were busy serving the dead node return to the pool;
+    // otherwise they would be leaked as busy forever.
+    for (auto& [holder, loc] : entry.locations) {
+      if (loc.state == LocationState::kBusy && loc.serving == node) {
+        loc.state = loc.AvailableState();
+        loc.serving = kInvalidNode;
+      }
+    }
+    auto& parked = entry.parked;
+    parked.erase(std::remove_if(parked.begin(), parked.end(),
+                                [node](const ParkedClaim& c) { return c.receiver == node; }),
+                 parked.end());
+    ServeParked(object);
+  }
+}
+
+bool ObjectDirectory::HasObject(ObjectID object) const { return objects_.count(object) > 0; }
+
+std::optional<std::int64_t> ObjectDirectory::SizeOf(ObjectID object) const {
+  auto it = objects_.find(object);
+  if (it == objects_.end() || it->second.size < 0) return std::nullopt;
+  return it->second.size;
+}
+
+std::optional<LocationState> ObjectDirectory::StateOf(ObjectID object, NodeID node) const {
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return std::nullopt;
+  auto loc_it = it->second.locations.find(node);
+  if (loc_it == it->second.locations.end()) return std::nullopt;
+  return loc_it->second.state;
+}
+
+std::vector<NodeID> ObjectDirectory::LocationsOf(ObjectID object) const {
+  std::vector<NodeID> nodes;
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return nodes;
+  nodes.reserve(it->second.locations.size());
+  for (const auto& [node, loc] : it->second.locations) nodes.push_back(node);
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+bool ObjectDirectory::IsInline(ObjectID object) const {
+  auto it = objects_.find(object);
+  return it != objects_.end() && it->second.is_inline;
+}
+
+NodeID ObjectDirectory::ShardOf(ObjectID object) const {
+  return static_cast<NodeID>(object.value() % static_cast<std::uint64_t>(network_.num_nodes()));
+}
+
+NodeID ObjectDirectory::LiveShardOf(ObjectID object) const {
+  const NodeID home = ShardOf(object);
+  const int n = network_.num_nodes();
+  for (int i = 0; i < n; ++i) {
+    const NodeID candidate = static_cast<NodeID>((home + i) % n);
+    if (!network_.IsFailed(candidate)) return candidate;
+  }
+  return home;  // whole cluster down; nothing sensible to do
+}
+
+}  // namespace hoplite::directory

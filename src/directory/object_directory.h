@@ -1,0 +1,245 @@
+// Distributed object directory service (§3.2).
+//
+// Logically a sharded hash table mapping ObjectID -> {size, locations}; each
+// location carries a single progress bit (partial / complete) so partial
+// copies can act as senders for broadcast and reduce. The directory also
+// implements:
+//
+//  * the small-object fast path: objects below `inline_threshold` bytes are
+//    cached inside the directory itself and location queries return the
+//    payload directly (§3.2 "Optimization for small objects");
+//  * synchronous location queries that park until a suitable sender exists,
+//    and asynchronous subscriptions that publish every future location update
+//    (used by the Reduce coordinator to learn object arrivals);
+//  * the receiver-driven claim protocol of §3.4.1: a claim atomically removes
+//    the chosen sender from the available set (bounding per-node fan-out to
+//    one receiver at a time), registers the receiver as a partial location,
+//    and records the receiver's upstream dependency chain so that failure
+//    recovery never creates cyclic fetches (§3.5.1).
+//
+// Timing: every read costs `read_latency` and every write costs
+// `write_latency` (the paper measures 177 us / 167 us on its testbed);
+// parked-query wakeups are pushed with `notify_latency`. Inline payload bytes
+// additionally travel through the simulated NICs of the shard node, so e.g. a
+// 16-node small-object broadcast serializes at the shard's egress exactly as
+// it would on the real system.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/logging.h"
+#include "common/units.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "store/buffer.h"
+
+namespace hoplite::directory {
+
+struct DirectoryConfig {
+  /// Latency of a location write as measured in §5.1.1 (167 us).
+  SimDuration write_latency = Microseconds(167);
+  /// Latency of a location read as measured in §5.1.1 (177 us).
+  SimDuration read_latency = Microseconds(177);
+  /// One-way push latency for parked-query wakeups and subscriptions.
+  SimDuration notify_latency = Microseconds(85);
+  /// Objects strictly smaller than this are cached inline (§3.2: 64 KB).
+  std::int64_t inline_threshold = 64 * 1024;
+};
+
+/// Availability state of one copy of one object.
+enum class LocationState {
+  kAvailablePartial,   ///< holds a prefix; may serve one receiver
+  kAvailableComplete,  ///< holds the whole object; may serve one receiver
+  kBusy,               ///< currently serving a receiver (removed from pool)
+};
+
+/// Reply to a sender claim (synchronous location query).
+struct ClaimReply {
+  ObjectID object;
+  std::int64_t object_size = 0;
+  /// True when the payload was served from the inline small-object cache;
+  /// `payload` is set and no sender/transfer is involved.
+  bool inline_payload = false;
+  store::Buffer payload;
+  /// True when the receiver itself is (or became) a location of the object
+  /// — e.g. a Get of a Reduce target on the coordinator node. No transfer
+  /// is needed; the receiver reads its own store.
+  bool local_copy = false;
+  /// The node to fetch from (invalid only for inline replies).
+  NodeID sender = kInvalidNode;
+  /// Whether the granted sender holds a complete copy.
+  bool sender_complete = false;
+  /// The sender's upstream dependency chain, including the sender itself;
+  /// the receiver inherits this chain plus the sender.
+  std::vector<NodeID> sender_chain;
+};
+
+/// A location update published to subscribers.
+struct LocationEvent {
+  ObjectID object;
+  NodeID node = kInvalidNode;
+  std::int64_t object_size = 0;
+  bool complete = false;
+  bool removed = false;    ///< location disappeared (failure or Delete)
+  bool is_inline = false;  ///< object lives in the directory's inline cache
+};
+
+/// The directory service. One logical instance serves the whole cluster;
+/// shard placement only matters for where inline payload bytes travel from.
+class ObjectDirectory {
+ public:
+  using ClaimCallback = std::function<void(const ClaimReply&)>;
+  using SubscriptionCallback = std::function<void(const LocationEvent&)>;
+  using SubscriptionId = std::uint64_t;
+
+  ObjectDirectory(net::NetworkModel& network, DirectoryConfig config);
+  ObjectDirectory(const ObjectDirectory&) = delete;
+  ObjectDirectory& operator=(const ObjectDirectory&) = delete;
+
+  // ------------------------------------------------------------------
+  // Write path (fire-and-forget, applied after write_latency).
+  // ------------------------------------------------------------------
+
+  /// Announces that `node` is about to hold `object` (partial copy).
+  /// Idempotent if the node is already registered.
+  void RegisterPartial(ObjectID object, NodeID node, std::int64_t size);
+
+  /// Marks `node`'s copy complete (clears its dependency chain).
+  void MarkComplete(ObjectID object, NodeID node);
+
+  /// Removes `node` as a location of `object` (eviction, failure cleanup).
+  void RemoveLocation(ObjectID object, NodeID node);
+
+  /// Small-object fast path: caches the payload inside the directory.
+  /// `creator` pays NIC serialization to the shard node.
+  void PutInline(ObjectID object, NodeID creator, store::Buffer payload,
+                 std::function<void()> on_stored);
+
+  /// Drops every trace of `object` (Delete). Returns (via callback, after
+  /// the write latency) the set of nodes that held copies so the caller can
+  /// purge local stores.
+  void DeleteObject(ObjectID object, std::function<void(std::vector<NodeID>)> on_deleted);
+
+  // ------------------------------------------------------------------
+  // Read path.
+  // ------------------------------------------------------------------
+
+  /// Synchronous location query + claim (§3.4.1). Parks until a suitable
+  /// sender exists if necessary. The claim:
+  ///   * prefers complete copies over partial ones,
+  ///   * never grants the receiver itself,
+  ///   * never grants a sender whose dependency chain contains the receiver,
+  ///   * marks the granted sender busy (one receiver per sender),
+  ///   * registers the receiver as an available partial location whose chain
+  ///     is the sender's chain plus the sender.
+  /// Small objects resolve through the inline cache instead (payload reply).
+  void ClaimSender(ObjectID object, NodeID receiver, ClaimCallback callback);
+
+  /// Cancels a parked claim for `receiver` (e.g. the receiver failed).
+  void CancelClaim(ObjectID object, NodeID receiver);
+
+  /// After a successful transfer: the sender returns to the available pool
+  /// (complete if it was complete, otherwise still partial) and the receiver
+  /// is marked complete.
+  void TransferFinished(ObjectID object, NodeID sender, NodeID receiver);
+
+  /// After a failed transfer: the receiver keeps its partial location (its
+  /// received prefix remains valid data) but its chain is cleared pending a
+  /// re-claim; the sender is only re-added if `sender_alive`.
+  void TransferAborted(ObjectID object, NodeID sender, NodeID receiver, bool sender_alive);
+
+  /// Asynchronous location query: immediately publishes the current
+  /// locations, then every future update, until Unsubscribe.
+  SubscriptionId Subscribe(ObjectID object, SubscriptionCallback callback);
+  void Unsubscribe(ObjectID object, SubscriptionId id);
+
+  // ------------------------------------------------------------------
+  // Failure hooks and introspection.
+  // ------------------------------------------------------------------
+
+  /// Drops every location hosted by `node` and cancels its parked claims.
+  /// Inline cache entries whose shard landed on `node` survive: the real
+  /// system replicates directory shards for durability (§6, "Framework's
+  /// fault tolerance"), which we model as the shard content staying
+  /// reachable.
+  void NodeFailed(NodeID node);
+
+  [[nodiscard]] bool HasObject(ObjectID object) const;
+  [[nodiscard]] std::optional<std::int64_t> SizeOf(ObjectID object) const;
+  [[nodiscard]] std::optional<LocationState> StateOf(ObjectID object, NodeID node) const;
+  [[nodiscard]] std::vector<NodeID> LocationsOf(ObjectID object) const;
+  [[nodiscard]] bool IsInline(ObjectID object) const;
+  [[nodiscard]] NodeID ShardOf(ObjectID object) const;
+  /// The node whose NIC carries the shard's inline traffic right now: the
+  /// home shard, or — when that node is down — the next alive node (the
+  /// replicated directory fails over, §6 "Framework's fault tolerance").
+  [[nodiscard]] NodeID LiveShardOf(ObjectID object) const;
+  [[nodiscard]] const DirectoryConfig& config() const noexcept { return config_; }
+
+  /// Total directory operations served (reads + writes), for benches.
+  [[nodiscard]] std::uint64_t ops_served() const noexcept { return ops_served_; }
+
+ private:
+  struct Location {
+    LocationState state = LocationState::kAvailablePartial;
+    bool complete = false;      ///< the single progress bit of §3.2
+    std::vector<NodeID> chain;  ///< upstream dependencies, empty if complete
+    NodeID serving = kInvalidNode;  ///< receiver being served while kBusy
+    /// True when the copy was created by a fetch grant (it fills via the
+    /// transfer protocol); false when locally produced (Put, reduce sink).
+    /// Claims by the holder itself resolve locally only for locally-produced
+    /// or complete copies — a stalled fetch partial needs an external sender.
+    bool fetch_origin = false;
+
+    [[nodiscard]] LocationState AvailableState() const noexcept {
+      return complete ? LocationState::kAvailableComplete
+                      : LocationState::kAvailablePartial;
+    }
+  };
+  struct ParkedClaim {
+    NodeID receiver = kInvalidNode;
+    ClaimCallback callback;
+  };
+  struct ObjectEntry {
+    std::int64_t size = -1;  ///< -1 until first registration
+    bool is_inline = false;
+    store::Buffer inline_payload;
+    std::unordered_map<NodeID, Location> locations;
+    std::deque<ParkedClaim> parked;
+    std::unordered_map<SubscriptionId, SubscriptionCallback> subscribers;
+  };
+
+  /// Applies a mutation after the directory write latency.
+  void ApplyWrite(std::function<void()> mutation);
+
+  /// Picks the best available sender for `receiver`, or kInvalidNode.
+  [[nodiscard]] NodeID PickSender(const ObjectEntry& entry, NodeID receiver) const;
+
+  /// Serves as many parked claims as possible after a state change.
+  void ServeParked(ObjectID object);
+
+  /// Grants `sender` to `receiver` and schedules the reply callback.
+  void Grant(ObjectID object, ObjectEntry& entry, NodeID sender, NodeID receiver,
+             ClaimCallback callback, SimDuration reply_latency);
+
+  void Publish(ObjectID object, const ObjectEntry& entry, const LocationEvent& event);
+
+  ObjectEntry& EntryOf(ObjectID object) { return objects_[object]; }
+
+  net::NetworkModel& network_;
+  sim::Simulator& sim_;
+  DirectoryConfig config_;
+  std::unordered_map<ObjectID, ObjectEntry> objects_;
+  SubscriptionId next_subscription_ = 1;
+  std::uint64_t ops_served_ = 0;
+};
+
+}  // namespace hoplite::directory

@@ -1,0 +1,147 @@
+// Deterministic discrete-event simulation engine.
+//
+// This is the substrate standing in for the paper's 16-node EC2 cluster: all
+// higher layers (network, object store, directory, Hoplite protocols, the task
+// framework and the application workloads) run as event handlers on one
+// Simulator instance. Events at equal timestamps fire in scheduling order
+// (FIFO tie-break via a monotonically increasing sequence number), which makes
+// every run bit-reproducible from its inputs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace hoplite::sim {
+
+/// Handle to a scheduled event; usable to cancel it before it fires.
+struct EventId {
+  std::uint64_t seq = 0;
+
+  [[nodiscard]] constexpr bool IsValid() const noexcept { return seq != 0; }
+  friend constexpr bool operator==(EventId a, EventId b) noexcept { return a.seq == b.seq; }
+};
+
+/// A discrete-event simulator with integer-nanosecond virtual time.
+///
+/// Not thread-safe: the whole simulation is single-threaded by design
+/// (determinism is the point). Event callbacks may schedule further events.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime Now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `t` (>= Now()).
+  EventId ScheduleAt(SimTime t, Callback fn) {
+    HOPLITE_CHECK_GE(t, now_) << "cannot schedule into the past";
+    HOPLITE_CHECK(fn != nullptr);
+    const EventId id{++next_seq_};
+    heap_.push_back(Event{t, id.seq, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return id;
+  }
+
+  /// Schedules `fn` to run `delay` nanoseconds from now (delay >= 0).
+  EventId ScheduleAfter(SimDuration delay, Callback fn) {
+    HOPLITE_CHECK_GE(delay, 0);
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Safe to call for events that already fired or
+  /// were already cancelled (returns false in those cases; true if this call
+  /// is the one that cancelled it).
+  bool Cancel(EventId id) {
+    if (!id.IsValid() || id.seq > next_seq_) return false;
+    return cancelled_.insert(id.seq).second;
+  }
+
+  /// Runs the next pending event, if any. Returns false when the queue is
+  /// drained. Cancelled events are skipped without being counted as steps.
+  bool Step() {
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      Event ev = std::move(heap_.back());
+      heap_.pop_back();
+      if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      HOPLITE_CHECK_GE(ev.time, now_);
+      now_ = ev.time;
+      ++executed_events_;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Runs until no events remain.
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+  /// Runs until virtual time would exceed `deadline` (events exactly at the
+  /// deadline are executed). Time advances to `deadline` afterwards even if
+  /// the queue drained earlier.
+  void RunUntil(SimTime deadline) {
+    while (!heap_.empty() && PeekTime() <= deadline) {
+      Step();
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  /// Runs until `pred()` becomes true or the queue drains. Returns whether
+  /// the predicate held when the loop stopped. The predicate is evaluated
+  /// after every executed event.
+  template <typename Pred>
+  bool RunUntilPredicate(const Pred& pred) {
+    if (pred()) return true;
+    while (Step()) {
+      if (pred()) return true;
+    }
+    return pred();
+  }
+
+  /// Number of events executed so far (cancelled events excluded).
+  [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_events_; }
+  /// Number of events currently pending (cancelled-but-unswept included).
+  [[nodiscard]] std::size_t pending_events() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool Idle() const noexcept { return heap_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    // Max-heap comparator inverted into a min-heap by (time, seq):
+    // FIFO among same-timestamp events.
+    [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] SimTime PeekTime() const noexcept { return heap_.front().time; }
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_events_ = 0;
+  std::vector<Event> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace hoplite::sim

@@ -1,0 +1,109 @@
+// Immutable object payloads and reduce operations.
+//
+// Hoplite objects are immutable byte buffers (§2.1). For the simulation we
+// support two payload flavours: value-carrying buffers (a float32 vector,
+// matching the paper's benchmark payloads) used by correctness tests, and
+// size-only buffers used by large-scale benches where carrying 1 GB of real
+// data per simulated object would be wasteful. Reduce ops act elementwise on
+// value-carrying buffers and degrade gracefully to size-only arithmetic.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace hoplite::store {
+
+/// Commutative + associative reduce operations (Table 1: sum, min, max).
+enum class ReduceOp { kSum, kMin, kMax };
+
+/// An immutable, cheaply copyable object payload.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  /// A size-only payload of `bytes` bytes (no values carried).
+  [[nodiscard]] static Buffer OfSize(std::int64_t bytes) {
+    HOPLITE_CHECK_GE(bytes, 0);
+    Buffer b;
+    b.size_ = bytes;
+    return b;
+  }
+
+  /// A payload carrying real float32 values (size = 4 * values.size()).
+  [[nodiscard]] static Buffer FromValues(std::vector<float> values) {
+    Buffer b;
+    b.size_ = static_cast<std::int64_t>(values.size()) * 4;
+    b.values_ = std::make_shared<const std::vector<float>>(std::move(values));
+    return b;
+  }
+
+  [[nodiscard]] std::int64_t size() const noexcept { return size_; }
+  [[nodiscard]] bool has_values() const noexcept { return values_ != nullptr; }
+
+  [[nodiscard]] const std::vector<float>& values() const {
+    HOPLITE_CHECK(has_values()) << "size-only buffer carries no values";
+    return *values_;
+  }
+
+  /// Elementwise reduction of two payloads. Value-carrying inputs must agree
+  /// in length; mixed or size-only inputs produce a size-only result.
+  [[nodiscard]] static Buffer Reduce(const Buffer& a, const Buffer& b, ReduceOp op) {
+    HOPLITE_CHECK_EQ(a.size(), b.size()) << "reduce requires equally sized objects";
+    if (!a.has_values() || !b.has_values()) {
+      return OfSize(a.size());
+    }
+    const auto& av = a.values();
+    const auto& bv = b.values();
+    HOPLITE_CHECK_EQ(av.size(), bv.size());
+    std::vector<float> out(av.size());
+    switch (op) {
+      case ReduceOp::kSum:
+        for (std::size_t i = 0; i < av.size(); ++i) out[i] = av[i] + bv[i];
+        break;
+      case ReduceOp::kMin:
+        for (std::size_t i = 0; i < av.size(); ++i) out[i] = std::min(av[i], bv[i]);
+        break;
+      case ReduceOp::kMax:
+        for (std::size_t i = 0; i < av.size(); ++i) out[i] = std::max(av[i], bv[i]);
+        break;
+    }
+    return FromValues(std::move(out));
+  }
+
+ private:
+  std::int64_t size_ = 0;
+  std::shared_ptr<const std::vector<float>> values_;
+};
+
+/// Chunking math shared by the store and the transfer protocols. Objects are
+/// streamed as fixed-size chunks (default 4 MB, the paper's pipeline block
+/// size); availability within an object is always a contiguous prefix.
+struct ChunkLayout {
+  std::int64_t object_size = 0;
+  std::int64_t chunk_size = 4 * 1024 * 1024;
+
+  [[nodiscard]] std::int64_t num_chunks() const noexcept {
+    if (object_size == 0) return 1;  // empty objects still need one "chunk" event
+    return (object_size + chunk_size - 1) / chunk_size;
+  }
+
+  [[nodiscard]] std::int64_t ChunkBytes(std::int64_t index) const noexcept {
+    if (object_size == 0) return 0;
+    const std::int64_t full = object_size / chunk_size;
+    if (index < full) return chunk_size;
+    return object_size - full * chunk_size;  // the (possibly zero) tail
+  }
+
+  /// Total bytes in chunks [0, upto).
+  [[nodiscard]] std::int64_t PrefixBytes(std::int64_t upto) const noexcept {
+    std::int64_t bytes = 0;
+    for (std::int64_t i = 0; i < upto; ++i) bytes += ChunkBytes(i);
+    return bytes;
+  }
+};
+
+}  // namespace hoplite::store

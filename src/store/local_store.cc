@@ -1,0 +1,191 @@
+#include "store/local_store.h"
+
+#include <algorithm>
+
+namespace hoplite::store {
+
+void LocalStore::CreatePartial(ObjectID object, std::int64_t size, CopyKind kind,
+                               std::int64_t chunk_size) {
+  HOPLITE_CHECK(!Contains(object)) << "object " << object << " already in store of node "
+                                   << node_;
+  HOPLITE_CHECK_GE(size, 0);
+  HOPLITE_CHECK_GT(chunk_size, 0);
+  Entry entry;
+  entry.state.size = size;
+  entry.state.layout = ChunkLayout{size, chunk_size};
+  entry.state.kind = kind;
+  lru_.push_front(object);
+  entry.lru_pos = lru_.begin();
+  used_bytes_ += size;
+  entries_.emplace(object, std::move(entry));
+  MaybeEvict();
+}
+
+void LocalStore::AdvanceChunks(ObjectID object, std::int64_t chunks_ready) {
+  Entry& entry = MutableEntry(object);
+  HOPLITE_CHECK_LE(chunks_ready, entry.state.layout.num_chunks());
+  if (chunks_ready <= entry.state.chunks_ready) return;  // monotone
+  entry.state.chunks_ready = chunks_ready;
+  // Subscribers may unsubscribe (or remove the object) from inside the
+  // callback; iterate over a snapshot of the callbacks.
+  std::vector<ChunkCallback> subs;
+  subs.reserve(entry.chunk_subs.size());
+  for (const auto& [token, cb] : entry.chunk_subs) subs.push_back(cb);
+  for (const auto& cb : subs) cb(chunks_ready);
+}
+
+void LocalStore::MarkComplete(ObjectID object, Buffer payload) {
+  {
+    Entry& entry = MutableEntry(object);
+    HOPLITE_CHECK(!entry.state.complete) << object << " completed twice on node " << node_;
+    HOPLITE_CHECK_EQ(payload.size(), entry.state.size)
+        << "payload size mismatch for " << object;
+    entry.state.payload = std::move(payload);
+    entry.state.complete = true;
+  }
+  AdvanceChunks(object, EntryOf(object).state.layout.num_chunks());
+  // The object may have been removed by a chunk subscriber; re-find it.
+  auto it = entries_.find(object);
+  if (it == entries_.end()) return;
+  std::vector<CompletionCallback> subs;
+  subs.reserve(it->second.completion_subs.size());
+  for (const auto& [token, cb] : it->second.completion_subs) subs.push_back(cb);
+  it->second.completion_subs.clear();
+  const Buffer& buf = it->second.state.payload;
+  for (const auto& cb : subs) cb(buf);
+  // Completion can turn this entry evictable; re-check capacity.
+  MaybeEvict();
+}
+
+void LocalStore::ResetProgress(ObjectID object) {
+  Entry& entry = MutableEntry(object);
+  HOPLITE_CHECK(!entry.state.complete)
+      << "cannot reset a complete object (" << object << ")";
+  entry.state.chunks_ready = 0;
+}
+
+void LocalStore::Remove(ObjectID object) {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) return;
+  EraseEntry(it);
+}
+
+void LocalStore::EraseEntry(std::unordered_map<ObjectID, Entry>::iterator it) {
+  used_bytes_ -= it->second.state.size;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+bool LocalStore::IsComplete(ObjectID object) const {
+  auto it = entries_.find(object);
+  return it != entries_.end() && it->second.state.complete;
+}
+
+std::int64_t LocalStore::ChunksReady(ObjectID object) const {
+  auto it = entries_.find(object);
+  return it == entries_.end() ? 0 : it->second.state.chunks_ready;
+}
+
+const ObjectState& LocalStore::StateOf(ObjectID object) const {
+  return EntryOf(object).state;
+}
+
+const Buffer& LocalStore::PayloadOf(ObjectID object) const {
+  const Entry& entry = EntryOf(object);
+  HOPLITE_CHECK(entry.state.complete) << object << " is not complete on node " << node_;
+  return entry.state.payload;
+}
+
+std::uint64_t LocalStore::OnChunkProgress(ObjectID object, ChunkCallback cb) {
+  Entry& entry = MutableEntry(object);
+  const std::uint64_t token = entry.next_token++;
+  if (entry.state.chunks_ready > 0) cb(entry.state.chunks_ready);
+  // The callback may have removed the object; only register if still present.
+  auto it = entries_.find(object);
+  if (it != entries_.end() && !it->second.state.complete) {
+    it->second.chunk_subs.emplace(token, std::move(cb));
+  } else if (it != entries_.end()) {
+    // Complete objects never progress further; subscription is a no-op, but
+    // fire once more only if the initial call did not already report all.
+    if (it->second.state.chunks_ready == 0) cb(it->second.state.layout.num_chunks());
+  }
+  return token;
+}
+
+std::uint64_t LocalStore::OnCompletion(ObjectID object, CompletionCallback cb) {
+  Entry& entry = MutableEntry(object);
+  const std::uint64_t token = entry.next_token++;
+  if (entry.state.complete) {
+    cb(entry.state.payload);
+    return token;
+  }
+  entry.completion_subs.emplace(token, std::move(cb));
+  return token;
+}
+
+void LocalStore::Unsubscribe(ObjectID object, std::uint64_t token) {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) return;
+  it->second.chunk_subs.erase(token);
+  it->second.completion_subs.erase(token);
+}
+
+void LocalStore::Ref(ObjectID object) { MutableEntry(object).refs += 1; }
+
+void LocalStore::Unref(ObjectID object) {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) return;  // removed while referenced (Delete wins)
+  HOPLITE_CHECK_GT(it->second.refs, 0);
+  it->second.refs -= 1;
+  MaybeEvict();
+}
+
+void LocalStore::Touch(ObjectID object) {
+  Entry& entry = MutableEntry(object);
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(object);
+  entry.lru_pos = lru_.begin();
+}
+
+std::vector<ObjectID> LocalStore::ListObjects() const {
+  std::vector<ObjectID> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ids.push_back(id);
+  return ids;
+}
+
+void LocalStore::MaybeEvict() {
+  if (capacity_bytes_ <= 0) return;
+  while (used_bytes_ > capacity_bytes_) {
+    // Scan from least-recently used; stop if nothing is evictable.
+    auto victim = lru_.end();
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto entry_it = entries_.find(*it);
+      HOPLITE_CHECK(entry_it != entries_.end());
+      if (Evictable(entry_it->second)) {
+        victim = std::prev(it.base());
+        break;
+      }
+    }
+    if (victim == lru_.end()) return;  // over capacity but nothing evictable
+    auto entry_it = entries_.find(*victim);
+    ++evictions_;
+    EraseEntry(entry_it);
+  }
+}
+
+LocalStore::Entry& LocalStore::MutableEntry(ObjectID object) {
+  auto it = entries_.find(object);
+  HOPLITE_CHECK(it != entries_.end())
+      << "object " << object << " not in store of node " << node_;
+  return it->second;
+}
+
+const LocalStore::Entry& LocalStore::EntryOf(ObjectID object) const {
+  auto it = entries_.find(object);
+  HOPLITE_CHECK(it != entries_.end())
+      << "object " << object << " not in store of node " << node_;
+  return it->second;
+}
+
+}  // namespace hoplite::store

@@ -1,0 +1,227 @@
+#include "task/task_system.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace hoplite::task {
+
+TaskSystem::TaskSystem(core::HopliteCluster& cluster, Options options)
+    : cluster_(cluster), options_(options) {
+  HOPLITE_CHECK_GT(options_.workers_per_node, 0);
+  busy_workers_.assign(static_cast<std::size_t>(cluster_.num_nodes()), 0);
+  node_queues_.resize(static_cast<std::size_t>(cluster_.num_nodes()));
+  cluster_.AddMembershipListener(
+      [this](NodeID node, bool alive) { OnMembershipChange(node, alive); });
+}
+
+ObjectID TaskSystem::Submit(TaskSpec spec) {
+  HOPLITE_CHECK(spec.body != nullptr) << "task '" << spec.name << "' has no body";
+  if (spec.output.IsNil()) {
+    spec.output = ObjectID::FromName("task-output").WithIndex(
+        static_cast<std::int64_t>(next_auto_id_++));
+  }
+  const ObjectID output = spec.output;
+  HOPLITE_CHECK(lineage_.count(output) == 0)
+      << "output " << output << " already produced by task '"
+      << lineage_[output].name << "'";
+  lineage_.emplace(output, std::move(spec));
+  attempt_[output] = 0;
+  pending_.push_back(output);
+  SchedulePending();
+  return output;
+}
+
+bool TaskSystem::Reconstruct(ObjectID object) {
+  auto it = lineage_.find(object);
+  if (it == lineage_.end()) return false;
+  if (placed_.count(object) > 0) return false;  // already queued/running
+  if (std::find(pending_.begin(), pending_.end(), object) != pending_.end()) return false;
+  done_.erase(object);
+  attempt_[object] += 1;
+  ++tasks_resubmitted_;
+  pending_.push_back(object);
+  SchedulePending();
+  return true;
+}
+
+void TaskSystem::Wait(std::vector<ObjectID> ids, std::size_t num_ready,
+                      std::function<void(std::vector<ObjectID>)> callback) {
+  HOPLITE_CHECK_LE(num_ready, ids.size());
+  struct WaitState {
+    std::vector<ObjectID> ready;
+    std::unordered_set<ObjectID> seen;
+    std::size_t want = 0;
+    bool fired = false;
+    std::vector<std::pair<ObjectID, directory::ObjectDirectory::SubscriptionId>> subs;
+  };
+  auto state = std::make_shared<WaitState>();
+  state->want = num_ready;
+  auto& dir = cluster_.directory();
+  if (num_ready == 0) {
+    callback({});
+    return;
+  }
+  for (const ObjectID id : ids) {
+    const auto sub = dir.Subscribe(
+        id, [this, state, callback, id](const directory::LocationEvent& event) {
+          if (state->fired || event.removed || !event.complete) return;
+          if (!state->seen.insert(id).second) return;
+          state->ready.push_back(id);
+          if (state->ready.size() < state->want) return;
+          state->fired = true;
+          auto& dir2 = cluster_.directory();
+          for (const auto& [obj, token] : state->subs) dir2.Unsubscribe(obj, token);
+          state->subs.clear();
+          callback(state->ready);
+        });
+    if (state->fired) break;  // satisfied synchronously? (never: async snapshot)
+    state->subs.emplace_back(id, sub);
+  }
+}
+
+NodeID TaskSystem::PickNode(const TaskSpec& spec) const {
+  if (spec.pinned_node != kInvalidNode) {
+    return cluster_.IsAlive(spec.pinned_node) ? spec.pinned_node : kInvalidNode;
+  }
+  NodeID best = kInvalidNode;
+  std::size_t best_load = 0;
+  for (NodeID node = 0; node < cluster_.num_nodes(); ++node) {
+    if (!cluster_.IsAlive(node)) continue;
+    const std::size_t load = static_cast<std::size_t>(
+                                 busy_workers_[static_cast<std::size_t>(node)]) +
+                             node_queues_[static_cast<std::size_t>(node)].size();
+    if (best == kInvalidNode || load < best_load) {
+      best = node;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+void TaskSystem::SchedulePending() {
+  const std::size_t rounds = pending_.size();
+  for (std::size_t i = 0; i < rounds && !pending_.empty(); ++i) {
+    const ObjectID output = pending_.front();
+    pending_.pop_front();
+    const NodeID node = PickNode(lineage_.at(output));
+    if (node == kInvalidNode) {
+      pending_.push_back(output);  // nothing alive / pinned node down
+      continue;
+    }
+    Dispatch(output, node);
+  }
+}
+
+void TaskSystem::Dispatch(ObjectID output, NodeID node) {
+  placed_[output] = node;
+  auto& queue = node_queues_[static_cast<std::size_t>(node)];
+  queue.push_back(output);
+  // Drain the queue into free worker slots.
+  while (!queue.empty() &&
+         busy_workers_[static_cast<std::size_t>(node)] < options_.workers_per_node) {
+    const ObjectID next = queue.front();
+    queue.pop_front();
+    busy_workers_[static_cast<std::size_t>(node)] += 1;
+    RunOnWorker(next, node, attempt_.at(next));
+  }
+}
+
+void TaskSystem::RunOnWorker(ObjectID output, NodeID node, std::uint64_t attempt) {
+  const TaskSpec& spec = lineage_.at(output);
+  auto args = std::make_shared<std::vector<store::Buffer>>(spec.args.size());
+  auto remaining = std::make_shared<std::size_t>(spec.args.size());
+
+  auto proceed = [this, output, node, attempt, args] {
+    if (attempt_.at(output) != attempt) return;  // superseded by resubmission
+    const TaskSpec& current = lineage_.at(output);
+    cluster_.simulator().ScheduleAfter(current.compute_time,
+                                       [this, output, node, attempt, args] {
+      if (attempt_.at(output) != attempt) return;
+      if (!cluster_.IsAlive(node)) return;  // died mid-compute
+      const TaskSpec& spec2 = lineage_.at(output);
+      store::Buffer result = spec2.body(*args);
+      cluster_.client(node).Put(output, std::move(result),
+                                [this, output, node, attempt] {
+                                  FinishTask(output, node, attempt);
+                                });
+    });
+  };
+
+  if (spec.args.empty()) {
+    proceed();
+    return;
+  }
+  for (std::size_t i = 0; i < spec.args.size(); ++i) {
+    cluster_.client(node).Get(
+        spec.args[i], core::GetOptions{.read_only = spec.read_only_args},
+        [this, output, attempt, args, remaining, i, proceed](const store::Buffer& value) {
+          if (attempt_.at(output) != attempt) return;
+          (*args)[i] = value;
+          if (--*remaining == 0) proceed();
+        });
+  }
+}
+
+void TaskSystem::FinishTask(ObjectID output, NodeID node, std::uint64_t attempt) {
+  if (attempt_.at(output) != attempt) return;
+  placed_.erase(output);
+  done_.insert(output);
+  ++tasks_executed_;
+  auto& busy = busy_workers_[static_cast<std::size_t>(node)];
+  HOPLITE_CHECK_GT(busy, 0);
+  busy -= 1;
+  // A freed worker slot may unblock the local queue; a finished task may
+  // also have been the last obstacle for pending placement decisions.
+  auto& queue = node_queues_[static_cast<std::size_t>(node)];
+  while (!queue.empty() && busy < options_.workers_per_node) {
+    const ObjectID next = queue.front();
+    queue.pop_front();
+    busy += 1;
+    RunOnWorker(next, node, attempt_.at(next));
+  }
+  SchedulePending();
+}
+
+void TaskSystem::OnMembershipChange(NodeID node, bool alive) {
+  if (alive) {
+    // A recovered node is fresh: no queue, all workers idle.
+    busy_workers_[static_cast<std::size_t>(node)] = 0;
+    node_queues_[static_cast<std::size_t>(node)].clear();
+    SchedulePending();
+    return;
+  }
+  if (!options_.lineage_reconstruction) return;
+  busy_workers_[static_cast<std::size_t>(node)] = 0;
+  node_queues_[static_cast<std::size_t>(node)].clear();
+  // Resubmit everything that was queued or running there.
+  std::vector<ObjectID> lost;
+  for (const auto& [output, where] : placed_) {
+    if (where == node) lost.push_back(output);
+  }
+  for (const ObjectID output : lost) {
+    placed_.erase(output);
+    attempt_[output] += 1;
+    ++tasks_resubmitted_;
+    pending_.push_back(output);
+  }
+  // Re-create finished outputs whose only copy died with the node. The
+  // directory was cleaned before this notification fired, so an empty
+  // location list is authoritative.
+  auto& dir = cluster_.directory();
+  std::vector<ObjectID> lost_objects;
+  for (const ObjectID output : done_) {
+    if (dir.IsInline(output)) continue;  // inline payloads survive (§6)
+    if (dir.LocationsOf(output).empty()) lost_objects.push_back(output);
+  }
+  for (const ObjectID output : lost_objects) {
+    done_.erase(output);
+    attempt_[output] += 1;
+    ++tasks_resubmitted_;
+    pending_.push_back(output);
+  }
+  SchedulePending();
+}
+
+}  // namespace hoplite::task

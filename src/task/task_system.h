@@ -1,0 +1,116 @@
+// A miniature dynamic-task framework (the "Ray-like" substrate of §2.1).
+//
+// This is the layer the paper's applications are written against: tasks are
+// submitted dynamically, return object futures immediately, run on a pool of
+// workers per node, exchange data exclusively through the distributed object
+// store (a Hoplite cluster here), and are transparently re-executed from
+// lineage when their node dies — well-behaving tasks never roll back
+// ([49, 52] in the paper).
+//
+// Execution model of one task:
+//   1. the scheduler places it on an alive node (least-loaded, or pinned);
+//   2. a worker slot fetches every argument via HopliteClient::Get;
+//   3. the worker "computes" for spec.compute_time simulated time;
+//   4. the body maps argument payloads to the output payload, which is
+//      stored via Put under the task's output ObjectID.
+//
+// Fault tolerance: the system records every spec by output id (the lineage).
+// When a node's death is detected, tasks queued or running there are
+// resubmitted elsewhere; Reconstruct(id) re-executes the producer of a lost
+// object on demand (the mechanism a rejoining reduce participant uses).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "core/client.h"
+#include "core/cluster.h"
+#include "store/buffer.h"
+
+namespace hoplite::task {
+
+/// Maps fetched argument payloads to the task's output payload. Runs at the
+/// worker once all arguments are local and the compute delay elapsed.
+using TaskBody = std::function<store::Buffer(const std::vector<store::Buffer>& args)>;
+
+struct TaskSpec {
+  std::string name;                 ///< for debugging/lineage inspection
+  std::vector<ObjectID> args;       ///< object futures this task consumes
+  SimDuration compute_time = 0;     ///< simulated computation duration
+  TaskBody body;                    ///< produces the output payload
+  ObjectID output;                  ///< the future this task fulfils
+  NodeID pinned_node = kInvalidNode;  ///< optional placement constraint
+  bool read_only_args = true;       ///< fetch args with immutable Get (§3.3)
+};
+
+/// Tunables of the task framework.
+struct TaskSystemOptions {
+  int workers_per_node = 4;
+  /// Re-execute failed tasks automatically on node death.
+  bool lineage_reconstruction = true;
+};
+
+class TaskSystem {
+ public:
+  using Options = TaskSystemOptions;
+
+  explicit TaskSystem(core::HopliteCluster& cluster, Options options = Options{});
+  TaskSystem(const TaskSystem&) = delete;
+  TaskSystem& operator=(const TaskSystem&) = delete;
+
+  /// Submits a task; returns the output future immediately (it may equal
+  /// spec.output, or a generated id when spec.output is nil).
+  ObjectID Submit(TaskSpec spec);
+
+  /// ray.wait-style primitive: invokes `callback` with the ids of the first
+  /// `num_ready` objects of `ids` to become available (in readiness order).
+  void Wait(std::vector<ObjectID> ids, std::size_t num_ready,
+            std::function<void(std::vector<ObjectID>)> callback);
+
+  /// Re-executes the lineage producer of `object` (no-op if unknown or
+  /// already queued). Returns true if a reconstruction was scheduled.
+  bool Reconstruct(ObjectID object);
+
+  [[nodiscard]] bool IsDone(ObjectID object) const { return done_.count(object) > 0; }
+  [[nodiscard]] std::size_t tasks_executed() const noexcept { return tasks_executed_; }
+  [[nodiscard]] std::size_t tasks_resubmitted() const noexcept { return tasks_resubmitted_; }
+  [[nodiscard]] core::HopliteCluster& cluster() noexcept { return cluster_; }
+
+ private:
+  struct RunningTask {
+    ObjectID output;
+    NodeID node = kInvalidNode;
+  };
+
+  void OnMembershipChange(NodeID node, bool alive);
+  void SchedulePending();
+  [[nodiscard]] NodeID PickNode(const TaskSpec& spec) const;
+  void Dispatch(ObjectID output, NodeID node);
+  void RunOnWorker(ObjectID output, NodeID node, std::uint64_t attempt);
+  void FinishTask(ObjectID output, NodeID node, std::uint64_t attempt);
+
+  core::HopliteCluster& cluster_;
+  Options options_;
+
+  std::unordered_map<ObjectID, TaskSpec> lineage_;
+  std::unordered_map<ObjectID, std::uint64_t> attempt_;  ///< re-execution epoch
+  std::deque<ObjectID> pending_;
+  std::unordered_map<ObjectID, NodeID> placed_;  ///< queued or running tasks
+  std::unordered_set<ObjectID> done_;
+  std::vector<int> busy_workers_;
+  std::vector<std::deque<ObjectID>> node_queues_;
+  std::uint64_t next_auto_id_ = 1;
+  std::size_t tasks_executed_ = 0;
+  std::size_t tasks_resubmitted_ = 0;
+};
+
+}  // namespace hoplite::task

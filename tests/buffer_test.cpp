@@ -1,0 +1,92 @@
+// Unit tests for Buffer, ReduceOp and ChunkLayout.
+#include "store/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace hoplite::store {
+namespace {
+
+TEST(BufferTest, SizeOnlyBuffer) {
+  const Buffer b = Buffer::OfSize(1234);
+  EXPECT_EQ(b.size(), 1234);
+  EXPECT_FALSE(b.has_values());
+}
+
+TEST(BufferTest, ValueBuffer) {
+  const Buffer b = Buffer::FromValues({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(b.size(), 12);
+  ASSERT_TRUE(b.has_values());
+  EXPECT_EQ(b.values()[1], 2.0f);
+}
+
+TEST(BufferTest, EmptyBuffer) {
+  const Buffer b = Buffer::OfSize(0);
+  EXPECT_EQ(b.size(), 0);
+  const Buffer v = Buffer::FromValues({});
+  EXPECT_EQ(v.size(), 0);
+  EXPECT_TRUE(v.has_values());
+}
+
+TEST(BufferTest, ReduceSum) {
+  const Buffer a = Buffer::FromValues({1, 2, 3});
+  const Buffer b = Buffer::FromValues({10, 20, 30});
+  const Buffer r = Buffer::Reduce(a, b, ReduceOp::kSum);
+  ASSERT_TRUE(r.has_values());
+  EXPECT_EQ(r.values(), (std::vector<float>{11, 22, 33}));
+}
+
+TEST(BufferTest, ReduceMinMax) {
+  const Buffer a = Buffer::FromValues({1, 20, 3});
+  const Buffer b = Buffer::FromValues({10, 2, 30});
+  EXPECT_EQ(Buffer::Reduce(a, b, ReduceOp::kMin).values(), (std::vector<float>{1, 2, 3}));
+  EXPECT_EQ(Buffer::Reduce(a, b, ReduceOp::kMax).values(), (std::vector<float>{10, 20, 30}));
+}
+
+TEST(BufferTest, ReduceMixedDegradesToSizeOnly) {
+  const Buffer a = Buffer::FromValues({1, 2, 3});
+  const Buffer b = Buffer::OfSize(12);
+  const Buffer r = Buffer::Reduce(a, b, ReduceOp::kSum);
+  EXPECT_EQ(r.size(), 12);
+  EXPECT_FALSE(r.has_values());
+}
+
+TEST(BufferTest, CopyIsShallowAndCheap) {
+  const Buffer a = Buffer::FromValues(std::vector<float>(1024, 1.0f));
+  const Buffer b = a;  // shared payload
+  EXPECT_EQ(&a.values(), &b.values());
+}
+
+TEST(ChunkLayoutTest, ExactMultiple) {
+  const ChunkLayout layout{MB(8), MB(4)};
+  EXPECT_EQ(layout.num_chunks(), 2);
+  EXPECT_EQ(layout.ChunkBytes(0), MB(4));
+  EXPECT_EQ(layout.ChunkBytes(1), MB(4));
+  EXPECT_EQ(layout.PrefixBytes(2), MB(8));
+}
+
+TEST(ChunkLayoutTest, TailChunk) {
+  const ChunkLayout layout{MB(4) + 123, MB(4)};
+  EXPECT_EQ(layout.num_chunks(), 2);
+  EXPECT_EQ(layout.ChunkBytes(0), MB(4));
+  EXPECT_EQ(layout.ChunkBytes(1), 123);
+  EXPECT_EQ(layout.PrefixBytes(1), MB(4));
+  EXPECT_EQ(layout.PrefixBytes(2), MB(4) + 123);
+}
+
+TEST(ChunkLayoutTest, SmallerThanOneChunk) {
+  const ChunkLayout layout{100, MB(4)};
+  EXPECT_EQ(layout.num_chunks(), 1);
+  EXPECT_EQ(layout.ChunkBytes(0), 100);
+}
+
+TEST(ChunkLayoutTest, EmptyObjectHasOneEmptyChunk) {
+  const ChunkLayout layout{0, MB(4)};
+  EXPECT_EQ(layout.num_chunks(), 1);
+  EXPECT_EQ(layout.ChunkBytes(0), 0);
+  EXPECT_EQ(layout.PrefixBytes(1), 0);
+}
+
+}  // namespace
+}  // namespace hoplite::store

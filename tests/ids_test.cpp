@@ -1,0 +1,58 @@
+// Unit tests for strongly-typed identifiers.
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace hoplite {
+namespace {
+
+TEST(ObjectIDTest, DefaultIsNil) {
+  ObjectID id;
+  EXPECT_TRUE(id.IsNil());
+  EXPECT_EQ(id.value(), 0u);
+}
+
+TEST(ObjectIDTest, FromNameIsDeterministic) {
+  EXPECT_EQ(ObjectID::FromName("model"), ObjectID::FromName("model"));
+  EXPECT_NE(ObjectID::FromName("model"), ObjectID::FromName("grad"));
+  EXPECT_FALSE(ObjectID::FromName("model").IsNil());
+  EXPECT_FALSE(ObjectID::FromName("").IsNil());
+}
+
+TEST(ObjectIDTest, SuffixDerivation) {
+  const ObjectID base = ObjectID::FromName("grad");
+  EXPECT_EQ(base.WithSuffix("r1"), base.WithSuffix("r1"));
+  EXPECT_NE(base.WithSuffix("r1"), base.WithSuffix("r2"));
+  EXPECT_NE(base.WithSuffix("r1"), base);
+  EXPECT_NE(base.WithSuffix("r1"), ObjectID::FromName("model").WithSuffix("r1"));
+}
+
+TEST(ObjectIDTest, IndexDerivationDistinct) {
+  const ObjectID base = ObjectID::FromName("round");
+  std::set<ObjectID> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_TRUE(seen.insert(base.WithIndex(i)).second) << "collision at " << i;
+  }
+  EXPECT_EQ(base.WithIndex(7), base.WithIndex(7));
+}
+
+TEST(ObjectIDTest, HashSpreads) {
+  std::unordered_set<ObjectID> set;
+  for (int i = 0; i < 10'000; ++i) {
+    set.insert(ObjectID::FromName("obj-" + std::to_string(i)));
+  }
+  EXPECT_EQ(set.size(), 10'000u);
+}
+
+TEST(ObjectIDTest, Ordering) {
+  const ObjectID a = ObjectID::FromName("a");
+  const ObjectID b = ObjectID::FromName("b");
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace hoplite

@@ -1,0 +1,170 @@
+// Unit tests for the per-node object store.
+#include "store/local_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace hoplite::store {
+namespace {
+
+const ObjectID kObj = ObjectID::FromName("x");
+const ObjectID kObj2 = ObjectID::FromName("y");
+
+TEST(LocalStoreTest, CreateAdvanceComplete) {
+  LocalStore store(0);
+  store.CreatePartial(kObj, MB(8), CopyKind::kPrimary, MB(4));
+  EXPECT_TRUE(store.Contains(kObj));
+  EXPECT_FALSE(store.IsComplete(kObj));
+  EXPECT_EQ(store.ChunksReady(kObj), 0);
+
+  store.AdvanceChunks(kObj, 1);
+  EXPECT_EQ(store.ChunksReady(kObj), 1);
+
+  store.MarkComplete(kObj, Buffer::OfSize(MB(8)));
+  EXPECT_TRUE(store.IsComplete(kObj));
+  EXPECT_EQ(store.ChunksReady(kObj), 2);
+  EXPECT_EQ(store.PayloadOf(kObj).size(), MB(8));
+}
+
+TEST(LocalStoreTest, AdvanceIsMonotone) {
+  LocalStore store(0);
+  store.CreatePartial(kObj, MB(16), CopyKind::kReplica, MB(4));
+  store.AdvanceChunks(kObj, 3);
+  store.AdvanceChunks(kObj, 1);  // ignored
+  EXPECT_EQ(store.ChunksReady(kObj), 3);
+}
+
+TEST(LocalStoreTest, ChunkProgressSubscription) {
+  LocalStore store(0);
+  store.CreatePartial(kObj, MB(16), CopyKind::kReplica, MB(4));
+  std::vector<std::int64_t> seen;
+  store.OnChunkProgress(kObj, [&](std::int64_t c) { seen.push_back(c); });
+  store.AdvanceChunks(kObj, 2);
+  store.AdvanceChunks(kObj, 4);
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{2, 4}));
+}
+
+TEST(LocalStoreTest, ChunkSubscriptionFiresImmediatelyIfProgressExists) {
+  LocalStore store(0);
+  store.CreatePartial(kObj, MB(16), CopyKind::kReplica, MB(4));
+  store.AdvanceChunks(kObj, 2);
+  std::vector<std::int64_t> seen;
+  store.OnChunkProgress(kObj, [&](std::int64_t c) { seen.push_back(c); });
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{2}));
+}
+
+TEST(LocalStoreTest, CompletionSubscription) {
+  LocalStore store(0);
+  store.CreatePartial(kObj, 100, CopyKind::kPrimary, MB(4));
+  int fired = 0;
+  store.OnCompletion(kObj, [&](const Buffer& b) {
+    EXPECT_EQ(b.size(), 100);
+    ++fired;
+  });
+  store.MarkComplete(kObj, Buffer::OfSize(100));
+  EXPECT_EQ(fired, 1);
+  // Subscribing after completion fires immediately.
+  store.OnCompletion(kObj, [&](const Buffer&) { ++fired; });
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(LocalStoreTest, UnsubscribeStopsCallbacks) {
+  LocalStore store(0);
+  store.CreatePartial(kObj, MB(16), CopyKind::kReplica, MB(4));
+  int fired = 0;
+  const auto token = store.OnChunkProgress(kObj, [&](std::int64_t) { ++fired; });
+  store.Unsubscribe(kObj, token);
+  store.AdvanceChunks(kObj, 2);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(LocalStoreTest, RemoveDropsEntry) {
+  LocalStore store(0);
+  store.CreatePartial(kObj, 100, CopyKind::kPrimary, MB(4));
+  EXPECT_EQ(store.used_bytes(), 100);
+  store.Remove(kObj);
+  EXPECT_FALSE(store.Contains(kObj));
+  EXPECT_EQ(store.used_bytes(), 0);
+  store.Remove(kObj);  // idempotent
+}
+
+TEST(LocalStoreTest, LruEvictsOnlyUnpinnedReplicas) {
+  LocalStore store(0, /*capacity_bytes=*/MB(10));
+  // Primary: never evicted.
+  store.CreatePartial(kObj, MB(6), CopyKind::kPrimary, MB(4));
+  store.MarkComplete(kObj, Buffer::OfSize(MB(6)));
+  // Replica: evictable once complete.
+  store.CreatePartial(kObj2, MB(6), CopyKind::kReplica, MB(4));
+  store.MarkComplete(kObj2, Buffer::OfSize(MB(6)));
+  // Over capacity (12 MB > 10 MB): the replica must have been evicted.
+  EXPECT_TRUE(store.Contains(kObj));
+  EXPECT_FALSE(store.Contains(kObj2));
+  EXPECT_EQ(store.evictions(), 1u);
+}
+
+TEST(LocalStoreTest, EvictionSkipsReferencedEntries) {
+  LocalStore store(0, MB(10));
+  store.CreatePartial(kObj, MB(6), CopyKind::kReplica, MB(4));
+  store.MarkComplete(kObj, Buffer::OfSize(MB(6)));
+  store.Ref(kObj);
+  store.CreatePartial(kObj2, MB(6), CopyKind::kReplica, MB(4));
+  store.MarkComplete(kObj2, Buffer::OfSize(MB(6)));
+  // kObj is referenced; kObj2 (more recent) must be the victim.
+  EXPECT_TRUE(store.Contains(kObj));
+  EXPECT_FALSE(store.Contains(kObj2));
+  store.Unref(kObj);
+}
+
+TEST(LocalStoreTest, EvictionSkipsPartialEntries) {
+  LocalStore store(0, MB(10));
+  store.CreatePartial(kObj, MB(6), CopyKind::kReplica, MB(4));   // stays partial
+  store.CreatePartial(kObj2, MB(6), CopyKind::kReplica, MB(4));  // stays partial
+  // Nothing is evictable; the store stays over capacity rather than dropping
+  // in-flight data.
+  EXPECT_TRUE(store.Contains(kObj));
+  EXPECT_TRUE(store.Contains(kObj2));
+  EXPECT_EQ(store.evictions(), 0u);
+}
+
+TEST(LocalStoreTest, LruOrderRespectsTouch) {
+  LocalStore store(0, MB(12));
+  const ObjectID a = ObjectID::FromName("a");
+  const ObjectID b = ObjectID::FromName("b");
+  store.CreatePartial(a, MB(6), CopyKind::kReplica, MB(4));
+  store.MarkComplete(a, Buffer::OfSize(MB(6)));
+  store.CreatePartial(b, MB(6), CopyKind::kReplica, MB(4));
+  store.MarkComplete(b, Buffer::OfSize(MB(6)));
+  store.Touch(a);  // now b is least-recently-used
+  store.CreatePartial(kObj, MB(6), CopyKind::kReplica, MB(4));
+  store.MarkComplete(kObj, Buffer::OfSize(MB(6)));
+  EXPECT_TRUE(store.Contains(a));
+  EXPECT_FALSE(store.Contains(b));
+}
+
+TEST(LocalStoreTest, UnrefAfterRemoveIsSafe) {
+  LocalStore store(0);
+  store.CreatePartial(kObj, 100, CopyKind::kReplica, MB(4));
+  store.Ref(kObj);
+  store.Remove(kObj);  // Delete can race with an in-flight send
+  store.Unref(kObj);   // must not crash
+  EXPECT_FALSE(store.Contains(kObj));
+}
+
+TEST(LocalStoreTest, ListObjects) {
+  LocalStore store(0);
+  store.CreatePartial(kObj, 1, CopyKind::kPrimary, MB(4));
+  store.CreatePartial(kObj2, 2, CopyKind::kPrimary, MB(4));
+  EXPECT_EQ(store.ListObjects().size(), 2u);
+}
+
+TEST(LocalStoreTest, EmptyObjectCompletes) {
+  LocalStore store(0);
+  store.CreatePartial(kObj, 0, CopyKind::kPrimary, MB(4));
+  store.MarkComplete(kObj, Buffer::OfSize(0));
+  EXPECT_TRUE(store.IsComplete(kObj));
+  EXPECT_EQ(store.ChunksReady(kObj), 1);  // the single empty chunk
+}
+
+}  // namespace
+}  // namespace hoplite::store

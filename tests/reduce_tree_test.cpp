@@ -1,0 +1,159 @@
+// Unit tests for reduce-tree topology math and the Eq. (1) degree model.
+#include "core/reduce_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/units.h"
+
+namespace hoplite::core {
+namespace {
+
+TEST(ReduceTreeShapeTest, SingleNode) {
+  ReduceTreeShape t(1, 1);
+  EXPECT_EQ(t.Parent(0), -1);
+  EXPECT_TRUE(t.Children(0).empty());
+  EXPECT_EQ(t.FillSequence(), (std::vector<int>{0}));
+}
+
+TEST(ReduceTreeShapeTest, ChainParentChild) {
+  ReduceTreeShape t(5, 1);
+  EXPECT_EQ(t.degree(), 1);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(t.Parent(i), i - 1);
+  EXPECT_EQ(t.Children(0), (std::vector<int>{1}));
+  EXPECT_EQ(t.Children(4), (std::vector<int>{}));
+}
+
+TEST(ReduceTreeShapeTest, ChainFillsDeepestFirst) {
+  // d=1 in-order: first child then self, so the first arrival sits at the
+  // bottom of the chain and the root is the last arrival.
+  ReduceTreeShape t(5, 1);
+  EXPECT_EQ(t.FillSequence(), (std::vector<int>{4, 3, 2, 1, 0}));
+}
+
+TEST(ReduceTreeShapeTest, StarShape) {
+  ReduceTreeShape t(6, 6);  // d = n -> star
+  EXPECT_EQ(t.degree(), 5);
+  EXPECT_EQ(t.Children(0), (std::vector<int>{1, 2, 3, 4, 5}));
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_EQ(t.Parent(i), 0);
+    EXPECT_TRUE(t.Children(i).empty());
+  }
+}
+
+TEST(ReduceTreeShapeTest, StarRootIsSecondArrival) {
+  // In-order on a star: first child, then root, then remaining children.
+  ReduceTreeShape t(6, 6);
+  EXPECT_EQ(t.FillSequence(), (std::vector<int>{1, 0, 2, 3, 4, 5}));
+}
+
+TEST(ReduceTreeShapeTest, BinarySixNodesMatchesPaperFigure5) {
+  // Figure 5a: six objects arriving R1..R6 form a binary tree where R2
+  // reduces {R1, R3}, R4 is the root over {R2-subtree, R6}, R6 reduces {R5}.
+  ReduceTreeShape t(6, 2);
+  const auto seq = t.FillSequence();
+  EXPECT_EQ(seq, (std::vector<int>{3, 1, 4, 0, 5, 2}));
+  // Arrival k -> position seq[k]; check the relationships the figure shows.
+  // R2 (arrival 1) at position 1 is the parent of positions 3 and 4,
+  // which are R1 (arrival 0) and R3 (arrival 2).
+  EXPECT_EQ(t.Parent(3), 1);
+  EXPECT_EQ(t.Parent(4), 1);
+  // R4 (arrival 3) is the root.
+  EXPECT_EQ(seq[3], 0);
+  // R6 (arrival 5) at position 2 reduces R5 (arrival 4) at position 5.
+  EXPECT_EQ(t.Parent(5), 2);
+}
+
+TEST(ReduceTreeShapeTest, FillSequenceIsAPermutation) {
+  for (int n : {1, 2, 3, 7, 16, 31, 64}) {
+    for (int d : {1, 2, 3, 4, n}) {
+      ReduceTreeShape t(n, d);
+      auto seq = t.FillSequence();
+      std::sort(seq.begin(), seq.end());
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(seq[static_cast<std::size_t>(i)], i)
+            << "n=" << n << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(ReduceTreeShapeTest, EveryNonRootHasItsParentAsAncestor) {
+  ReduceTreeShape t(16, 2);
+  for (int pos = 1; pos < 16; ++pos) {
+    const auto ancestors = t.Ancestors(pos);
+    ASSERT_FALSE(ancestors.empty());
+    EXPECT_EQ(ancestors.front(), t.Parent(pos));
+    EXPECT_EQ(ancestors.back(), 0);  // root terminates every chain
+  }
+  EXPECT_TRUE(t.Ancestors(0).empty());
+}
+
+TEST(ReduceTreeShapeTest, ChildrenAndParentAreConsistent) {
+  for (int n : {2, 5, 10, 33}) {
+    for (int d : {1, 2, 3, n}) {
+      ReduceTreeShape t(n, d);
+      for (int pos = 0; pos < n; ++pos) {
+        for (int child : t.Children(pos)) {
+          EXPECT_EQ(t.Parent(child), pos) << "n=" << n << " d=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(ReduceTreeShapeTest, DepthOfChainAndStar) {
+  ReduceTreeShape chain(8, 1);
+  EXPECT_EQ(chain.Depth(7), 7);
+  ReduceTreeShape star(8, 8);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(star.Depth(i), 1);
+}
+
+TEST(ReduceDegreeModelTest, PredictionsMatchChunkAwareEquationOne) {
+  const double L = 100e-6;
+  const double B = Gbps(10);
+  const double S = static_cast<double>(MB(64));
+  const double C = static_cast<double>(MB(4));
+  const double hop = L + C / B;  // per-hop pipeline latency for S >> chunk
+  EXPECT_DOUBLE_EQ(PredictReduceSeconds(8, 1, L, B, S, C), 7 * hop + L + S / B);
+  EXPECT_DOUBLE_EQ(PredictReduceSeconds(8, 8, L, B, S, C), L + 8 * S / B);
+  EXPECT_DOUBLE_EQ(PredictReduceSeconds(8, 2, L, B, S, C),
+                   hop * std::log(8.0) / std::log(2.0) + 2 * S / B);
+}
+
+TEST(ReduceDegreeModelTest, ChunkTermVanishesForSmallObjects) {
+  // For S << chunk the hop cost degrades to ~S/B + L, close to Eq. (1).
+  const double L = 100e-6;
+  const double B = Gbps(10);
+  const double S = 1024.0;
+  const double full = PredictReduceSeconds(8, 1, L, B, S, static_cast<double>(MB(4)));
+  EXPECT_NEAR(full, 7 * (L + S / B) + L + S / B, 1e-9);
+}
+
+TEST(ReduceDegreeModelTest, SmallObjectsPreferStar) {
+  // S/B negligible => the n-ary tree (one hop) wins (§3.4.2).
+  EXPECT_EQ(ChooseReduceDegree(16, 100e-6, Gbps(10), static_cast<double>(KB(4))), 16);
+}
+
+TEST(ReduceDegreeModelTest, HugeObjectsPreferChain) {
+  // S >> chunk => the chain's per-hop cost amortizes and it pays the
+  // bandwidth term exactly once.
+  EXPECT_EQ(ChooseReduceDegree(16, 100e-6, Gbps(10), static_cast<double>(MB(256))), 1);
+}
+
+TEST(ReduceDegreeModelTest, MidSizeMayPreferBinary) {
+  // Around the crossover the binary tree balances latency and bandwidth:
+  // a 4 MB object is a single pipeline block, so the chain's n store-and-
+  // forward hops dominate and d=2 wins at n=64 (Figure 15's 4 MB panel).
+  EXPECT_EQ(ChooseReduceDegree(64, 100e-6, Gbps(10), static_cast<double>(MB(4))), 2);
+}
+
+TEST(ReduceDegreeModelTest, TinyClusters) {
+  EXPECT_EQ(ChooseReduceDegree(1, 100e-6, Gbps(10), 1e6), 1);
+  EXPECT_EQ(ChooseReduceDegree(2, 100e-6, Gbps(10), 1e6), 2);
+}
+
+}  // namespace
+}  // namespace hoplite::core

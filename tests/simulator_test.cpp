@@ -1,0 +1,195 @@
+// Unit tests for the discrete-event simulation engine.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace hoplite::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_TRUE(sim.Idle());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, ExecutesEventAtScheduledTime) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.ScheduleAt(Milliseconds(5), [&] { fired_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(fired_at, Milliseconds(5));
+  EXPECT_EQ(sim.Now(), Milliseconds(5));
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelativeToNow) {
+  Simulator sim;
+  SimTime inner_fired_at = -1;
+  sim.ScheduleAt(Milliseconds(3), [&] {
+    sim.ScheduleAfter(Milliseconds(4), [&] { inner_fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_fired_at, Milliseconds(7));
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Milliseconds(30), [&] { order.push_back(3); });
+  sim.ScheduleAt(Milliseconds(10), [&] { order.push_back(1); });
+  sim.ScheduleAt(Milliseconds(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, SameTimestampEventsFireInFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    sim.ScheduleAt(Milliseconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  bool inner = false;
+  sim.ScheduleAt(Milliseconds(2), [&] {
+    sim.ScheduleAfter(0, [&] {
+      inner = true;
+      EXPECT_EQ(sim.Now(), Milliseconds(2));
+    });
+  });
+  sim.Run();
+  EXPECT_TRUE(inner);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(Milliseconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.ScheduleAt(Milliseconds(1), [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, CancelInvalidIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(EventId{}));
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAt(1, [&] { ++count; });
+  sim.ScheduleAt(2, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAt(Milliseconds(1), [&] { ++count; });
+  sim.ScheduleAt(Milliseconds(5), [&] { ++count; });
+  sim.ScheduleAt(Milliseconds(9), [&] { ++count; });
+  sim.RunUntil(Milliseconds(5));
+  EXPECT_EQ(count, 2);  // events at 1 ms and exactly 5 ms fire
+  EXPECT_EQ(sim.Now(), Milliseconds(5));
+  sim.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithEmptyQueue) {
+  Simulator sim;
+  sim.RunUntil(Seconds(2));
+  EXPECT_EQ(sim.Now(), Seconds(2));
+}
+
+TEST(SimulatorTest, RunUntilPredicate) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.ScheduleAt(Milliseconds(i), [&] { ++count; });
+  }
+  EXPECT_TRUE(sim.RunUntilPredicate([&] { return count == 4; }));
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.Now(), Milliseconds(4));
+  // Unsatisfiable predicate drains the queue and reports false.
+  EXPECT_FALSE(sim.RunUntilPredicate([&] { return count == 99; }));
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunAreExecuted) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.ScheduleAfter(Microseconds(1), chain);
+  };
+  sim.ScheduleAfter(0, chain);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), Microseconds(99));
+  EXPECT_EQ(sim.executed_events(), 100u);
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering) {
+  Simulator sim;
+  // Pseudo-random times; verify monotone execution order.
+  std::uint64_t x = 12345;
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10'000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const SimTime t = static_cast<SimTime>(x % 1'000'000);
+    sim.ScheduleAt(t, [&, t] {
+      if (sim.Now() < last) monotone = false;
+      EXPECT_EQ(sim.Now(), t);
+      last = sim.Now();
+    });
+  }
+  sim.Run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.executed_events(), 10'000u);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(Microseconds(1), Nanoseconds(1000));
+  EXPECT_EQ(Milliseconds(1), Microseconds(1000));
+  EXPECT_EQ(Seconds(1), Milliseconds(1000));
+  EXPECT_EQ(SecondsF(0.5), Milliseconds(500));
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Milliseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(ToMicroseconds(Microseconds(9)), 9.0);
+  EXPECT_EQ(KB(1), 1024);
+  EXPECT_EQ(MB(1), 1024 * 1024);
+  EXPECT_EQ(GB(1), 1024LL * 1024 * 1024);
+}
+
+TEST(UnitsTest, TransferTime) {
+  // 1 GB at 10 Gbps = 1.25 GB/s -> 0.8589934592 s.
+  const SimDuration t = TransferTime(GB(1), Gbps(10));
+  EXPECT_NEAR(ToSeconds(t), 0.8589934592, 1e-9);
+  EXPECT_EQ(TransferTime(0, Gbps(10)), 0);
+  EXPECT_EQ(TransferTime(-5, Gbps(10)), 0);
+}
+
+}  // namespace
+}  // namespace hoplite::sim

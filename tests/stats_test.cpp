@@ -1,0 +1,51 @@
+// Unit tests for the statistics helpers.
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace hoplite {
+namespace {
+
+TEST(RunStatsTest, EmptyStats) {
+  RunStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunStatsTest, SingleSample) {
+  RunStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunStatsTest, KnownMeanAndVariance) {
+  RunStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; sample variance is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 90), 9.0);
+}
+
+}  // namespace
+}  // namespace hoplite
