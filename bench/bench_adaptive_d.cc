@@ -1,18 +1,17 @@
 // §4 sanity check: the runtime's adaptive degree choice (Eq. 1 over
 // d in {1, 2, n}) should track the empirically best degree.
 //
-// For every (size, nodes) cell we simulate all three degrees plus the
-// adaptive runtime, and report whether adaptive landed within 10% of the
-// best forced degree.
-#include <cstdio>
+// For every (size, nodes) cell we simulate all three forced degrees plus the
+// adaptive runtime and report the adaptive/best ratio; the run is healthy
+// when every ratio stays within 10% of 1.
+#include <algorithm>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "common/units.h"
 
-using namespace hoplite;
-using namespace hoplite::bench;
-
+namespace hoplite::bench {
 namespace {
 
 double ReduceWith(int nodes, std::int64_t bytes, int degree /* 0 = adaptive */) {
@@ -24,27 +23,37 @@ double ReduceWith(int nodes, std::int64_t bytes, int degree /* 0 = adaptive */) 
   return HopliteReduce(cluster, bytes, ready);
 }
 
-}  // namespace
-
-int main() {
-  PrintHeader("Adaptive reduce degree vs best forced degree");
-  std::printf("  %-8s %-6s %10s %10s %8s %s\n", "size", "nodes", "adaptive",
-              "best-forced", "ratio", "ok?");
+std::vector<Row> Run(const RunOptions& opt) {
+  std::vector<Row> rows;
   int cells = 0;
   int good = 0;
-  for (const std::int64_t bytes : {KB(128), MB(1), MB(8), MB(64)}) {
-    for (const int nodes : {8, 16, 32}) {
+  for (const std::int64_t bytes : opt.ObjectSizes({KB(128), MB(1), MB(8), MB(64)})) {
+    for (const int nodes : opt.NodeCounts({8, 16, 32})) {
       const double adaptive = ReduceWith(nodes, bytes, 0);
-      double best = 1e30;
-      for (const int d : {1, 2, nodes}) best = std::min(best, ReduceWith(nodes, bytes, d));
-      const double ratio = adaptive / best;
-      const bool ok = ratio < 1.10;
+      double best = ReduceWith(nodes, bytes, 1);
+      for (const int d : {2, nodes}) best = std::min(best, ReduceWith(nodes, bytes, d));
+      const double ratio = best > 0 ? adaptive / best : 0.0;
       ++cells;
-      good += ok ? 1 : 0;
-      std::printf("  %-8s %-6d %9.3fms %9.3fms %7.2fx %s\n", HumanBytes(bytes).c_str(),
-                  nodes, adaptive * 1e3, best * 1e3, ratio, ok ? "yes" : "NO");
+      good += ratio < 1.10 ? 1 : 0;
+      const std::vector<std::pair<std::string, double>> cell{
+          {"bytes", static_cast<double>(bytes)}, {"nodes", static_cast<double>(nodes)}};
+      rows.push_back(Row{.series = "adaptive", .coords = cell, .value = adaptive});
+      rows.push_back(Row{.series = "best-forced", .coords = cell, .value = best});
+      rows.push_back(
+          Row{.series = "ratio", .coords = cell, .value = ratio, .unit = "ratio"});
     }
   }
-  std::printf("\n%d/%d cells within 10%% of the best forced degree.\n", good, cells);
-  return good == cells ? 0 : 1;
+  rows.push_back(Row{.series = "cells-within-10pct",
+                     .coords = {{"cells", static_cast<double>(cells)}},
+                     .value = static_cast<double>(good),
+                     .unit = "count"});
+  return rows;
 }
+
+}  // namespace
+
+HOPLITE_REGISTER_FIGURE(adaptive_d, "adaptive-d",
+                        "Adaptive reduce degree vs best forced degree (Eq. 1 check)",
+                        Run);
+
+}  // namespace hoplite::bench

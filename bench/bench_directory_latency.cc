@@ -4,46 +4,60 @@
 // takes 177 us (sd 14 us). Our directory charges exactly those constants, so
 // this bench doubles as a self-check that the simulated control plane is
 // calibrated to the paper's measurements.
-#include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "common/stats.h"
 #include "directory/object_directory.h"
 
-using namespace hoplite;
-using namespace hoplite::bench;
+namespace hoplite::bench {
+namespace {
 
-int main() {
-  PrintHeader("5.1.1: object directory operation latency");
-  auto options = PaperCluster(16);
-  core::HopliteCluster cluster(options);
+std::vector<Row> Run(const RunOptions& opt) {
+  core::HopliteCluster cluster(PaperCluster(opt.Nodes(16)));
   auto& dir = cluster.directory();
   auto& sim = cluster.simulator();
+  const NodeID reader = static_cast<NodeID>(cluster.num_nodes() - 1);
 
   RunStats write_stats;
   RunStats read_stats;
-  for (int i = 0; i < 10; ++i) {
+  for (int i = 0; i < opt.Rounds(10); ++i) {
     const ObjectID object = ObjectID::FromName("dir-bench").WithIndex(i);
-    // Location write.
+    // Location write. RegisterPartial is fire-and-forget; observe its
+    // effect via a probe.
     const SimTime write_start = sim.Now();
-    SimTime write_done = 0;
     dir.RegisterPartial(object, 1, MB(1));
-    // RegisterPartial is fire-and-forget; observe its effect via a probe.
     sim.RunUntilPredicate([&] { return dir.HasObject(object); });
-    write_done = sim.Now();
-    write_stats.Add(ToMicroseconds(write_done - write_start));
+    write_stats.Add(ToMicroseconds(sim.Now() - write_start));
 
     // Location read (claim).
     const SimTime read_start = sim.Now();
     SimTime read_done = 0;
-    dir.ClaimSender(object, 5, [&](const directory::ClaimReply&) { read_done = sim.Now(); });
+    dir.ClaimSender(object, reader,
+                    [&](const directory::ClaimReply&) { read_done = sim.Now(); });
     sim.RunUntilPredicate([&] { return read_done != 0; });
     read_stats.Add(ToMicroseconds(read_done - read_start));
   }
 
-  std::printf("  location write: %8.1f us  (paper: 167 +- 12 us)\n", write_stats.mean());
-  std::printf("  location read:  %8.1f us  (paper: 177 +- 14 us)\n", read_stats.mean());
-  std::printf("  directory ops served: %llu\n",
-              static_cast<unsigned long long>(dir.ops_served()));
-  return 0;
+  return {
+      Row{.series = "location-write",
+          .coords = {{"paper_us", 167.0}, {"samples", static_cast<double>(write_stats.count())}},
+          .value = write_stats.mean(),
+          .unit = "microseconds"},
+      Row{.series = "location-read",
+          .coords = {{"paper_us", 177.0}, {"samples", static_cast<double>(read_stats.count())}},
+          .value = read_stats.mean(),
+          .unit = "microseconds"},
+      Row{.series = "ops-served",
+          .value = static_cast<double>(dir.ops_served()),
+          .unit = "count"},
+  };
 }
+
+}  // namespace
+
+HOPLITE_REGISTER_FIGURE(directory_latency, "directory-latency",
+                        "5.1.1: object directory operation latency vs paper", Run);
+
+}  // namespace hoplite::bench

@@ -1,91 +1,145 @@
-// Engine micro-benchmarks (google-benchmark): wall-clock performance of the
-// hot paths everything else is built on — event queue throughput, NIC
-// scheduling, chunked end-to-end transfers, reduce-tree math, and full
-// collective simulations per simulated byte.
-#include <benchmark/benchmark.h>
+// Engine micro-benchmarks: wall-clock performance of the hot paths
+// everything else is built on — event queue throughput, NIC scheduling,
+// full collective simulations, reduce-tree math, and RNG draws.
+//
+// Unlike the figure benches these measure *real* time (how fast the
+// simulator itself runs), so values vary with the host machine; each
+// workload reports the best of `repeats` timed runs.
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "common/rng.h"
 #include "core/reduce_tree.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
+namespace hoplite::bench {
 namespace {
 
-using namespace hoplite;
-
-void BM_EventQueueScheduleRun(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sim::Simulator sim;
-    Rng rng(7);
-    int fired = 0;
-    for (int i = 0; i < n; ++i) {
-      sim.ScheduleAt(static_cast<SimTime>(rng.NextBounded(1'000'000)), [&] { ++fired; });
-    }
-    sim.Run();
-    benchmark::DoNotOptimize(fired);
+/// Best-of-N wall-clock seconds for one invocation of `fn`.
+template <typename Fn>
+double BestWallSeconds(int repeats, Fn&& fn) {
+  double best = std::numeric_limits<double>::max();
+  for (int i = 0; i < repeats; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(stop - start).count());
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  // Sub-resolution timings still count as one clock tick so rates stay finite.
+  return std::max(best, 1e-9);
 }
-BENCHMARK(BM_EventQueueScheduleRun)->Arg(1'000)->Arg(100'000);
 
-void BM_NicSchedulerSends(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sim::Simulator sim;
-    net::NetworkModel net(sim, bench::PaperCluster(16).network);
-    int delivered = 0;
-    for (int i = 0; i < n; ++i) {
-      net.Send(static_cast<NodeID>(i % 16), static_cast<NodeID>((i + 1) % 16), MB(1),
-               [&] { ++delivered; });
-    }
-    sim.Run();
-    benchmark::DoNotOptimize(delivered);
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_NicSchedulerSends)->Arg(10'000);
+std::vector<Row> Run(const RunOptions& opt) {
+  const int repeats = opt.Repeats(3);
+  const int nodes = opt.Nodes(16);
+  const std::int64_t bytes = opt.Bytes(MB(256));
+  std::vector<Row> rows;
 
-void BM_HopliteBroadcastSimulation(benchmark::State& state) {
-  const auto nodes = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    core::HopliteCluster cluster(bench::PaperCluster(nodes));
-    const auto ready = std::vector<SimTime>(static_cast<std::size_t>(nodes), 0);
-    benchmark::DoNotOptimize(bench::HopliteBroadcast(cluster, MB(256), ready));
-  }
-}
-BENCHMARK(BM_HopliteBroadcastSimulation)->Arg(4)->Arg(16);
+  volatile std::uint64_t sink = 0;
 
-void BM_HopliteReduceSimulation(benchmark::State& state) {
-  const auto nodes = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    core::HopliteCluster cluster(bench::PaperCluster(nodes));
-    const auto ready = std::vector<SimTime>(static_cast<std::size_t>(nodes), 0);
-    benchmark::DoNotOptimize(bench::HopliteReduce(cluster, MB(256), ready));
+  {
+    const int n = 100'000;
+    const double secs = BestWallSeconds(repeats, [&] {
+      sim::Simulator sim;
+      Rng rng(7);
+      int fired = 0;
+      for (int i = 0; i < n; ++i) {
+        sim.ScheduleAt(static_cast<SimTime>(rng.NextBounded(1'000'000)), [&] { ++fired; });
+      }
+      sim.Run();
+      sink = sink + static_cast<std::uint64_t>(fired);
+    });
+    rows.push_back(Row{.series = "event-queue",
+                       .coords = {{"events", n}},
+                       .value = n / secs,
+                       .unit = "events_per_second"});
   }
-}
-BENCHMARK(BM_HopliteReduceSimulation)->Arg(4)->Arg(16);
 
-void BM_ReduceTreeFillSequence(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    core::ReduceTreeShape shape(n, 2);
-    benchmark::DoNotOptimize(shape.FillSequence());
+  {
+    const int n = 10'000;
+    const double secs = BestWallSeconds(repeats, [&] {
+      sim::Simulator sim;
+      net::NetworkModel net(sim, PaperCluster(nodes).network);
+      int delivered = 0;
+      for (int i = 0; i < n; ++i) {
+        net.Send(static_cast<NodeID>(i % nodes), static_cast<NodeID>((i + 1) % nodes),
+                 MB(1), [&] { ++delivered; });
+      }
+      sim.Run();
+      sink = sink + static_cast<std::uint64_t>(delivered);
+    });
+    rows.push_back(Row{.series = "nic-sends",
+                       .coords = {{"sends", n}, {"nodes", static_cast<double>(nodes)}},
+                       .value = n / secs,
+                       .unit = "sends_per_second"});
   }
-}
-BENCHMARK(BM_ReduceTreeFillSequence)->Arg(64)->Arg(4096);
 
-void BM_RngThroughput(benchmark::State& state) {
-  Rng rng(1);
-  std::uint64_t acc = 0;
-  for (auto _ : state) {
-    acc ^= rng.NextU64();
+  {
+    const double secs = BestWallSeconds(repeats, [&] {
+      core::HopliteCluster cluster(PaperCluster(nodes));
+      const auto ready = std::vector<SimTime>(static_cast<std::size_t>(nodes), 0);
+      sink = sink + static_cast<std::uint64_t>(HopliteBroadcast(cluster, bytes, ready) * 1e9);
+    });
+    rows.push_back(Row{.series = "broadcast-sim",
+                       .coords = {{"nodes", static_cast<double>(nodes)},
+                                  {"bytes", static_cast<double>(bytes)}},
+                       .value = secs,
+                       .unit = "wall_seconds"});
   }
-  benchmark::DoNotOptimize(acc);
+
+  {
+    const double secs = BestWallSeconds(repeats, [&] {
+      core::HopliteCluster cluster(PaperCluster(nodes));
+      const auto ready = std::vector<SimTime>(static_cast<std::size_t>(nodes), 0);
+      sink = sink + static_cast<std::uint64_t>(HopliteReduce(cluster, bytes, ready) * 1e9);
+    });
+    rows.push_back(Row{.series = "reduce-sim",
+                       .coords = {{"nodes", static_cast<double>(nodes)},
+                                  {"bytes", static_cast<double>(bytes)}},
+                       .value = secs,
+                       .unit = "wall_seconds"});
+  }
+
+  {
+    const int n = 4096;
+    const int iters = 100;
+    const double secs = BestWallSeconds(repeats, [&] {
+      for (int i = 0; i < iters; ++i) {
+        core::ReduceTreeShape shape(n, 2);
+        sink = sink + shape.FillSequence().size();
+      }
+    });
+    rows.push_back(Row{.series = "reduce-tree-fill",
+                       .coords = {{"positions", n}},
+                       .value = iters / secs,
+                       .unit = "fills_per_second"});
+  }
+
+  {
+    const int n = 1'000'000;
+    Rng rng(1);
+    const double secs = BestWallSeconds(repeats, [&] {
+      std::uint64_t acc = 0;
+      for (int i = 0; i < n; ++i) acc ^= rng.NextU64();
+      sink = sink + acc;
+    });
+    rows.push_back(Row{.series = "rng",
+                       .coords = {{"draws", n}},
+                       .value = n / secs,
+                       .unit = "draws_per_second"});
+  }
+
+  return rows;
 }
-BENCHMARK(BM_RngThroughput);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HOPLITE_REGISTER_FIGURE(engine_micro, "engine-micro",
+                        "Engine micro-benchmarks: simulator hot paths (wall clock)", Run);
+
+}  // namespace hoplite::bench

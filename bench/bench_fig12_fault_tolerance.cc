@@ -8,90 +8,98 @@
 // (fewer unicast receivers) until the worker rejoins; Hoplite's stays nearly
 // flat because the broadcast tree already amortized the extra receiver. The
 // recovery window itself is the task framework's, identical for both.
-#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "apps/async_sgd.h"
 #include "apps/serving.h"
-#include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "common/units.h"
 
-using namespace hoplite;
-using namespace hoplite::apps;
-
+namespace hoplite::bench {
 namespace {
 
-void PrintSeries(const char* label, const std::vector<double>& latencies,
-                 double kill_s, double recover_s, const std::vector<double>& ends) {
-  std::printf("\n%s\n", label);
-  std::printf("  idx  latency(s)  note\n");
+using apps::Backend;
+
+SimDuration DetectionDelay(Backend backend) {
+  return backend == Backend::kHoplite ? Milliseconds(740) : Milliseconds(580);
+}
+
+void AppendTimeline(std::vector<Row>& rows, const std::string& app, Backend backend,
+                    const std::vector<double>& latencies,
+                    const std::vector<double>& ends) {
   for (std::size_t i = 0; i < latencies.size(); ++i) {
-    const double end = i < ends.size() ? ends[i] : 0;
-    const char* note = "";
-    if (end > 0) {
-      const double start = end - latencies[i];
-      if (start <= kill_s && end >= kill_s) note = "<- worker failed";
-      if (start <= recover_s && end >= recover_s) note = "<- worker rejoined";
-    }
-    std::printf("  %3zu  %9.3f   %s\n", i, latencies[i], note);
+    rows.push_back(Row{.series = apps::BackendName(backend),
+                       .labels = {{"app", app}},
+                       .coords = {{"index", static_cast<double>(i)},
+                                  {"end_s", i < ends.size() ? ends[i] : 0.0}},
+                       .value = latencies[i]});
   }
 }
 
-void ServingTimeline(Backend backend) {
-  ServingOptions options;
+/// The failure window the timeline should be read against: consumers mark
+/// kill/rejoin on the plot and compare the latency spike to the detection
+/// delay (the Row value).
+void AppendFailureEvents(std::vector<Row>& rows, const std::string& app,
+                         Backend backend, SimDuration kill_at, SimDuration recover_at,
+                         SimDuration detection_delay) {
+  rows.push_back(Row{.series = std::string(apps::BackendName(backend)) + " events",
+                     .labels = {{"app", app}},
+                     .coords = {{"kill_at_s", ToSeconds(kill_at)},
+                                {"recover_at_s", ToSeconds(recover_at)}},
+                     .value = ToSeconds(detection_delay)});
+}
+
+void ServingTimeline(std::vector<Row>& rows, const RunOptions& opt, Backend backend) {
+  apps::ServingOptions options;
   options.backend = backend;
-  options.num_nodes = 9;  // 8 models, like §5.5
-  options.num_queries = 70;
-  options.inference_compute = ComputeModel{Milliseconds(40), 0.1};
-  options.kill_node = 4;
+  options.num_nodes = opt.Nodes(9);  // 8 models, like §5.5
+  options.num_queries = opt.Rounds(70);
+  options.query_bytes = opt.Bytes(options.query_bytes);
+  options.inference_compute = apps::ComputeModel{Milliseconds(40), 0.1};
+  options.kill_node = static_cast<NodeID>(options.num_nodes / 2);
   options.kill_at = Seconds(2);
   options.recover_at = Seconds(4);
-  options.detection_delay =
-      backend == Backend::kHoplite ? Milliseconds(740) : Milliseconds(580);
-  const auto result = RunServing(options);
+  options.detection_delay = DetectionDelay(backend);
+  const auto result = apps::RunServing(options);
   std::vector<double> ends;
   double t = 0;
   for (const double latency : result.query_latencies_s) ends.push_back(t += latency);
-  char label[128];
-  std::snprintf(label, sizeof(label),
-                "(a) Ray Serve latency per query — %s (detect %.2fs)",
-                BackendName(backend), ToSeconds(options.detection_delay));
-  PrintSeries(label, result.query_latencies_s, ToSeconds(options.kill_at),
-              ToSeconds(options.recover_at), ends);
+  AppendTimeline(rows, "serving", backend, result.query_latencies_s, ends);
+  AppendFailureEvents(rows, "serving", backend, options.kill_at, options.recover_at,
+                      options.detection_delay);
 }
 
-void SgdTimeline(Backend backend) {
-  AsyncSgdOptions options;
+void SgdTimeline(std::vector<Row>& rows, const RunOptions& opt, Backend backend) {
+  apps::AsyncSgdOptions options;
   options.backend = backend;
-  options.num_nodes = 7;  // 6 workers, like §5.5
-  options.model_bytes = MB(97);
-  options.gradient_compute = ComputeModel{Milliseconds(150), 0.15};
-  options.rounds = 30;
-  options.kill_node = 3;
+  options.num_nodes = opt.Nodes(7);  // 6 workers, like §5.5
+  options.model_bytes = opt.Bytes(MB(97));
+  options.gradient_compute = apps::ComputeModel{Milliseconds(150), 0.15};
+  options.rounds = opt.Rounds(30);
+  options.kill_node = static_cast<NodeID>(options.num_nodes / 2);
   options.kill_at = Seconds(3);
   options.recover_at = Seconds(7);
-  options.detection_delay =
-      backend == Backend::kHoplite ? Milliseconds(740) : Milliseconds(580);
-  const auto result = RunAsyncSgd(options);
-  char label[128];
-  std::snprintf(label, sizeof(label),
-                "(b) async SGD latency per iteration — %s (detect %.2fs)",
-                BackendName(backend), ToSeconds(options.detection_delay));
-  PrintSeries(label, result.round_latencies_s, ToSeconds(options.kill_at),
-              ToSeconds(options.recover_at), result.round_end_times_s);
+  options.detection_delay = DetectionDelay(backend);
+  const auto result = apps::RunAsyncSgd(options);
+  AppendTimeline(rows, "async_sgd", backend, result.round_latencies_s,
+                 result.round_end_times_s);
+  AppendFailureEvents(rows, "async_sgd", backend, options.kill_at, options.recover_at,
+                      options.detection_delay);
+}
+
+std::vector<Row> Run(const RunOptions& opt) {
+  std::vector<Row> rows;
+  ServingTimeline(rows, opt, Backend::kRay);
+  ServingTimeline(rows, opt, Backend::kHoplite);
+  SgdTimeline(rows, opt, Backend::kRay);
+  SgdTimeline(rows, opt, Backend::kHoplite);
+  return rows;
 }
 
 }  // namespace
 
-int main() {
-  bench::PrintHeader("Figure 12: latency under task failure and rejoin");
-  ServingTimeline(Backend::kRay);
-  ServingTimeline(Backend::kHoplite);
-  SgdTimeline(Backend::kRay);
-  SgdTimeline(Backend::kHoplite);
-  std::printf(
-      "\nExpected shape: one spike of ~the detection delay at the failure;\n"
-      "Ray's serving latency dips while the worker is gone, Hoplite's stays\n"
-      "flat; both recover to nominal after the rejoin.\n");
-  return 0;
-}
+HOPLITE_REGISTER_FIGURE(fig12, "fig12",
+                        "Figure 12: latency timeline under task failure and rejoin", Run);
+
+}  // namespace hoplite::bench

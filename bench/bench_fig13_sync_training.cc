@@ -6,17 +6,17 @@
 // ring-chunked allreduce, and far ahead of Ray. (Our serialized-FIFO NIC
 // model costs the reduce+broadcast composition a further ~10% relative to
 // Gloo; see EXPERIMENTS.md.)
-#include <cstdio>
+#include <vector>
 
 #include "apps/sync_training.h"
-#include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "common/stats.h"
 #include "common/units.h"
 
-using namespace hoplite;
-using namespace hoplite::apps;
-
+namespace hoplite::bench {
 namespace {
+
+using apps::Backend;
 
 struct ModelSpec {
   const char* name;
@@ -24,47 +24,54 @@ struct ModelSpec {
   SimDuration compute;
 };
 
-constexpr int kRepeats = 3;
-
-double Throughput(const ModelSpec& model, int nodes, Backend backend) {
+double Throughput(const RunOptions& opt, const ModelSpec& model, int nodes,
+                  Backend backend) {
   RunStats stats;
-  for (int i = 0; i < kRepeats; ++i) {
-    SyncTrainingOptions options;
+  for (int i = 0; i < opt.Repeats(3); ++i) {
+    apps::SyncTrainingOptions options;
     options.backend = backend;
     options.num_nodes = nodes;
-    options.model_bytes = model.bytes;
-    options.gradient_compute = ComputeModel{model.compute, 0.05};
-    options.rounds = 6;
+    options.model_bytes = opt.Bytes(model.bytes);
+    options.gradient_compute = apps::ComputeModel{model.compute, 0.05};
+    options.rounds = opt.Rounds(6);
     options.seed = static_cast<std::uint64_t>(i + 1);
-    stats.Add(RunSyncTraining(options).samples_per_second);
+    stats.Add(apps::RunSyncTraining(options).samples_per_second);
   }
   return stats.mean();
 }
 
-}  // namespace
-
-int main() {
-  bench::PrintHeader("Figure 13: synchronous data-parallel training (samples/s)");
+std::vector<Row> Run(const RunOptions& opt) {
   const ModelSpec models[] = {
       {"AlexNet", MB(233), Milliseconds(400)},
       {"VGG-16", MB(528), Milliseconds(700)},
       {"ResNet-50", MB(97), Milliseconds(300)},
   };
-  for (const int nodes : {8, 16}) {
-    std::printf("\n-- %d nodes --\n", nodes);
-    std::printf("  %-10s %10s %10s %10s %10s %14s\n", "model", "Hoplite", "OpenMPI",
-                "Gloo", "Ray", "Hoplite/Gloo");
+  const std::pair<const char*, Backend> backends[] = {
+      {"Hoplite", Backend::kHoplite},
+      {"OpenMPI", Backend::kMpi},
+      {"Gloo", Backend::kGloo},
+      {"Ray", Backend::kRay},
+  };
+  std::vector<Row> rows;
+  for (const int nodes : opt.NodeCounts({8, 16})) {
     for (const ModelSpec& model : models) {
-      const double hoplite = Throughput(model, nodes, Backend::kHoplite);
-      const double mpi = Throughput(model, nodes, Backend::kMpi);
-      const double gloo = Throughput(model, nodes, Backend::kGloo);
-      const double ray = Throughput(model, nodes, Backend::kRay);
-      std::printf("  %-10s %10.1f %10.1f %10.1f %10.1f %13.2f\n", model.name, hoplite,
-                  mpi, gloo, ray, hoplite / gloo);
+      for (const auto& [series, backend] : backends) {
+        rows.push_back(Row{.series = series,
+                           .labels = {{"model", model.name}},
+                           .coords = {{"nodes", static_cast<double>(nodes)},
+                                      {"model_bytes",
+                                       static_cast<double>(opt.Bytes(model.bytes))}},
+                           .value = Throughput(opt, model, nodes, backend),
+                           .unit = "samples_per_second"});
+      }
     }
   }
-  std::printf(
-      "\nExpected shape: Gloo (ring) fastest, Hoplite ~ OpenMPI close behind\n"
-      "(paper: 12-24%% gap), Ray far behind at every model size.\n");
-  return 0;
+  return rows;
 }
+
+}  // namespace
+
+HOPLITE_REGISTER_FIGURE(fig13, "fig13",
+                        "Figure 13: synchronous data-parallel training throughput", Run);
+
+}  // namespace hoplite::bench

@@ -6,122 +6,62 @@
 // Paper reference: Hoplite best or close to best everywhere; Gloo fastest on
 // broadcast/allreduce (static peers, no lookup); Ray and Dask trail on every
 // primitive.
-#include <cstdio>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "baselines/collectives.h"
 #include "baselines/ray_like.h"
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "common/units.h"
 
-using namespace hoplite;
-using namespace hoplite::bench;
-
+namespace hoplite::bench {
 namespace {
 
-std::vector<baselines::Participant> Ranks(int n) {
-  std::vector<baselines::Participant> parts;
-  for (int i = 0; i < n; ++i) parts.push_back({static_cast<NodeID>(i), 0});
-  return parts;
-}
-
-double MpiOp(const std::string& op, int nodes, std::int64_t bytes) {
-  sim::Simulator sim;
-  net::NetworkModel net(sim, PaperCluster(nodes).network);
-  baselines::MpiLikeCollectives mpi(sim, net, baselines::MpiConfig{});
-  SimTime done = 0;
-  const auto on_done = [&] { done = sim.Now(); };
-  if (op == "broadcast") mpi.Broadcast(Ranks(nodes), bytes, on_done);
-  if (op == "gather") mpi.Gather(Ranks(nodes), bytes, on_done);
-  if (op == "reduce") mpi.Reduce(Ranks(nodes), bytes, on_done);
-  if (op == "allreduce") mpi.Allreduce(Ranks(nodes), bytes, on_done);
-  sim.Run();
-  return ToSeconds(done);
-}
-
+// Gloo only fields broadcast + halving-doubling allreduce in this figure
+// (the paper's Appendix A panels); the other runners are the shared
+// bench_util.h baselines.
 double GlooOp(const std::string& op, int nodes, std::int64_t bytes) {
   sim::Simulator sim;
   net::NetworkModel net(sim, PaperCluster(nodes).network);
   baselines::GlooLikeCollectives gloo(sim, net, baselines::GlooConfig{});
   SimTime done = 0;
   const auto on_done = [&] { done = sim.Now(); };
-  if (op == "broadcast") gloo.Broadcast(Ranks(nodes), bytes, on_done);
-  if (op == "allreduce") gloo.HalvingDoublingAllreduce(Ranks(nodes), bytes, on_done);
+  if (op == "broadcast") gloo.Broadcast(BaselineRanks(nodes), bytes, on_done);
+  if (op == "allreduce") gloo.HalvingDoublingAllreduce(BaselineRanks(nodes), bytes, on_done);
   sim.Run();
   return ToSeconds(done);
 }
 
-double RayOp(const std::string& op, int nodes, std::int64_t bytes,
-             const baselines::RayLikeConfig& config) {
-  sim::Simulator sim;
-  net::NetworkModel net(sim, PaperCluster(nodes).network);
-  baselines::RayLikeTransport transport(sim, net, config);
-  SimTime done = 0;
-  const auto on_done = [&] { done = sim.Now(); };
-  std::vector<ObjectID> sources;
-  std::vector<NodeID> receivers;
-  for (int i = 0; i < nodes; ++i) {
-    sources.push_back(ObjectID::FromName("s").WithIndex(i));
-    if (i > 0) receivers.push_back(static_cast<NodeID>(i));
-  }
-  const ObjectID target = ObjectID::FromName("t");
-  if (op == "broadcast") {
-    transport.Put(0, sources[0], bytes,
-                  [&] { transport.Broadcast(sources[0], receivers, on_done); });
-  } else {
-    for (int i = 0; i < nodes; ++i) {
-      transport.Put(static_cast<NodeID>(i), sources[static_cast<std::size_t>(i)], bytes);
+std::vector<Row> Run(const RunOptions& opt) {
+  std::vector<Row> rows;
+  for (const std::string op : {"broadcast", "gather", "reduce", "allreduce"}) {
+    for (const std::int64_t bytes : opt.ObjectSizes({KB(1), KB(32)})) {
+      for (const int n : opt.NodeCounts({4, 8, 12, 16})) {
+        const auto point = [&](const char* series, double seconds) {
+          rows.push_back(Row{.series = series,
+                             .labels = {{"op", op}},
+                             .coords = {{"bytes", static_cast<double>(bytes)},
+                                        {"nodes", static_cast<double>(n)}},
+                             .value = seconds});
+        };
+        point("Hoplite (inline)", HopliteCollective(op, n, bytes));
+        point("OpenMPI", MpiCollective(op, n, bytes));
+        point("Ray", RayCollective(op, n, bytes, baselines::RayLikeConfig::Ray()));
+        point("Dask", RayCollective(op, n, bytes, baselines::RayLikeConfig::Dask()));
+        if (op == "broadcast" || op == "allreduce") {
+          point("Gloo", GlooOp(op, n, bytes));
+        }
+      }
     }
-    if (op == "gather") transport.Gather(0, sources, on_done);
-    if (op == "reduce") transport.Reduce(0, sources, target, bytes, on_done);
-    if (op == "allreduce") transport.Allreduce(0, sources, target, bytes, receivers, on_done);
   }
-  sim.Run();
-  return ToSeconds(done);
-}
-
-double HopliteOp(const std::string& op, int nodes, std::int64_t bytes) {
-  core::HopliteCluster cluster(PaperCluster(nodes));
-  const auto ready = std::vector<SimTime>(static_cast<std::size_t>(nodes), 0);
-  if (op == "broadcast") return HopliteBroadcast(cluster, bytes, ready);
-  if (op == "gather") return HopliteGather(cluster, bytes, ready);
-  if (op == "reduce") return HopliteReduce(cluster, bytes, ready);
-  return HopliteAllreduce(cluster, bytes, ready);
+  return rows;
 }
 
 }  // namespace
 
-int main() {
-  PrintHeader("Figure 14 (Appendix A): small-object collectives (ms)");
-  for (const std::string op : {"broadcast", "gather", "reduce", "allreduce"}) {
-    for (const std::int64_t bytes : {KB(1), KB(32)}) {
-      std::printf("\n-- %s %s --\n", op.c_str(), HumanBytes(bytes).c_str());
-      std::printf("  %-26s", "nodes");
-      for (const int n : {4, 8, 12, 16}) std::printf("  %8d", n);
-      std::printf("\n");
-      auto series = [&](const char* name, const std::function<double(int)>& run) {
-        std::printf("  %-26s", name);
-        for (const int n : {4, 8, 12, 16}) std::printf("  %8.3f", run(n) * 1e3);
-        std::printf("\n");
-      };
-      series("Hoplite (inline)", [&](int n) { return HopliteOp(op, n, bytes); });
-      series("OpenMPI", [&](int n) { return MpiOp(op, n, bytes); });
-      series("Ray", [&](int n) {
-        return RayOp(op, n, bytes, baselines::RayLikeConfig::Ray());
-      });
-      series("Dask", [&](int n) {
-        return RayOp(op, n, bytes, baselines::RayLikeConfig::Dask());
-      });
-      if (op == "broadcast" || op == "allreduce") {
-        series("Gloo", [&](int n) { return GlooOp(op, n, bytes); });
-      }
-    }
-  }
-  std::printf(
-      "\nExpected shape: Hoplite close to the static libraries despite the\n"
-      "directory lookup (the payload rides the lookup reply); Ray and Dask\n"
-      "pay per-object control overheads on every transfer.\n");
-  return 0;
-}
+HOPLITE_REGISTER_FIGURE(fig14, "fig14",
+                        "Figure 14 (Appendix A): small-object collectives (1-32 KB)",
+                        Run);
+
+}  // namespace hoplite::bench

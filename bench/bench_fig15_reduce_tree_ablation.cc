@@ -4,17 +4,15 @@
 // Paper reference: d = n wins for small objects (latency-bound), d = 1
 // (chain) wins for 16 MB+ (bandwidth-bound), and 4-8 MB mid-sizes switch
 // between d = 1 and d = 2 with the participant count. Eq. (1)'s model
-// prediction is printed alongside the simulated latency.
-#include <cstdio>
+// prediction is reported alongside the simulated latency.
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "common/units.h"
 #include "core/reduce_tree.h"
 
-using namespace hoplite;
-using namespace hoplite::bench;
-
+namespace hoplite::bench {
 namespace {
 
 double ReduceWithDegree(int nodes, std::int64_t bytes, int degree) {
@@ -28,32 +26,39 @@ double ReduceWithDegree(int nodes, std::int64_t bytes, int degree) {
   return HopliteReduce(cluster, bytes, ready);
 }
 
-}  // namespace
-
-int main() {
-  PrintHeader("Figure 15 (Appendix B): reduce latency vs tree degree d (ms)");
-  const std::vector<std::int64_t> sizes{KB(4),  KB(32), KB(256), MB(1),
-                                        MB(4),  MB(8),  MB(16),  MB(32)};
-  const std::vector<int> node_counts{8, 16, 32, 48, 64};
-  for (const std::int64_t bytes : sizes) {
-    std::printf("\n-- object size %s --\n", HumanBytes(bytes).c_str());
-    std::printf("  %-6s %10s %10s %10s   %s\n", "nodes", "d=1", "d=2", "d=n",
-                "winner (sim / Eq.1)");
-    for (const int n : node_counts) {
-      const double d1 = ReduceWithDegree(n, bytes, 1);
-      const double d2 = ReduceWithDegree(n, bytes, 2);
-      const double dn = ReduceWithDegree(n, bytes, n);
-      const char* sim_winner = d1 <= d2 && d1 <= dn ? "d=1" : (d2 <= dn ? "d=2" : "d=n");
+std::vector<Row> Run(const RunOptions& opt) {
+  // Eq. (1) takes the fabric's per-hop latency and bandwidth; read them from
+  // the same defaults the simulation runs on instead of restating constants.
+  const net::ClusterConfig fabric;
+  const core::HopliteConfig protocol;
+  std::vector<Row> rows;
+  for (const std::int64_t bytes :
+       opt.ObjectSizes({KB(4), KB(32), KB(256), MB(1), MB(4), MB(8), MB(16), MB(32)})) {
+    for (const int n : opt.NodeCounts({8, 16, 32, 48, 64})) {
+      const auto point = [&](const std::string& series, double value,
+                             const char* unit = "seconds") {
+        rows.push_back(Row{.series = series,
+                           .coords = {{"bytes", static_cast<double>(bytes)},
+                                      {"nodes", static_cast<double>(n)}},
+                           .value = value,
+                           .unit = unit});
+      };
+      point("d=1", ReduceWithDegree(n, bytes, 1));
+      point("d=2", ReduceWithDegree(n, bytes, 2));
+      point("d=n", ReduceWithDegree(n, bytes, n));
       const int model_d = core::ChooseReduceDegree(
-          n, ToSeconds(Nanoseconds(42'500) + Microseconds(5)), Gbps(10),
-          static_cast<double>(bytes), static_cast<double>(MB(4)));
-      std::printf("  %-6d %10.3f %10.3f %10.3f   %s / d=%s\n", n, d1 * 1e3, d2 * 1e3,
-                  dn * 1e3, sim_winner,
-                  model_d == n ? "n" : (model_d == 1 ? "1" : "2"));
+          n, ToSeconds(fabric.one_way_latency + fabric.per_message_overhead),
+          fabric.nic_bandwidth, static_cast<double>(bytes),
+          static_cast<double>(protocol.chunk_size));
+      point("eq1-degree", static_cast<double>(model_d), "degree");
     }
   }
-  std::printf(
-      "\nExpected shape: d=n wins small sizes, d=1 wins 16MB+, the 4-8MB\n"
-      "band switches with participant count; Eq. (1) predicts the winner.\n");
-  return 0;
+  return rows;
 }
+
+}  // namespace
+
+HOPLITE_REGISTER_FIGURE(fig15, "fig15",
+                        "Figure 15 (Appendix B): reduce latency vs tree degree d", Run);
+
+}  // namespace hoplite::bench

@@ -2,19 +2,21 @@
 // 1 KB / 1 MB / 1 GB objects on Hoplite, OpenMPI, Ray and Dask, plus the
 // theoretical optimum (bytes / bandwidth, both directions).
 //
-// Also prints the Hoplite-without-pipelining ablation rows (DESIGN.md §4.1):
-// the same transfer with blocking worker<->store copies.
-#include <cstdio>
+// Also reports the Hoplite-without-pipelining ablation rows (DESIGN.md
+// §4.1): the same transfer with blocking worker<->store copies.
+//
+// Paper reference: OpenMPI 1.8x faster than Hoplite at 1KB, 2.3x at 1MB,
+// ~equal at 1GB; Ray and Dask significantly slower at every size.
+#include <vector>
 
 #include "baselines/collectives.h"
 #include "baselines/ray_like.h"
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "common/units.h"
 
+namespace hoplite::bench {
 namespace {
-
-using namespace hoplite;
-using namespace hoplite::bench;
 
 /// Hoplite RTT: Put+Get one way, then Put+Get back.
 double HopliteRtt(std::int64_t bytes, bool pipelining) {
@@ -61,27 +63,28 @@ double RayRtt(std::int64_t bytes, const baselines::RayLikeConfig& config) {
   return ToSeconds(done);
 }
 
-void Row(const char* name, double seconds, double optimal) {
-  std::printf("  %-22s %12.3f ms   (%.2fx optimal)\n", name, seconds * 1e3,
-              optimal > 0 ? seconds / optimal : 0.0);
+std::vector<Row> Run(const RunOptions& opt) {
+  std::vector<Row> rows;
+  for (const std::int64_t bytes : opt.ObjectSizes({KB(1), MB(1), GB(1)})) {
+    const auto point = [&](const char* series, double seconds) {
+      rows.push_back(Row{.series = series,
+                         .coords = {{"bytes", static_cast<double>(bytes)}},
+                         .value = seconds});
+    };
+    point("Optimal",
+          2.0 * ToSeconds(TransferTime(bytes, net::ClusterConfig{}.nic_bandwidth)));
+    point("Hoplite", HopliteRtt(bytes, true));
+    point("Hoplite (no pipeline)", HopliteRtt(bytes, false));
+    point("OpenMPI", MpiRtt(bytes));
+    point("Ray", RayRtt(bytes, baselines::RayLikeConfig::Ray()));
+    point("Dask", RayRtt(bytes, baselines::RayLikeConfig::Dask()));
+  }
+  return rows;
 }
 
 }  // namespace
 
-int main() {
-  PrintHeader("Figure 6: point-to-point RTT (2 nodes, 10 Gbps)");
-  std::printf(
-      "Paper reference: OpenMPI 1.8x faster than Hoplite at 1KB, 2.3x at 1MB,\n"
-      "~equal at 1GB; Ray and Dask significantly slower at every size.\n");
-  for (const std::int64_t bytes : {KB(1), MB(1), GB(1)}) {
-    const double optimal = 2.0 * ToSeconds(TransferTime(bytes, Gbps(10)));
-    std::printf("\n-- object size %s --\n", HumanBytes(bytes).c_str());
-    Row("Optimal", optimal, optimal);
-    Row("Hoplite", HopliteRtt(bytes, true), optimal);
-    Row("Hoplite (no pipeline)", HopliteRtt(bytes, false), optimal);
-    Row("OpenMPI", MpiRtt(bytes), optimal);
-    Row("Ray", RayRtt(bytes, hoplite::baselines::RayLikeConfig::Ray()), optimal);
-    Row("Dask", RayRtt(bytes, hoplite::baselines::RayLikeConfig::Dask()), optimal);
-  }
-  return 0;
-}
+HOPLITE_REGISTER_FIGURE(fig6, "fig6", "Figure 6: point-to-point RTT (2 nodes, 10 Gbps)",
+                        Run);
+
+}  // namespace hoplite::bench

@@ -8,139 +8,64 @@
 //  * Reduce:    OpenMPI ~ Hoplite best; Ray/Dask fetch-everything.
 //  * Allreduce: group (i) Hoplite >> Ray/Dask; group (ii) Gloo ring-chunked
 //    fastest for large objects, Hoplite comparable to OpenMPI.
-#include <cstdio>
-#include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/collectives.h"
 #include "baselines/ray_like.h"
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "common/units.h"
 
-using namespace hoplite;
-using namespace hoplite::bench;
-
+namespace hoplite::bench {
 namespace {
 
-using RaySetup = std::pair<const char*, baselines::RayLikeConfig>;
-
-std::vector<baselines::Participant> Ranks(int n) {
-  std::vector<baselines::Participant> parts;
-  for (int i = 0; i < n; ++i) parts.push_back({static_cast<NodeID>(i), 0});
-  return parts;
-}
-
-double MpiOp(const char* op, int nodes, std::int64_t bytes) {
-  sim::Simulator sim;
-  net::NetworkModel net(sim, PaperCluster(nodes).network);
-  baselines::MpiLikeCollectives mpi(sim, net, baselines::MpiConfig{});
-  SimTime done = 0;
-  const auto on_done = [&] { done = sim.Now(); };
-  const std::string name(op);
-  if (name == "broadcast") mpi.Broadcast(Ranks(nodes), bytes, on_done);
-  if (name == "gather") mpi.Gather(Ranks(nodes), bytes, on_done);
-  if (name == "reduce") mpi.Reduce(Ranks(nodes), bytes, on_done);
-  if (name == "allreduce") mpi.Allreduce(Ranks(nodes), bytes, on_done);
-  sim.Run();
-  return ToSeconds(done);
-}
-
-double GlooOp(const char* op, int nodes, std::int64_t bytes) {
+double GlooOp(const std::string& op, int nodes, std::int64_t bytes) {
   sim::Simulator sim;
   net::NetworkModel net(sim, PaperCluster(nodes).network);
   baselines::GlooLikeCollectives gloo(sim, net, baselines::GlooConfig{});
   SimTime done = 0;
   const auto on_done = [&] { done = sim.Now(); };
-  const std::string name(op);
-  if (name == "broadcast") gloo.Broadcast(Ranks(nodes), bytes, on_done);
-  if (name == "ring") gloo.RingChunkedAllreduce(Ranks(nodes), bytes, on_done);
-  if (name == "hd") gloo.HalvingDoublingAllreduce(Ranks(nodes), bytes, on_done);
+  if (op == "broadcast") gloo.Broadcast(BaselineRanks(nodes), bytes, on_done);
+  if (op == "ring") gloo.RingChunkedAllreduce(BaselineRanks(nodes), bytes, on_done);
+  if (op == "hd") gloo.HalvingDoublingAllreduce(BaselineRanks(nodes), bytes, on_done);
   sim.Run();
   return ToSeconds(done);
 }
 
-double RayOp(const char* op, int nodes, std::int64_t bytes,
-             const baselines::RayLikeConfig& config) {
-  sim::Simulator sim;
-  net::NetworkModel net(sim, PaperCluster(nodes).network);
-  baselines::RayLikeTransport transport(sim, net, config);
-  SimTime done = 0;
-  const auto on_done = [&] { done = sim.Now(); };
-  const std::string name(op);
-  std::vector<ObjectID> sources;
-  std::vector<NodeID> receivers;
-  for (int i = 0; i < nodes; ++i) {
-    const ObjectID id = ObjectID::FromName("src").WithIndex(i);
-    sources.push_back(id);
-    if (i > 0) receivers.push_back(static_cast<NodeID>(i));
-  }
-  const ObjectID target = ObjectID::FromName("result");
-  if (name == "broadcast") {
-    transport.Put(0, sources[0], bytes,
-                  [&] { transport.Broadcast(sources[0], receivers, on_done); });
-  } else {
-    for (int i = 0; i < nodes; ++i) {
-      transport.Put(static_cast<NodeID>(i), sources[static_cast<std::size_t>(i)], bytes);
-    }
-    if (name == "gather") transport.Gather(0, sources, on_done);
-    if (name == "reduce") transport.Reduce(0, sources, target, bytes, on_done);
-    if (name == "allreduce") {
-      transport.Allreduce(0, sources, target, bytes, receivers, on_done);
+std::vector<Row> Run(const RunOptions& opt) {
+  std::vector<Row> rows;
+  for (const std::string op : {"broadcast", "gather", "reduce", "allreduce"}) {
+    for (const std::int64_t bytes : opt.ObjectSizes({MB(1), MB(32), GB(1)})) {
+      for (const int n : opt.NodeCounts({4, 8, 12, 16})) {
+        const auto point = [&](const char* series, double seconds) {
+          rows.push_back(Row{.series = series,
+                             .labels = {{"op", op}},
+                             .coords = {{"bytes", static_cast<double>(bytes)},
+                                        {"nodes", static_cast<double>(n)}},
+                             .value = seconds});
+        };
+        point("Hoplite", HopliteCollective(op, n, bytes));
+        point("OpenMPI", MpiCollective(op, n, bytes));
+        point("Ray", RayCollective(op, n, bytes, baselines::RayLikeConfig::Ray()));
+        point("Dask", RayCollective(op, n, bytes, baselines::RayLikeConfig::Dask()));
+        if (op == "broadcast") {
+          point("Gloo (Broadcast)", GlooOp("broadcast", n, bytes));
+        }
+        if (op == "allreduce") {
+          point("Gloo (Ring Chunked)", GlooOp("ring", n, bytes));
+          point("Gloo (Halving Doubling)", GlooOp("hd", n, bytes));
+        }
+      }
     }
   }
-  sim.Run();
-  return ToSeconds(done);
-}
-
-double HopliteOp(const char* op, int nodes, std::int64_t bytes) {
-  core::HopliteCluster cluster(PaperCluster(nodes));
-  const auto ready = std::vector<SimTime>(static_cast<std::size_t>(nodes), 0);
-  const std::string name(op);
-  if (name == "broadcast") return HopliteBroadcast(cluster, bytes, ready);
-  if (name == "gather") return HopliteGather(cluster, bytes, ready);
-  if (name == "reduce") return HopliteReduce(cluster, bytes, ready);
-  return HopliteAllreduce(cluster, bytes, ready);
+  return rows;
 }
 
 }  // namespace
 
-int main() {
-  PrintHeader("Figure 7: collective communication latency (seconds)");
-  const std::vector<std::int64_t> sizes{MB(1), MB(32), GB(1)};
-  const std::vector<int> node_counts{4, 8, 12, 16};
+HOPLITE_REGISTER_FIGURE(fig7, "fig7",
+                        "Figure 7: collective communication latency (4-16 nodes)", Run);
 
-  for (const char* op : {"broadcast", "gather", "reduce", "allreduce"}) {
-    for (const std::int64_t bytes : sizes) {
-      std::printf("\n-- %s %s --\n", op, HumanBytes(bytes).c_str());
-      std::printf("  %-26s", "nodes");
-      for (const int n : node_counts) std::printf("  %8d", n);
-      std::printf("\n");
-
-      auto series = [&](const char* name, const std::function<double(int)>& run) {
-        std::printf("  %-26s", name);
-        for (const int n : node_counts) std::printf("  %8.4f", run(n));
-        std::printf("\n");
-      };
-
-      series("Hoplite", [&](int n) { return HopliteOp(op, n, bytes); });
-      series("OpenMPI", [&](int n) { return MpiOp(op, n, bytes); });
-      series("Ray", [&](int n) {
-        return RayOp(op, n, bytes, baselines::RayLikeConfig::Ray());
-      });
-      series("Dask", [&](int n) {
-        return RayOp(op, n, bytes, baselines::RayLikeConfig::Dask());
-      });
-      if (std::string(op) == "broadcast") {
-        series("Gloo (Broadcast)", [&](int n) { return GlooOp("broadcast", n, bytes); });
-      }
-      if (std::string(op) == "allreduce") {
-        series("Gloo (Ring Chunked)", [&](int n) { return GlooOp("ring", n, bytes); });
-        series("Gloo (Halving Doubling)", [&](int n) { return GlooOp("hd", n, bytes); });
-      }
-    }
-  }
-  std::printf(
-      "\nExpected shapes: Hoplite ~ OpenMPI lead broadcast/gather/reduce;\n"
-      "Gloo ring-chunked leads large allreduce; Ray/Dask trail everywhere.\n");
-  return 0;
-}
+}  // namespace hoplite::bench

@@ -5,86 +5,88 @@
 // arrive, so its latency hugs (last-arrival + remaining work). OpenMPI's
 // broadcast makes progress only along static rank order; its reduce and
 // allreduce (and Gloo's) cannot start until the last participant is ready.
-#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "baselines/collectives.h"
 #include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "common/units.h"
 
-using namespace hoplite;
-using namespace hoplite::bench;
-
+namespace hoplite::bench {
 namespace {
 
-constexpr int kNodes = 16;
-constexpr std::int64_t kBytes = GB(1);
-
-std::vector<baselines::Participant> StaggeredRanks(SimDuration interval) {
+std::vector<baselines::Participant> StaggeredRanks(int nodes, SimDuration interval) {
   std::vector<baselines::Participant> parts;
-  for (int i = 0; i < kNodes; ++i) {
+  for (int i = 0; i < nodes; ++i) {
     parts.push_back({static_cast<NodeID>(i), interval * i});
   }
   return parts;
 }
 
-double MpiOp(const char* op, SimDuration interval) {
+double MpiOp(const std::string& op, int nodes, std::int64_t bytes, SimDuration interval) {
   sim::Simulator sim;
-  net::NetworkModel net(sim, PaperCluster(kNodes).network);
+  net::NetworkModel net(sim, PaperCluster(nodes).network);
   baselines::MpiLikeCollectives mpi(sim, net, baselines::MpiConfig{});
   SimTime done = 0;
   const auto on_done = [&] { done = sim.Now(); };
-  const std::string name(op);
-  if (name == "broadcast") mpi.Broadcast(StaggeredRanks(interval), kBytes, on_done);
-  if (name == "reduce") mpi.Reduce(StaggeredRanks(interval), kBytes, on_done);
-  if (name == "allreduce") mpi.Allreduce(StaggeredRanks(interval), kBytes, on_done);
+  if (op == "broadcast") mpi.Broadcast(StaggeredRanks(nodes, interval), bytes, on_done);
+  if (op == "reduce") mpi.Reduce(StaggeredRanks(nodes, interval), bytes, on_done);
+  if (op == "allreduce") mpi.Allreduce(StaggeredRanks(nodes, interval), bytes, on_done);
   sim.Run();
   return ToSeconds(done);
 }
 
-double GlooRing(SimDuration interval) {
+double GlooRing(int nodes, std::int64_t bytes, SimDuration interval) {
   sim::Simulator sim;
-  net::NetworkModel net(sim, PaperCluster(kNodes).network);
+  net::NetworkModel net(sim, PaperCluster(nodes).network);
   baselines::GlooLikeCollectives gloo(sim, net, baselines::GlooConfig{});
   SimTime done = 0;
-  gloo.RingChunkedAllreduce(StaggeredRanks(interval), kBytes, [&] { done = sim.Now(); });
+  gloo.RingChunkedAllreduce(StaggeredRanks(nodes, interval), bytes,
+                            [&] { done = sim.Now(); });
   sim.Run();
   return ToSeconds(done);
 }
 
-double HopliteOp(const char* op, SimDuration interval) {
-  core::HopliteCluster cluster(PaperCluster(kNodes));
-  const auto ready = Staggered(kNodes, interval);
-  const std::string name(op);
-  if (name == "broadcast") return HopliteBroadcast(cluster, kBytes, ready);
-  if (name == "reduce") return HopliteReduce(cluster, kBytes, ready);
-  return HopliteAllreduce(cluster, kBytes, ready);
+double HopliteOp(const std::string& op, int nodes, std::int64_t bytes,
+                 SimDuration interval) {
+  core::HopliteCluster cluster(PaperCluster(nodes));
+  const auto ready = Staggered(nodes, interval);
+  if (op == "broadcast") return HopliteBroadcast(cluster, bytes, ready);
+  if (op == "reduce") return HopliteReduce(cluster, bytes, ready);
+  return HopliteAllreduce(cluster, bytes, ready);
+}
+
+std::vector<Row> Run(const RunOptions& opt) {
+  const int nodes = opt.Nodes(16);
+  const std::int64_t bytes = opt.Bytes(GB(1));
+  std::vector<Row> rows;
+  for (const std::string op : {"broadcast", "reduce", "allreduce"}) {
+    for (const SimDuration interval :
+         {SimDuration{0}, Milliseconds(50), Milliseconds(100), Milliseconds(150),
+          Milliseconds(200), Milliseconds(250), Milliseconds(300)}) {
+      const auto point = [&](const char* series, double seconds) {
+        rows.push_back(
+            Row{.series = series,
+                .labels = {{"op", op}},
+                .coords = {{"interval_s", ToSeconds(interval)},
+                           {"last_arrival_s", ToSeconds(interval * (nodes - 1))}},
+                .value = seconds});
+      };
+      point("Hoplite", HopliteOp(op, nodes, bytes, interval));
+      point("OpenMPI", MpiOp(op, nodes, bytes, interval));
+      if (op == "allreduce") {
+        point("Gloo (Ring Chunked)", GlooRing(nodes, bytes, interval));
+      }
+    }
+  }
+  return rows;
 }
 
 }  // namespace
 
-int main() {
-  PrintHeader("Figure 8: 1 GB collectives on 16 nodes with staggered arrivals");
-  const std::vector<SimDuration> intervals{0, Milliseconds(50), Milliseconds(100),
-                                           Milliseconds(150), Milliseconds(200),
-                                           Milliseconds(250), Milliseconds(300)};
+HOPLITE_REGISTER_FIGURE(fig8, "fig8",
+                        "Figure 8: 1 GB collectives with staggered arrivals (16 nodes)",
+                        Run);
 
-  for (const char* op : {"broadcast", "reduce", "allreduce"}) {
-    std::printf("\n-- %s --\n", op);
-    std::printf("  %-12s %10s %10s", "interval(s)", "last-arrv", "Hoplite");
-    std::printf(" %10s", "OpenMPI");
-    if (std::string(op) == "allreduce") std::printf(" %10s", "Gloo");
-    std::printf("\n");
-    for (const SimDuration interval : intervals) {
-      std::printf("  %-12.2f %10.2f %10.3f", ToSeconds(interval),
-                  ToSeconds(interval * (kNodes - 1)), HopliteOp(op, interval));
-      std::printf(" %10.3f", MpiOp(op, interval));
-      if (std::string(op) == "allreduce") std::printf(" %10.3f", GlooRing(interval));
-      std::printf("\n");
-    }
-  }
-  std::printf(
-      "\nExpected shape: Hoplite tracks (last arrival + ~one transfer);\n"
-      "OpenMPI/Gloo reduce+allreduce pay (last arrival + full collective).\n");
-  return 0;
-}
+}  // namespace hoplite::bench

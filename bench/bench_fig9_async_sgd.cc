@@ -9,17 +9,17 @@
 // Per-model compute delays stand in for the V100 forward+backward pass (see
 // DESIGN.md §1); the communication-to-computation ratio — which determines
 // the speedup — follows the model sizes the paper lists.
-#include <cstdio>
+#include <vector>
 
 #include "apps/async_sgd.h"
-#include "bench/bench_util.h"
+#include "bench/registry.h"
 #include "common/stats.h"
 #include "common/units.h"
 
-using namespace hoplite;
-using namespace hoplite::apps;
-
+namespace hoplite::bench {
 namespace {
+
+using apps::Backend;
 
 struct ModelSpec {
   const char* name;
@@ -28,45 +28,58 @@ struct ModelSpec {
   double paper_speedup_16;  ///< reference from the paper's text
 };
 
-constexpr int kRepeats = 3;
-
-double Throughput(const ModelSpec& model, int nodes, Backend backend) {
+double Throughput(const RunOptions& opt, const ModelSpec& model, int nodes,
+                  Backend backend) {
   RunStats stats;
-  for (int i = 0; i < kRepeats; ++i) {
-    AsyncSgdOptions options;
+  for (int i = 0; i < opt.Repeats(3); ++i) {
+    apps::AsyncSgdOptions options;
     options.backend = backend;
     options.num_nodes = nodes;
-    options.model_bytes = model.bytes;
-    options.gradient_compute = ComputeModel{model.compute, 0.2};
-    options.rounds = 10;
+    options.model_bytes = opt.Bytes(model.bytes);
+    options.gradient_compute = apps::ComputeModel{model.compute, 0.2};
+    options.rounds = opt.Rounds(10);
     options.seed = static_cast<std::uint64_t>(i + 1);
-    stats.Add(RunAsyncSgd(options).samples_per_second);
+    stats.Add(apps::RunAsyncSgd(options).samples_per_second);
   }
   return stats.mean();
 }
 
-}  // namespace
-
-int main() {
-  bench::PrintHeader("Figure 9: async SGD training throughput (samples/s)");
+std::vector<Row> Run(const RunOptions& opt) {
   const ModelSpec models[] = {
       {"AlexNet", MB(233), Milliseconds(60), 7.8},
       {"VGG-16", MB(528), Milliseconds(350), 7.0},
       {"ResNet-50", MB(97), Milliseconds(200), 5.0},
   };
-  for (const int nodes : {8, 16}) {
-    std::printf("\n-- %d nodes (1 server + %d workers) --\n", nodes, nodes - 1);
-    std::printf("  %-10s %12s %12s %9s %18s\n", "model", "Hoplite", "Ray", "speedup",
-                "paper speedup@16");
+  std::vector<Row> rows;
+  for (const int nodes : opt.NodeCounts({8, 16})) {
     for (const ModelSpec& model : models) {
-      const double hoplite = Throughput(model, nodes, Backend::kHoplite);
-      const double ray = Throughput(model, nodes, Backend::kRay);
-      std::printf("  %-10s %12.1f %12.1f %8.1fx %17.1fx\n", model.name, hoplite, ray,
-                  hoplite / ray, model.paper_speedup_16);
+      const double hoplite = Throughput(opt, model, nodes, Backend::kHoplite);
+      const double ray = Throughput(opt, model, nodes, Backend::kRay);
+      const auto point = [&](const char* series, double value, const char* unit) {
+        rows.push_back(Row{.series = series,
+                           .labels = {{"model", model.name}},
+                           .coords = {{"nodes", static_cast<double>(nodes)},
+                                      {"model_bytes",
+                                       static_cast<double>(opt.Bytes(model.bytes))}},
+                           .value = value,
+                           .unit = unit});
+      };
+      point("Hoplite", hoplite, "samples_per_second");
+      point("Ray", ray, "samples_per_second");
+      rows.push_back(Row{.series = "speedup",
+                         .labels = {{"model", model.name}},
+                         .coords = {{"nodes", static_cast<double>(nodes)},
+                                    {"paper_speedup_16", model.paper_speedup_16}},
+                         .value = ray > 0 ? hoplite / ray : 0.0,
+                         .unit = "ratio"});
     }
   }
-  std::printf(
-      "\nExpected shape: multi-x speedups everywhere, largest for the most\n"
-      "communication-bound model (AlexNet), growing with cluster size.\n");
-  return 0;
+  return rows;
 }
+
+}  // namespace
+
+HOPLITE_REGISTER_FIGURE(fig9, "fig9",
+                        "Figure 9: async SGD training throughput, Hoplite vs Ray", Run);
+
+}  // namespace hoplite::bench

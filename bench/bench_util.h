@@ -1,19 +1,20 @@
-// Shared helpers for the figure-reproduction benchmarks.
+// Shared helpers for the figure-reproduction benchmarks: the paper-fabric
+// cluster factory and the Hoplite collective runners the figures measure.
 //
-// Each bench binary prints the rows/series of one paper figure. Collective
-// latencies follow the paper's measurement convention (§5.1.2): time from
-// when the inputs are ready (or the operation starts) to when the last
-// participant finishes; Get uses the read-only fast path, like the paper's
-// Hoplite/Ray measurements.
+// Collective latencies follow the paper's measurement convention (§5.1.2):
+// time from when the inputs are ready (or the operation starts) to when the
+// last participant finishes; Get uses the read-only fast path, like the
+// paper's Hoplite/Ray measurements.
 #pragma once
 
-#include <cstdio>
-#include <functional>
-#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "baselines/collectives.h"
+#include "baselines/ray_like.h"
 #include "common/ids.h"
+#include "common/logging.h"
 #include "common/units.h"
 #include "core/client.h"
 #include "core/cluster.h"
@@ -21,14 +22,18 @@
 
 namespace hoplite::bench {
 
-/// Fresh cluster with the paper's fabric (10 Gbps, ~85 us RTT).
+/// Fresh cluster with the paper's fabric (10 Gbps, ~85 us RTT). The fabric
+/// constants are exactly the `net::ClusterConfig` defaults — only the node
+/// count varies here, so benches and runtime defaults can never drift. The
+/// asserts below pin the defaults to the paper's testbed numbers.
+static_assert(net::ClusterConfig{}.nic_bandwidth == Gbps(10));
+static_assert(net::ClusterConfig{}.one_way_latency == Nanoseconds(42'500));
+static_assert(net::ClusterConfig{}.memcpy_bandwidth == GBps(10));
+static_assert(net::ClusterConfig{}.per_message_overhead == Microseconds(5));
+
 [[nodiscard]] inline core::HopliteCluster::Options PaperCluster(int nodes) {
   core::HopliteCluster::Options options;
   options.network.num_nodes = nodes;
-  options.network.nic_bandwidth = Gbps(10);
-  options.network.one_way_latency = Nanoseconds(42'500);
-  options.network.memcpy_bandwidth = GBps(10);
-  options.network.per_message_overhead = Microseconds(5);
   return options;
 }
 
@@ -154,23 +159,82 @@ namespace hoplite::bench {
 }
 
 // ----------------------------------------------------------------------
-// Output formatting
+// Baseline collective runners shared by the figure benches (fig7, fig14).
+// `op` is one of broadcast / gather / reduce / allreduce; all participants
+// are ready at t = 0. Gloo differs per figure and stays with each bench.
 // ----------------------------------------------------------------------
 
-inline void PrintHeader(const std::string& title) {
-  std::printf("\n==== %s ====\n", title.c_str());
+[[nodiscard]] inline std::vector<baselines::Participant> BaselineRanks(int n) {
+  std::vector<baselines::Participant> parts;
+  for (int i = 0; i < n; ++i) parts.push_back({static_cast<NodeID>(i), 0});
+  return parts;
 }
 
-[[nodiscard]] inline std::string HumanBytes(std::int64_t bytes) {
-  char buf[32];
-  if (bytes >= GB(1)) {
-    std::snprintf(buf, sizeof(buf), "%lldGB", static_cast<long long>(bytes / GB(1)));
-  } else if (bytes >= MB(1)) {
-    std::snprintf(buf, sizeof(buf), "%lldMB", static_cast<long long>(bytes / MB(1)));
-  } else {
-    std::snprintf(buf, sizeof(buf), "%lldKB", static_cast<long long>(bytes / KB(1)));
+/// A typo'd op must fail loudly, not emit a plausible 0-latency row.
+inline void CheckCollectiveOp(const std::string& op) {
+  HOPLITE_CHECK(op == "broadcast" || op == "gather" || op == "reduce" ||
+                op == "allreduce")
+      << "unknown collective op: " << op;
+}
+
+[[nodiscard]] inline double MpiCollective(const std::string& op, int nodes,
+                                          std::int64_t bytes) {
+  CheckCollectiveOp(op);
+  sim::Simulator sim;
+  net::NetworkModel net(sim, PaperCluster(nodes).network);
+  baselines::MpiLikeCollectives mpi(sim, net, baselines::MpiConfig{});
+  SimTime done = 0;
+  const auto on_done = [&] { done = sim.Now(); };
+  if (op == "broadcast") mpi.Broadcast(BaselineRanks(nodes), bytes, on_done);
+  if (op == "gather") mpi.Gather(BaselineRanks(nodes), bytes, on_done);
+  if (op == "reduce") mpi.Reduce(BaselineRanks(nodes), bytes, on_done);
+  if (op == "allreduce") mpi.Allreduce(BaselineRanks(nodes), bytes, on_done);
+  sim.Run();
+  return ToSeconds(done);
+}
+
+[[nodiscard]] inline double RayCollective(const std::string& op, int nodes,
+                                          std::int64_t bytes,
+                                          const baselines::RayLikeConfig& config) {
+  CheckCollectiveOp(op);
+  sim::Simulator sim;
+  net::NetworkModel net(sim, PaperCluster(nodes).network);
+  baselines::RayLikeTransport transport(sim, net, config);
+  SimTime done = 0;
+  const auto on_done = [&] { done = sim.Now(); };
+  std::vector<ObjectID> sources;
+  std::vector<NodeID> receivers;
+  for (int i = 0; i < nodes; ++i) {
+    sources.push_back(ObjectID::FromName("src").WithIndex(i));
+    if (i > 0) receivers.push_back(static_cast<NodeID>(i));
   }
-  return buf;
+  const ObjectID target = ObjectID::FromName("result");
+  if (op == "broadcast") {
+    transport.Put(0, sources[0], bytes,
+                  [&] { transport.Broadcast(sources[0], receivers, on_done); });
+  } else {
+    for (int i = 0; i < nodes; ++i) {
+      transport.Put(static_cast<NodeID>(i), sources[static_cast<std::size_t>(i)], bytes);
+    }
+    if (op == "gather") transport.Gather(0, sources, on_done);
+    if (op == "reduce") transport.Reduce(0, sources, target, bytes, on_done);
+    if (op == "allreduce") {
+      transport.Allreduce(0, sources, target, bytes, receivers, on_done);
+    }
+  }
+  sim.Run();
+  return ToSeconds(done);
+}
+
+[[nodiscard]] inline double HopliteCollective(const std::string& op, int nodes,
+                                              std::int64_t bytes) {
+  CheckCollectiveOp(op);
+  core::HopliteCluster cluster(PaperCluster(nodes));
+  const auto ready = std::vector<SimTime>(static_cast<std::size_t>(nodes), 0);
+  if (op == "broadcast") return HopliteBroadcast(cluster, bytes, ready);
+  if (op == "gather") return HopliteGather(cluster, bytes, ready);
+  if (op == "reduce") return HopliteReduce(cluster, bytes, ready);
+  return HopliteAllreduce(cluster, bytes, ready);
 }
 
 }  // namespace hoplite::bench

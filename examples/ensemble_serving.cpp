@@ -26,7 +26,7 @@ constexpr std::int64_t kQueryBytes = 64LL * 256 * 256 * 3;
 struct Frontend {
   core::HopliteCluster& cluster;
   std::vector<bool> alive = std::vector<bool>(kReplicas + 1, true);
-  std::unordered_set<std::uint64_t> waiting;
+  std::unordered_set<std::uint64_t> waiting{};
   int query = 0;
   SimTime started = 0;
 

@@ -30,7 +30,7 @@ struct ParameterServer {
   task::TaskSystem& tasks;
   Rng rng{42};
   std::vector<int> worker_round = std::vector<int>(kNodes, 0);
-  std::vector<ObjectID> outstanding;
+  std::vector<ObjectID> outstanding{};
   int round = 0;
 
   ObjectID GradId(NodeID worker, int r) {

@@ -19,7 +19,7 @@ void ObjectDirectory::RegisterPartial(ObjectID object, NodeID node, std::int64_t
     if (entry.size < 0) entry.size = size;
     HOPLITE_CHECK_EQ(entry.size, size) << "conflicting sizes registered for " << object;
     if (entry.locations.count(node) > 0) return;  // idempotent
-    entry.locations.emplace(node, Location{LocationState::kAvailablePartial, {}});
+    entry.locations.emplace(node, Location{});
     Publish(object, entry, LocationEvent{object, node, entry.size, false, false});
     ServeParked(object);
   });

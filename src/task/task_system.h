@@ -43,11 +43,11 @@ namespace hoplite::task {
 using TaskBody = std::function<store::Buffer(const std::vector<store::Buffer>& args)>;
 
 struct TaskSpec {
-  std::string name;                 ///< for debugging/lineage inspection
-  std::vector<ObjectID> args;       ///< object futures this task consumes
+  std::string name{};               ///< for debugging/lineage inspection
+  std::vector<ObjectID> args{};     ///< object futures this task consumes
   SimDuration compute_time = 0;     ///< simulated computation duration
-  TaskBody body;                    ///< produces the output payload
-  ObjectID output;                  ///< the future this task fulfils
+  TaskBody body{};                  ///< produces the output payload
+  ObjectID output{};                ///< the future this task fulfils
   NodeID pinned_node = kInvalidNode;  ///< optional placement constraint
   bool read_only_args = true;       ///< fetch args with immutable Get (§3.3)
 };

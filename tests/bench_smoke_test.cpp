@@ -1,0 +1,138 @@
+// Smoke coverage for the benchmark registry: every registered figure runner
+// executes at a tiny scale (<= 4 nodes, <= 1 MB objects) and must produce
+// non-empty, finite rows — so bench code is exercised by CTest, not just
+// hand-runs.
+#include "bench/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/units.h"
+
+namespace hoplite::bench {
+namespace {
+
+RunOptions SmokeScale() {
+  RunOptions options;
+  options.max_nodes = 4;
+  options.max_object_bytes = MB(1);
+  options.repeats = 1;
+  options.rounds = 2;
+  return options;
+}
+
+TEST(BenchRegistryTest, AllThirteenFiguresRegistered) {
+  const std::set<std::string> expected{
+      "fig6",  "fig7",  "fig8",  "fig9",       "fig10",
+      "fig11", "fig12", "fig13", "fig14",      "fig15",
+      "adaptive-d", "directory-latency", "engine-micro"};
+  std::set<std::string> registered;
+  for (const Figure& figure : Registry::Instance().figures()) {
+    EXPECT_NE(figure.fn, nullptr) << figure.name;
+    EXPECT_FALSE(figure.title.empty()) << figure.name;
+    registered.insert(figure.name);
+  }
+  EXPECT_EQ(registered, expected);
+}
+
+TEST(BenchRegistryTest, FindIsExactAndMissesUnknown) {
+  ASSERT_NE(Registry::Instance().Find("fig7"), nullptr);
+  EXPECT_EQ(Registry::Instance().Find("fig7")->name, "fig7");
+  EXPECT_EQ(Registry::Instance().Find("fig99"), nullptr);
+  EXPECT_EQ(Registry::Instance().Find(""), nullptr);
+}
+
+TEST(BenchSmokeTest, EveryFigureProducesFiniteRowsAtTinyScale) {
+  const RunOptions opt = SmokeScale();
+  for (const Figure& figure : Registry::Instance().figures()) {
+    SCOPED_TRACE(figure.name);
+    const std::vector<Row> rows = figure.fn(opt);
+    ASSERT_FALSE(rows.empty());
+    for (const Row& row : rows) {
+      SCOPED_TRACE(row.series);
+      EXPECT_FALSE(row.series.empty());
+      EXPECT_FALSE(row.unit.empty());
+      EXPECT_TRUE(std::isfinite(row.value));
+      for (const auto& [name, value] : row.coords) {
+        EXPECT_FALSE(name.empty());
+        EXPECT_TRUE(std::isfinite(value)) << name;
+      }
+      for (const auto& [name, value] : row.labels) {
+        EXPECT_FALSE(name.empty());
+        EXPECT_FALSE(value.empty()) << name;
+      }
+    }
+  }
+}
+
+// The adaptive-degree bench is this repo's regression gate for Eq. (1): at
+// paper scale every cell must land within 10% of the best forced degree
+// (the pre-registry binary enforced this via its exit code). The sweep is
+// event-level cheap (<1 s), so the gate runs at full scale here.
+TEST(BenchSmokeTest, AdaptiveDegreeStaysWithinTenPercentOfBestAtPaperScale) {
+  const Figure* figure = Registry::Instance().Find("adaptive-d");
+  ASSERT_NE(figure, nullptr);
+  const std::vector<Row> rows = figure->fn(RunOptions{});
+  ASSERT_FALSE(rows.empty());
+  const Row& summary = rows.back();
+  ASSERT_EQ(summary.series, "cells-within-10pct");
+  ASSERT_EQ(summary.coords.size(), 1u);
+  EXPECT_EQ(summary.coords[0].first, "cells");
+  EXPECT_GT(summary.coords[0].second, 0.0);
+  EXPECT_EQ(summary.value, summary.coords[0].second)
+      << "adaptive reduce degree fell outside 10% of the best forced degree";
+}
+
+TEST(BenchSmokeTest, JsonSerializationIsWellFormed) {
+  const RunOptions opt = SmokeScale();
+  const Figure* fig6 = Registry::Instance().Find("fig6");
+  ASSERT_NE(fig6, nullptr);
+  const FigureResult result{fig6->name, fig6->title, fig6->fn(opt)};
+  const std::string json = ResultsToJson({result}, opt);
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"schema\":\"hoplite-bench/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fig6\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\":\"Hoplite\""), std::string::npos);
+  // Balanced braces/brackets outside of strings (no string here contains
+  // them, so a raw count suffices) and no NaN/Inf leaking into the document.
+  long braces = 0;
+  long brackets = 0;
+  for (const char c : json) {
+    braces += c == '{' ? 1 : (c == '}' ? -1 : 0);
+    brackets += c == '[' ? 1 : (c == ']' ? -1 : 0);
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(BenchRunOptionsTest, ClampHelpers) {
+  RunOptions opt;  // paper scale: everything passes through
+  EXPECT_EQ(opt.Nodes(16), 16);
+  EXPECT_EQ(opt.Bytes(GB(1)), GB(1));
+  EXPECT_EQ(opt.NodeCounts({4, 8, 16}), (std::vector<int>{4, 8, 16}));
+  EXPECT_EQ(opt.Repeats(3), 3);
+  EXPECT_EQ(opt.Rounds(10), 10);
+
+  const RunOptions smoke = SmokeScale();
+  EXPECT_EQ(smoke.Nodes(16), 4);
+  EXPECT_EQ(smoke.Nodes(1), 2);  // clusters need a sender and a peer
+  EXPECT_EQ(smoke.Bytes(GB(1)), MB(1));
+  EXPECT_EQ(smoke.NodeCounts({4, 8, 16}), (std::vector<int>{4}));
+  EXPECT_EQ(smoke.NodeCounts({8, 16}), (std::vector<int>{4}));  // fallback
+  EXPECT_EQ(smoke.ObjectSizes({KB(1), GB(1)}), (std::vector<std::int64_t>{KB(1)}));
+  EXPECT_EQ(smoke.ObjectSizes({GB(1)}), (std::vector<std::int64_t>{MB(1)}));  // fallback
+  EXPECT_EQ(smoke.Repeats(3), 1);
+  EXPECT_EQ(smoke.Rounds(10), 2);
+}
+
+}  // namespace
+}  // namespace hoplite::bench
