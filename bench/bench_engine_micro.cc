@@ -14,7 +14,7 @@
 #include "bench/registry.h"
 #include "common/rng.h"
 #include "core/reduce_tree.h"
-#include "net/network.h"
+#include "net/fabric.h"
 #include "sim/simulator.h"
 
 namespace hoplite::bench {
@@ -64,10 +64,10 @@ std::vector<Row> Run(const RunOptions& opt) {
     const int n = 10'000;
     const double secs = BestWallSeconds(repeats, [&] {
       sim::Simulator sim;
-      net::NetworkModel net(sim, PaperCluster(nodes).network);
+      const auto net = net::MakeFabric(sim, PaperCluster(nodes).network);
       int delivered = 0;
       for (int i = 0; i < n; ++i) {
-        net.Send(static_cast<NodeID>(i % nodes), static_cast<NodeID>((i + 1) % nodes),
+        net->Send(static_cast<NodeID>(i % nodes), static_cast<NodeID>((i + 1) % nodes),
                  MB(1), [&] { ++delivered; });
       }
       sim.Run();

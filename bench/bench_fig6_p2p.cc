@@ -38,8 +38,8 @@ double HopliteRtt(std::int64_t bytes, bool pipelining) {
 /// MPI RTT: raw send there and back (locations known, no store copies).
 double MpiRtt(std::int64_t bytes) {
   sim::Simulator sim;
-  net::NetworkModel net(sim, PaperCluster(2).network);
-  baselines::MpiLikeCollectives mpi(sim, net, baselines::MpiConfig{});
+  const auto net = net::MakeFabric(sim, PaperCluster(2).network);
+  baselines::MpiLikeCollectives mpi(sim, *net, baselines::MpiConfig{});
   SimTime done = 0;
   mpi.Send(0, 1, bytes, [&] { mpi.Send(1, 0, bytes, [&] { done = sim.Now(); }); });
   sim.Run();
@@ -49,8 +49,8 @@ double MpiRtt(std::int64_t bytes) {
 /// Ray/Dask RTT: Put+Get each way through the object store.
 double RayRtt(std::int64_t bytes, const baselines::RayLikeConfig& config) {
   sim::Simulator sim;
-  net::NetworkModel net(sim, PaperCluster(2).network);
-  baselines::RayLikeTransport transport(sim, net, config);
+  const auto net = net::MakeFabric(sim, PaperCluster(2).network);
+  baselines::RayLikeTransport transport(sim, *net, config);
   const ObjectID there = ObjectID::FromName("ping");
   const ObjectID back = ObjectID::FromName("pong");
   SimTime done = 0;

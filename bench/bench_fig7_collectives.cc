@@ -23,8 +23,8 @@ namespace {
 
 double GlooOp(const std::string& op, int nodes, std::int64_t bytes) {
   sim::Simulator sim;
-  net::NetworkModel net(sim, PaperCluster(nodes).network);
-  baselines::GlooLikeCollectives gloo(sim, net, baselines::GlooConfig{});
+  const auto net = net::MakeFabric(sim, PaperCluster(nodes).network);
+  baselines::GlooLikeCollectives gloo(sim, *net, baselines::GlooConfig{});
   SimTime done = 0;
   const auto on_done = [&] { done = sim.Now(); };
   if (op == "broadcast") gloo.Broadcast(BaselineRanks(nodes), bytes, on_done);

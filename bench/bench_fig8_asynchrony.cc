@@ -26,8 +26,8 @@ std::vector<baselines::Participant> StaggeredRanks(int nodes, SimDuration interv
 
 double MpiOp(const std::string& op, int nodes, std::int64_t bytes, SimDuration interval) {
   sim::Simulator sim;
-  net::NetworkModel net(sim, PaperCluster(nodes).network);
-  baselines::MpiLikeCollectives mpi(sim, net, baselines::MpiConfig{});
+  const auto net = net::MakeFabric(sim, PaperCluster(nodes).network);
+  baselines::MpiLikeCollectives mpi(sim, *net, baselines::MpiConfig{});
   SimTime done = 0;
   const auto on_done = [&] { done = sim.Now(); };
   if (op == "broadcast") mpi.Broadcast(StaggeredRanks(nodes, interval), bytes, on_done);
@@ -39,8 +39,8 @@ double MpiOp(const std::string& op, int nodes, std::int64_t bytes, SimDuration i
 
 double GlooRing(int nodes, std::int64_t bytes, SimDuration interval) {
   sim::Simulator sim;
-  net::NetworkModel net(sim, PaperCluster(nodes).network);
-  baselines::GlooLikeCollectives gloo(sim, net, baselines::GlooConfig{});
+  const auto net = net::MakeFabric(sim, PaperCluster(nodes).network);
+  baselines::GlooLikeCollectives gloo(sim, *net, baselines::GlooConfig{});
   SimTime done = 0;
   gloo.RingChunkedAllreduce(StaggeredRanks(nodes, interval), bytes,
                             [&] { done = sim.Now(); });

@@ -177,12 +177,14 @@ inline void CheckCollectiveOp(const std::string& op) {
       << "unknown collective op: " << op;
 }
 
-[[nodiscard]] inline double MpiCollective(const std::string& op, int nodes,
+[[nodiscard]] inline double MpiCollective(const std::string& op,
+                                          const net::ClusterConfig& net_config,
                                           std::int64_t bytes) {
   CheckCollectiveOp(op);
+  const int nodes = net_config.num_nodes;
   sim::Simulator sim;
-  net::NetworkModel net(sim, PaperCluster(nodes).network);
-  baselines::MpiLikeCollectives mpi(sim, net, baselines::MpiConfig{});
+  const auto net = net::MakeFabric(sim, net_config);
+  baselines::MpiLikeCollectives mpi(sim, *net, baselines::MpiConfig{});
   SimTime done = 0;
   const auto on_done = [&] { done = sim.Now(); };
   if (op == "broadcast") mpi.Broadcast(BaselineRanks(nodes), bytes, on_done);
@@ -193,13 +195,20 @@ inline void CheckCollectiveOp(const std::string& op) {
   return ToSeconds(done);
 }
 
-[[nodiscard]] inline double RayCollective(const std::string& op, int nodes,
+[[nodiscard]] inline double MpiCollective(const std::string& op, int nodes,
+                                          std::int64_t bytes) {
+  return MpiCollective(op, PaperCluster(nodes).network, bytes);
+}
+
+[[nodiscard]] inline double RayCollective(const std::string& op,
+                                          const net::ClusterConfig& net_config,
                                           std::int64_t bytes,
                                           const baselines::RayLikeConfig& config) {
   CheckCollectiveOp(op);
+  const int nodes = net_config.num_nodes;
   sim::Simulator sim;
-  net::NetworkModel net(sim, PaperCluster(nodes).network);
-  baselines::RayLikeTransport transport(sim, net, config);
+  const auto net = net::MakeFabric(sim, net_config);
+  baselines::RayLikeTransport transport(sim, *net, config);
   SimTime done = 0;
   const auto on_done = [&] { done = sim.Now(); };
   std::vector<ObjectID> sources;
@@ -226,15 +235,28 @@ inline void CheckCollectiveOp(const std::string& op) {
   return ToSeconds(done);
 }
 
-[[nodiscard]] inline double HopliteCollective(const std::string& op, int nodes,
+[[nodiscard]] inline double RayCollective(const std::string& op, int nodes,
+                                          std::int64_t bytes,
+                                          const baselines::RayLikeConfig& config) {
+  return RayCollective(op, PaperCluster(nodes).network, bytes, config);
+}
+
+[[nodiscard]] inline double HopliteCollective(const std::string& op,
+                                              const core::HopliteCluster::Options& options,
                                               std::int64_t bytes) {
   CheckCollectiveOp(op);
-  core::HopliteCluster cluster(PaperCluster(nodes));
-  const auto ready = std::vector<SimTime>(static_cast<std::size_t>(nodes), 0);
+  core::HopliteCluster cluster(options);
+  const auto ready =
+      std::vector<SimTime>(static_cast<std::size_t>(cluster.num_nodes()), 0);
   if (op == "broadcast") return HopliteBroadcast(cluster, bytes, ready);
   if (op == "gather") return HopliteGather(cluster, bytes, ready);
   if (op == "reduce") return HopliteReduce(cluster, bytes, ready);
   return HopliteAllreduce(cluster, bytes, ready);
+}
+
+[[nodiscard]] inline double HopliteCollective(const std::string& op, int nodes,
+                                              std::int64_t bytes) {
+  return HopliteCollective(op, PaperCluster(nodes), bytes);
 }
 
 }  // namespace hoplite::bench

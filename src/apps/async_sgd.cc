@@ -27,7 +27,10 @@ namespace {
 // Hoplite backend
 // --------------------------------------------------------------------
 
-struct HopliteSgd : std::enable_shared_from_this<HopliteSgd> {
+// App backends are stack-owned and outlive Run()'s simulation drain, so
+// callbacks capture a plain `this` (no leak-forming shared_ptr cycles).
+
+struct HopliteSgd {
   explicit HopliteSgd(const AsyncSgdOptions& opt)
       : options(opt), rng(opt.seed), cluster(MakeClusterOptions(opt)) {}
 
@@ -60,7 +63,7 @@ struct HopliteSgd : std::enable_shared_from_this<HopliteSgd> {
     worker_round.assign(static_cast<std::size_t>(options.num_nodes), 0);
     worker_alive.assign(static_cast<std::size_t>(options.num_nodes), true);
 
-    auto self = shared_from_this();
+    auto* const self = this;
     cluster.AddMembershipListener([self](NodeID node, bool alive) {
       self->worker_alive[static_cast<std::size_t>(node)] = alive;
       if (!alive && self->awaiting_model.erase(static_cast<std::uint64_t>(node)) > 0) {
@@ -100,7 +103,7 @@ struct HopliteSgd : std::enable_shared_from_this<HopliteSgd> {
     if (!worker_alive[static_cast<std::size_t>(w)]) return;
     const SimDuration compute = options.gradient_compute.Sample(rng);
     const int expected_round = worker_round[static_cast<std::size_t>(w)];
-    auto self = shared_from_this();
+    auto* const self = this;
     cluster.simulator().ScheduleAfter(compute, [self, w, expected_round] {
       if (!self->worker_alive[static_cast<std::size_t>(w)]) return;
       if (self->worker_round[static_cast<std::size_t>(w)] != expected_round) return;
@@ -115,7 +118,7 @@ struct HopliteSgd : std::enable_shared_from_this<HopliteSgd> {
       return;
     }
     round_start = cluster.Now();
-    auto self = shared_from_this();
+    auto* const self = this;
     core::ReduceSpec spec;
     spec.target = SumId(round);
     spec.sources = outstanding;
@@ -128,14 +131,14 @@ struct HopliteSgd : std::enable_shared_from_this<HopliteSgd> {
 
   void OnReduced(const core::ReduceResult& reduced) {
     // Apply the update: one pass over the weights at memory speed.
-    auto self = shared_from_this();
+    auto* const self = this;
     cluster.network().Memcpy(0, options.model_bytes, [self, reduced] {
       self->BroadcastModel(reduced);
     });
   }
 
   void BroadcastModel(const core::ReduceResult& reduced) {
-    auto self = shared_from_this();
+    auto* const self = this;
     const int model_round = round + 1;
     cluster.client(0).Put(ModelId(model_round),
                           store::Buffer::OfSize(options.model_bytes));
@@ -192,12 +195,12 @@ struct HopliteSgd : std::enable_shared_from_this<HopliteSgd> {
 // Ray / Dask backend
 // --------------------------------------------------------------------
 
-struct RaySgd : std::enable_shared_from_this<RaySgd> {
+struct RaySgd {
   explicit RaySgd(const AsyncSgdOptions& opt)
       : options(opt),
         rng(opt.seed),
-        net(sim, PaperNetwork(opt.num_nodes)),
-        transport(sim, net,
+        net(net::MakeFabric(sim, PaperNetwork(opt.num_nodes))),
+        transport(sim, *net,
                   opt.backend == Backend::kDask
                       ? baselines::RayLikeConfig::Dask()
                       : baselines::RayLikeConfig::Ray()) {}
@@ -205,7 +208,7 @@ struct RaySgd : std::enable_shared_from_this<RaySgd> {
   AsyncSgdOptions options;
   Rng rng;
   sim::Simulator sim;
-  net::NetworkModel net;
+  std::unique_ptr<net::Fabric> net;
   baselines::RayLikeTransport transport;
   AsyncSgdResult result;
 
@@ -235,7 +238,7 @@ struct RaySgd : std::enable_shared_from_this<RaySgd> {
     worker_alive.assign(static_cast<std::size_t>(options.num_nodes), true);
     worker_epoch.assign(static_cast<std::size_t>(options.num_nodes), 0);
 
-    auto self = shared_from_this();
+    auto* const self = this;
     for (NodeID w = 1; w < options.num_nodes; ++w) {
       StartWorkerCompute(w);
       SubscribeGradient(w, 0);
@@ -247,7 +250,7 @@ struct RaySgd : std::enable_shared_from_this<RaySgd> {
         const NodeID w = self->options.kill_node;
         self->worker_alive[static_cast<std::size_t>(w)] = false;
         self->worker_epoch[static_cast<std::size_t>(w)] += 1;
-        self->net.FailNode(w);
+        self->net->FailNode(w);
       });
       sim.ScheduleAt(options.kill_at + options.detection_delay, [self] {
         const NodeID w = self->options.kill_node;
@@ -257,7 +260,7 @@ struct RaySgd : std::enable_shared_from_this<RaySgd> {
       });
       sim.ScheduleAt(options.recover_at, [self] {
         const NodeID w = self->options.kill_node;
-        self->net.RecoverNode(w);
+        self->net->RecoverNode(w);
         self->worker_alive[static_cast<std::size_t>(w)] = true;
         self->StartWorkerCompute(w);
         self->SubscribeGradient(w, self->worker_round[static_cast<std::size_t>(w)]);
@@ -279,7 +282,7 @@ struct RaySgd : std::enable_shared_from_this<RaySgd> {
     const SimDuration compute = options.gradient_compute.Sample(rng);
     const int expected_round = worker_round[static_cast<std::size_t>(w)];
     const std::uint64_t epoch = worker_epoch[static_cast<std::size_t>(w)];
-    auto self = shared_from_this();
+    auto* const self = this;
     sim.ScheduleAfter(compute, [self, w, expected_round, epoch] {
       if (self->worker_epoch[static_cast<std::size_t>(w)] != epoch) return;
       if (self->worker_round[static_cast<std::size_t>(w)] != expected_round) return;
@@ -290,7 +293,7 @@ struct RaySgd : std::enable_shared_from_this<RaySgd> {
   /// The server "ray.get"s every outstanding gradient; arrivals are applied
   /// in order, the first `half` of a round triggering the weight update.
   void SubscribeGradient(NodeID w, int grad_round) {
-    auto self = shared_from_this();
+    auto* const self = this;
     transport.Get(0, GradId(w, grad_round), [self, w] { self->OnGradientArrived(w); });
   }
 
@@ -305,9 +308,9 @@ struct RaySgd : std::enable_shared_from_this<RaySgd> {
     const NodeID w = arrival_queue.front();
     arrival_queue.pop_front();
     applying = true;
-    auto self = shared_from_this();
+    auto* const self = this;
     // Apply at memory speed (policy += gradient / batch, Figure 1a).
-    net.Memcpy(0, options.model_bytes, [self, w] {
+    net->Memcpy(0, options.model_bytes, [self, w] {
       self->applying = false;
       if (self->finished) return;
       self->transport.Delete(GradId(w, self->worker_round[static_cast<std::size_t>(w)]));
@@ -326,7 +329,7 @@ struct RaySgd : std::enable_shared_from_this<RaySgd> {
   void FinishApplyPhase() {
     // Broadcast the new model to the batch of finished workers.
     const int model_round = round + 1;
-    auto self = shared_from_this();
+    auto* const self = this;
     transport.Put(0, ModelId(model_round), options.model_bytes, [self, model_round] {
       auto waiting = self->awaiting_model;
       self->pending_broadcast = 0;
@@ -372,15 +375,15 @@ AsyncSgdResult RunAsyncSgd(const AsyncSgdOptions& options) {
   HOPLITE_CHECK_GE(options.num_nodes, 2);
   HOPLITE_CHECK_GT(options.model_bytes, 0);
   if (options.backend == Backend::kHoplite) {
-    auto app = std::make_shared<HopliteSgd>(options);
-    app->Run();
-    return app->result;
+    HopliteSgd app(options);
+    app.Run();
+    return app.result;
   }
   HOPLITE_CHECK(options.backend == Backend::kRay || options.backend == Backend::kDask)
       << "async SGD supports Hoplite/Ray/Dask backends";
-  auto app = std::make_shared<RaySgd>(options);
-  app->Run();
-  return app->result;
+  RaySgd app(options);
+  app.Run();
+  return app.result;
 }
 
 }  // namespace hoplite::apps

@@ -5,7 +5,7 @@
 
 #include "common/rng.h"
 #include "common/units.h"
-#include "net/network.h"
+#include "net/fabric.h"
 
 namespace hoplite::apps {
 

@@ -32,7 +32,12 @@ namespace {
 // Hoplite backend
 // --------------------------------------------------------------------
 
-struct HopliteRl : std::enable_shared_from_this<HopliteRl> {
+// App backends are stack-owned and outlive Run()'s simulation drain, so
+// callbacks capture a plain `this`; callbacks a simulated node death parks
+// forever die with the cluster/simulator members, not with a shared_ptr
+// cycle (which used to keep the whole app alive past exit — see ROADMAP).
+
+struct HopliteRl {
   explicit HopliteRl(const RlOptions& opt)
       : options(opt), rng(opt.seed), cluster(MakeClusterOptions(opt)) {}
 
@@ -79,7 +84,7 @@ struct HopliteRl : std::enable_shared_from_this<HopliteRl> {
   void StartRollout(NodeID w) {
     const SimDuration compute = options.rollout_compute.Sample(rng);
     const int expected = worker_round[static_cast<std::size_t>(w)];
-    auto self = shared_from_this();
+    auto* const self = this;
     cluster.simulator().ScheduleAfter(compute, [self, w, expected] {
       if (self->worker_round[static_cast<std::size_t>(w)] != expected) return;
       self->cluster.client(w).Put(RolloutId(w, expected),
@@ -89,7 +94,7 @@ struct HopliteRl : std::enable_shared_from_this<HopliteRl> {
 
   void StartTrainerRound() {
     if (round >= options.rounds) return;
-    auto self = shared_from_this();
+    auto* const self = this;
     if (options.mode == RlMode::kGradientsOptimization) {
       core::ReduceSpec spec;
       spec.target = GradSumId(round);
@@ -149,7 +154,7 @@ struct HopliteRl : std::enable_shared_from_this<HopliteRl> {
   }
 
   void UpdateModel() {
-    auto self = shared_from_this();
+    auto* const self = this;
     cluster.simulator().ScheduleAfter(options.update_compute.Sample(rng), [self] {
       self->BroadcastPolicy();
     });
@@ -157,7 +162,7 @@ struct HopliteRl : std::enable_shared_from_this<HopliteRl> {
 
   void BroadcastPolicy() {
     const int model_round = round + 1;
-    auto self = shared_from_this();
+    auto* const self = this;
     cluster.client(0).Put(PolicyId(model_round), store::Buffer::OfSize(options.model_bytes));
     pending_broadcast = static_cast<int>(batch_workers.size());
     for (const NodeID w : batch_workers) {
@@ -180,17 +185,17 @@ struct HopliteRl : std::enable_shared_from_this<HopliteRl> {
 // Ray backend
 // --------------------------------------------------------------------
 
-struct RayRl : std::enable_shared_from_this<RayRl> {
+struct RayRl {
   explicit RayRl(const RlOptions& opt)
       : options(opt),
         rng(opt.seed),
-        net(sim, PaperNetwork(opt.num_nodes)),
-        transport(sim, net, baselines::RayLikeConfig::Ray()) {}
+        net(net::MakeFabric(sim, PaperNetwork(opt.num_nodes))),
+        transport(sim, *net, baselines::RayLikeConfig::Ray()) {}
 
   RlOptions options;
   Rng rng;
   sim::Simulator sim;
-  net::NetworkModel net;
+  std::unique_ptr<net::Fabric> net;
   baselines::RayLikeTransport transport;
   RlResult result;
 
@@ -228,7 +233,7 @@ struct RayRl : std::enable_shared_from_this<RayRl> {
   void StartRollout(NodeID w) {
     const SimDuration compute = options.rollout_compute.Sample(rng);
     const int expected = worker_round[static_cast<std::size_t>(w)];
-    auto self = shared_from_this();
+    auto* const self = this;
     sim.ScheduleAfter(compute, [self, w, expected] {
       if (self->worker_round[static_cast<std::size_t>(w)] != expected) return;
       self->transport.Put(w, RolloutId(w, expected), UploadBytes(self->options));
@@ -236,7 +241,7 @@ struct RayRl : std::enable_shared_from_this<RayRl> {
   }
 
   void Subscribe(NodeID w, int upload_round) {
-    auto self = shared_from_this();
+    auto* const self = this;
     // Both modes fetch every upload into the trainer one by one (Ray has no
     // reduce; gradients are applied individually, Figure 1a).
     transport.Get(0, RolloutId(w, upload_round), [self, w] { self->OnUpload(w); });
@@ -253,10 +258,10 @@ struct RayRl : std::enable_shared_from_this<RayRl> {
     const NodeID w = arrival_queue.front();
     arrival_queue.pop_front();
     applying = true;
-    auto self = shared_from_this();
+    auto* const self = this;
     const std::int64_t apply_bytes =
         options.mode == RlMode::kGradientsOptimization ? options.model_bytes : 0;
-    net.Memcpy(0, apply_bytes, [self, w] {
+    net->Memcpy(0, apply_bytes, [self, w] {
       self->applying = false;
       if (self->finished) return;
       self->transport.Delete(
@@ -274,7 +279,7 @@ struct RayRl : std::enable_shared_from_this<RayRl> {
   }
 
   void UpdateModel() {
-    auto self = shared_from_this();
+    auto* const self = this;
     sim.ScheduleAfter(options.update_compute.Sample(rng), [self] {
       self->BroadcastPolicy();
     });
@@ -282,7 +287,7 @@ struct RayRl : std::enable_shared_from_this<RayRl> {
 
   void BroadcastPolicy() {
     const int model_round = round + 1;
-    auto self = shared_from_this();
+    auto* const self = this;
     auto batch = std::make_shared<std::vector<NodeID>>(std::move(batch_workers));
     batch_workers.clear();
     transport.Put(0, PolicyId(model_round), options.model_bytes,
@@ -315,14 +320,14 @@ struct RayRl : std::enable_shared_from_this<RayRl> {
 RlResult RunRl(const RlOptions& options) {
   HOPLITE_CHECK_GE(options.num_nodes, 2);
   if (options.backend == Backend::kHoplite) {
-    auto app = std::make_shared<HopliteRl>(options);
-    app->Run();
-    return app->result;
+    HopliteRl app(options);
+    app.Run();
+    return app.result;
   }
   HOPLITE_CHECK(options.backend == Backend::kRay) << "RL supports Hoplite/Ray backends";
-  auto app = std::make_shared<RayRl>(options);
-  app->Run();
-  return app->result;
+  RayRl app(options);
+  app.Run();
+  return app.result;
 }
 
 }  // namespace hoplite::apps

@@ -23,7 +23,10 @@ namespace {
 // Hoplite backend
 // --------------------------------------------------------------------
 
-struct HopliteServing : std::enable_shared_from_this<HopliteServing> {
+// App backends are stack-owned and outlive Run()'s simulation drain, so
+// callbacks capture a plain `this` (no leak-forming shared_ptr cycles).
+
+struct HopliteServing {
   explicit HopliteServing(const ServingOptions& opt)
       : options(opt), rng(opt.seed), cluster(MakeClusterOptions(opt)) {}
 
@@ -46,7 +49,7 @@ struct HopliteServing : std::enable_shared_from_this<HopliteServing> {
 
   void Run() {
     replica_alive.assign(static_cast<std::size_t>(options.num_nodes), true);
-    auto self = shared_from_this();
+    auto* const self = this;
     cluster.AddMembershipListener([self](NodeID node, bool alive) {
       self->replica_alive[static_cast<std::size_t>(node)] = alive;
       if (!alive && self->awaiting_votes.erase(static_cast<std::uint64_t>(node)) > 0) {
@@ -73,7 +76,7 @@ struct HopliteServing : std::enable_shared_from_this<HopliteServing> {
   void StartQuery() {
     if (query >= options.num_queries) return;
     query_start = cluster.Now();
-    auto self = shared_from_this();
+    auto* const self = this;
     cluster.client(0).Put(QueryId(query), store::Buffer::OfSize(options.query_bytes));
     awaiting_votes.clear();
     const int q = query;
@@ -116,17 +119,17 @@ struct HopliteServing : std::enable_shared_from_this<HopliteServing> {
 // Ray backend
 // --------------------------------------------------------------------
 
-struct RayServing : std::enable_shared_from_this<RayServing> {
+struct RayServing {
   explicit RayServing(const ServingOptions& opt)
       : options(opt),
         rng(opt.seed),
-        net(sim, PaperNetwork(opt.num_nodes)),
-        transport(sim, net, baselines::RayLikeConfig::Ray()) {}
+        net(net::MakeFabric(sim, PaperNetwork(opt.num_nodes))),
+        transport(sim, *net, baselines::RayLikeConfig::Ray()) {}
 
   ServingOptions options;
   Rng rng;
   sim::Simulator sim;
-  net::NetworkModel net;
+  std::unique_ptr<net::Fabric> net;
   baselines::RayLikeTransport transport;
   ServingResult result;
 
@@ -139,12 +142,12 @@ struct RayServing : std::enable_shared_from_this<RayServing> {
   void Run() {
     replica_alive.assign(static_cast<std::size_t>(options.num_nodes), true);
     replica_known_alive.assign(static_cast<std::size_t>(options.num_nodes), true);
-    auto self = shared_from_this();
+    auto* const self = this;
     if (options.kill_node != kInvalidNode && options.recover_at > options.kill_at) {
       sim.ScheduleAt(options.kill_at, [self] {
         const NodeID n = self->options.kill_node;
         self->replica_alive[static_cast<std::size_t>(n)] = false;
-        self->net.FailNode(n);
+        self->net->FailNode(n);
       });
       sim.ScheduleAt(options.kill_at + options.detection_delay, [self] {
         const NodeID n = self->options.kill_node;
@@ -155,7 +158,7 @@ struct RayServing : std::enable_shared_from_this<RayServing> {
       });
       sim.ScheduleAt(options.recover_at, [self] {
         const NodeID n = self->options.kill_node;
-        self->net.RecoverNode(n);
+        self->net->RecoverNode(n);
         self->replica_alive[static_cast<std::size_t>(n)] = true;
         self->replica_known_alive[static_cast<std::size_t>(n)] = true;
       });
@@ -173,7 +176,7 @@ struct RayServing : std::enable_shared_from_this<RayServing> {
     if (query >= options.num_queries) return;
     query_start = sim.Now();
     const int q = query;
-    auto self = shared_from_this();
+    auto* const self = this;
     transport.Put(0, QueryId(q), options.query_bytes, [self, q] {
       self->awaiting_votes.clear();
       for (NodeID replica = 1; replica < self->options.num_nodes; ++replica) {
@@ -212,15 +215,15 @@ struct RayServing : std::enable_shared_from_this<RayServing> {
 ServingResult RunServing(const ServingOptions& options) {
   HOPLITE_CHECK_GE(options.num_nodes, 2);
   if (options.backend == Backend::kHoplite) {
-    auto app = std::make_shared<HopliteServing>(options);
-    app->Run();
-    return app->result;
+    HopliteServing app(options);
+    app.Run();
+    return app.result;
   }
   HOPLITE_CHECK(options.backend == Backend::kRay)
       << "serving supports Hoplite/Ray backends";
-  auto app = std::make_shared<RayServing>(options);
-  app->Run();
-  return app->result;
+  RayServing app(options);
+  app.Run();
+  return app.result;
 }
 
 }  // namespace hoplite::apps

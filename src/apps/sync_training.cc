@@ -25,7 +25,10 @@ namespace {
 // Hoplite backend: Reduce over all gradients + implicit broadcast.
 // --------------------------------------------------------------------
 
-struct HopliteSync : std::enable_shared_from_this<HopliteSync> {
+// App backends are stack-owned and outlive Run()'s simulation drain, so
+// callbacks capture a plain `this` (no leak-forming shared_ptr cycles).
+
+struct HopliteSync {
   explicit HopliteSync(const SyncTrainingOptions& opt)
       : options(opt), rng(opt.seed), cluster(MakeClusterOptions(opt)) {}
 
@@ -50,7 +53,7 @@ struct HopliteSync : std::enable_shared_from_this<HopliteSync> {
 
   void StartRound() {
     if (round >= options.rounds) return;
-    auto self = shared_from_this();
+    auto* const self = this;
     std::vector<ObjectID> sources;
     for (NodeID w = 0; w < options.num_nodes; ++w) {
       const ObjectID grad = GradId(w, round);
@@ -97,18 +100,18 @@ struct HopliteSync : std::enable_shared_from_this<HopliteSync> {
 // MPI / Gloo backends: static allreduce once per round.
 // --------------------------------------------------------------------
 
-struct StaticSync : std::enable_shared_from_this<StaticSync> {
+struct StaticSync {
   explicit StaticSync(const SyncTrainingOptions& opt)
       : options(opt),
         rng(opt.seed),
-        net(sim, PaperNetwork(opt.num_nodes)),
-        mpi(sim, net, baselines::MpiConfig{}),
-        gloo(sim, net, baselines::GlooConfig{}) {}
+        net(net::MakeFabric(sim, PaperNetwork(opt.num_nodes))),
+        mpi(sim, *net, baselines::MpiConfig{}),
+        gloo(sim, *net, baselines::GlooConfig{}) {}
 
   SyncTrainingOptions options;
   Rng rng;
   sim::Simulator sim;
-  net::NetworkModel net;
+  std::unique_ptr<net::Fabric> net;
   baselines::MpiLikeCollectives mpi;
   baselines::GlooLikeCollectives gloo;
   SyncTrainingResult result;
@@ -127,7 +130,7 @@ struct StaticSync : std::enable_shared_from_this<StaticSync> {
       parts.push_back(baselines::Participant{
           w, sim.Now() + options.gradient_compute.Sample(rng)});
     }
-    auto self = shared_from_this();
+    auto* const self = this;
     auto done = [self] {
       ++self->round;
       self->StartRound();
@@ -144,17 +147,17 @@ struct StaticSync : std::enable_shared_from_this<StaticSync> {
 // Ray backend: gather every gradient to node 0, apply, unicast back.
 // --------------------------------------------------------------------
 
-struct RaySync : std::enable_shared_from_this<RaySync> {
+struct RaySync {
   explicit RaySync(const SyncTrainingOptions& opt)
       : options(opt),
         rng(opt.seed),
-        net(sim, PaperNetwork(opt.num_nodes)),
-        transport(sim, net, baselines::RayLikeConfig::Ray()) {}
+        net(net::MakeFabric(sim, PaperNetwork(opt.num_nodes))),
+        transport(sim, *net, baselines::RayLikeConfig::Ray()) {}
 
   SyncTrainingOptions options;
   Rng rng;
   sim::Simulator sim;
-  net::NetworkModel net;
+  std::unique_ptr<net::Fabric> net;
   baselines::RayLikeTransport transport;
   SyncTrainingResult result;
   int round = 0;
@@ -167,7 +170,7 @@ struct RaySync : std::enable_shared_from_this<RaySync> {
 
   void StartRound() {
     if (round >= options.rounds) return;
-    auto self = shared_from_this();
+    auto* const self = this;
     std::vector<ObjectID> sources;
     for (NodeID w = 0; w < options.num_nodes; ++w) {
       const ObjectID grad = GradId(w, round);
@@ -197,21 +200,21 @@ SyncTrainingResult RunSyncTraining(const SyncTrainingOptions& options) {
   HOPLITE_CHECK_GT(options.model_bytes, 0);
   switch (options.backend) {
     case Backend::kHoplite: {
-      auto app = std::make_shared<HopliteSync>(options);
-      app->Run();
-      return app->result;
+      HopliteSync app(options);
+      app.Run();
+      return app.result;
     }
     case Backend::kMpi:
     case Backend::kGloo: {
-      auto app = std::make_shared<StaticSync>(options);
-      app->Run();
-      return app->result;
+      StaticSync app(options);
+      app.Run();
+      return app.result;
     }
     case Backend::kRay:
     case Backend::kDask: {
-      auto app = std::make_shared<RaySync>(options);
-      app->Run();
-      return app->result;
+      RaySync app(options);
+      app.Run();
+      return app.result;
     }
   }
   HOPLITE_CHECK(false);

@@ -25,7 +25,7 @@
 
 #include "common/ids.h"
 #include "common/units.h"
-#include "net/network.h"
+#include "net/fabric.h"
 #include "sim/simulator.h"
 
 namespace hoplite::baselines {
@@ -60,7 +60,7 @@ struct MpiConfig {
 
 class MpiLikeCollectives {
  public:
-  MpiLikeCollectives(sim::Simulator& simulator, net::NetworkModel& network,
+  MpiLikeCollectives(sim::Simulator& simulator, net::Fabric& network,
                      MpiConfig config);
 
   /// One-directional eager/rendezvous send (Figure 6 builds RTTs from two).
@@ -88,7 +88,7 @@ class MpiLikeCollectives {
 
  private:
   sim::Simulator& sim_;
-  net::NetworkModel& net_;
+  net::Fabric& net_;
   MpiConfig config_;
 };
 
@@ -100,7 +100,7 @@ struct GlooConfig {
 
 class GlooLikeCollectives {
  public:
-  GlooLikeCollectives(sim::Simulator& simulator, net::NetworkModel& network,
+  GlooLikeCollectives(sim::Simulator& simulator, net::Fabric& network,
                       GlooConfig config);
 
   /// Gloo does not optimize broadcast (§5.1.2): the root sends the full
@@ -121,7 +121,7 @@ class GlooLikeCollectives {
 
  private:
   sim::Simulator& sim_;
-  net::NetworkModel& net_;
+  net::Fabric& net_;
   GlooConfig config_;
 };
 
@@ -137,7 +137,7 @@ class GlooLikeCollectives {
 /// Ring allreduce over `nodes` (all ready at `start`), `blocks` pipelined
 /// block steps of `block_bytes` each, 2(n-1) rounds. Invokes `done` when the
 /// slowest rank finishes. Shared by MPI and Gloo.
-void RunRingAllreduce(sim::Simulator& simulator, net::NetworkModel& network,
+void RunRingAllreduce(sim::Simulator& simulator, net::Fabric& network,
                       std::vector<NodeID> nodes, std::int64_t bytes,
                       std::int64_t segment_bytes, SimTime start, DoneCallback done);
 

@@ -27,7 +27,7 @@
 
 #include "common/ids.h"
 #include "common/units.h"
-#include "net/network.h"
+#include "net/fabric.h"
 #include "sim/simulator.h"
 
 namespace hoplite::baselines {
@@ -62,7 +62,7 @@ class RayLikeTransport {
  public:
   using DoneCallback = std::function<void()>;
 
-  RayLikeTransport(sim::Simulator& simulator, net::NetworkModel& network,
+  RayLikeTransport(sim::Simulator& simulator, net::Fabric& network,
                    RayLikeConfig config);
 
   /// Stores an object of `size` bytes on `node` (blocking worker->store
@@ -113,7 +113,7 @@ class RayLikeTransport {
   void StartFetch(NodeID node, ObjectID object, DoneCallback done);
 
   sim::Simulator& sim_;
-  net::NetworkModel& net_;
+  net::Fabric& net_;
   RayLikeConfig config_;
   std::unordered_map<ObjectID, Meta> objects_;
 };

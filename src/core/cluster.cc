@@ -8,7 +8,7 @@
 namespace hoplite::core {
 
 HopliteCluster::HopliteCluster(Options options) : options_(std::move(options)) {
-  network_ = std::make_unique<net::NetworkModel>(sim_, options_.network);
+  network_ = net::MakeFabric(sim_, options_.network);
   directory_ = std::make_unique<directory::ObjectDirectory>(*network_, options_.directory);
   const int n = options_.network.num_nodes;
   stores_.reserve(static_cast<std::size_t>(n));

@@ -12,7 +12,7 @@
 #include "common/units.h"
 #include "core/types.h"
 #include "directory/object_directory.h"
-#include "net/network.h"
+#include "net/fabric.h"
 #include "sim/simulator.h"
 #include "store/local_store.h"
 
@@ -36,7 +36,7 @@ class HopliteCluster {
   HopliteCluster& operator=(const HopliteCluster&) = delete;
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
-  [[nodiscard]] net::NetworkModel& network() noexcept { return *network_; }
+  [[nodiscard]] net::Fabric& network() noexcept { return *network_; }
   [[nodiscard]] directory::ObjectDirectory& directory() noexcept { return *directory_; }
   [[nodiscard]] HopliteClient& client(NodeID node);
   [[nodiscard]] store::LocalStore& store(NodeID node);
@@ -81,7 +81,7 @@ class HopliteCluster {
  private:
   Options options_;
   sim::Simulator sim_;
-  std::unique_ptr<net::NetworkModel> network_;
+  std::unique_ptr<net::Fabric> network_;
   std::unique_ptr<directory::ObjectDirectory> directory_;
   std::vector<std::unique_ptr<store::LocalStore>> stores_;
   std::vector<std::unique_ptr<HopliteClient>> clients_;

@@ -4,7 +4,7 @@
 
 namespace hoplite::directory {
 
-ObjectDirectory::ObjectDirectory(net::NetworkModel& network, DirectoryConfig config)
+ObjectDirectory::ObjectDirectory(net::Fabric& network, DirectoryConfig config)
     : network_(network), sim_(network.simulator()), config_(config) {}
 
 void ObjectDirectory::ApplyWrite(std::function<void()> mutation) {

@@ -37,7 +37,7 @@
 #include "common/ids.h"
 #include "common/logging.h"
 #include "common/units.h"
-#include "net/network.h"
+#include "net/fabric.h"
 #include "sim/simulator.h"
 #include "store/buffer.h"
 
@@ -100,7 +100,7 @@ class ObjectDirectory {
   using SubscriptionCallback = std::function<void(const LocationEvent&)>;
   using SubscriptionId = std::uint64_t;
 
-  ObjectDirectory(net::NetworkModel& network, DirectoryConfig config);
+  ObjectDirectory(net::Fabric& network, DirectoryConfig config);
   ObjectDirectory(const ObjectDirectory&) = delete;
   ObjectDirectory& operator=(const ObjectDirectory&) = delete;
 
@@ -234,7 +234,7 @@ class ObjectDirectory {
 
   ObjectEntry& EntryOf(ObjectID object) { return objects_[object]; }
 
-  net::NetworkModel& network_;
+  net::Fabric& network_;
   sim::Simulator& sim_;
   DirectoryConfig config_;
   std::unordered_map<ObjectID, ObjectEntry> objects_;

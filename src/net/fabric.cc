@@ -1,0 +1,117 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/network.h"
+#include "net/rack_fabric.h"
+
+namespace hoplite::net {
+
+Fabric::Fabric(sim::Simulator& simulator, ClusterConfig config)
+    : sim_(simulator), config_(std::move(config)) {
+  HOPLITE_CHECK_GT(config_.num_nodes, 0);
+  HOPLITE_CHECK(config_.per_node_bandwidth.empty() ||
+                config_.per_node_bandwidth.size() ==
+                    static_cast<std::size_t>(config_.num_nodes))
+      << "per-node bandwidth override must cover every node";
+  const auto n = static_cast<std::size_t>(config_.num_nodes);
+  memcpy_free_at_.assign(n, 0);
+  failed_.assign(n, false);
+  traffic_.assign(n, NodeTrafficStats{});
+}
+
+Fabric::~Fabric() = default;
+
+TransferId Fabric::Send(NodeID src, NodeID dst, std::int64_t bytes,
+                        DeliveryCallback on_delivered, FailureCallback on_failed) {
+  CheckNode(src);
+  CheckNode(dst);
+  HOPLITE_CHECK_GE(bytes, 0);
+  HOPLITE_CHECK(on_delivered != nullptr);
+
+  const TransferId id = next_transfer_id_++;
+
+  // A transfer to or from a dead node is noticed by the live peer once the
+  // socket times out.
+  if (NodeFailed(src) || NodeFailed(dst)) {
+    ScheduleFailureNotice(std::move(on_failed), NodeFailed(src) ? src : dst);
+    return id;
+  }
+
+  if (src == dst) {
+    // Local "transfer": data moves through memory, not the NIC.
+    Memcpy(src, bytes, std::move(on_delivered));
+    return id;
+  }
+
+  CountMessage(src, dst, bytes);
+  StartTransfer(id, src, dst, bytes, std::move(on_delivered), std::move(on_failed));
+  return id;
+}
+
+SimTime Fabric::Reserve(SimTime* free_at, SimDuration duration) const {
+  const SimTime start = std::max(sim_.Now(), *free_at);
+  *free_at = start + duration;
+  return start;
+}
+
+void Fabric::Memcpy(NodeID node, std::int64_t bytes, DeliveryCallback done) {
+  CheckNode(node);
+  HOPLITE_CHECK_GE(bytes, 0);
+  HOPLITE_CHECK(done != nullptr);
+  const SimDuration duration = TransferTime(bytes, config_.memcpy_bandwidth);
+  const SimTime start = Reserve(&memcpy_free_at_[static_cast<std::size_t>(node)], duration);
+  sim_.ScheduleAt(start + duration, std::move(done));
+}
+
+void Fabric::FailNode(NodeID node) {
+  CheckNode(node);
+  if (failed_[static_cast<std::size_t>(node)]) return;
+  failed_[static_cast<std::size_t>(node)] = true;
+  AbortTransfersOf(node);
+}
+
+void Fabric::RecoverNode(NodeID node) {
+  CheckNode(node);
+  failed_[static_cast<std::size_t>(node)] = false;
+  OnNodeRecovered(node);
+}
+
+bool Fabric::IsFailed(NodeID node) const {
+  CheckNode(node);
+  return failed_[static_cast<std::size_t>(node)];
+}
+
+const NodeTrafficStats& Fabric::TrafficOf(NodeID node) const {
+  CheckNode(node);
+  return traffic_[static_cast<std::size_t>(node)];
+}
+
+void Fabric::CountMessage(NodeID src, NodeID dst, std::int64_t bytes) {
+  auto& src_stats = traffic_[static_cast<std::size_t>(src)];
+  auto& dst_stats = traffic_[static_cast<std::size_t>(dst)];
+  src_stats.bytes_sent += bytes;
+  src_stats.messages_sent += 1;
+  dst_stats.bytes_received += bytes;
+  dst_stats.messages_received += 1;
+}
+
+void Fabric::ScheduleFailureNotice(FailureCallback on_failed, NodeID dead) {
+  if (on_failed == nullptr) return;
+  sim_.ScheduleAfter(config_.failure_detection_delay,
+                     [cb = std::move(on_failed), dead] { cb(dead); });
+}
+
+std::unique_ptr<Fabric> MakeFabric(sim::Simulator& simulator, ClusterConfig config) {
+  switch (config.fabric.topology) {
+    case TopologyKind::kFlat:
+      return std::make_unique<FlatFabric>(simulator, std::move(config));
+    case TopologyKind::kRack:
+      return std::make_unique<RackFabric>(simulator, std::move(config));
+  }
+  HOPLITE_CHECK(false) << "unknown topology kind";
+  return nullptr;
+}
+
+}  // namespace hoplite::net

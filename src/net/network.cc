@@ -5,53 +5,15 @@
 
 namespace hoplite::net {
 
-NetworkModel::NetworkModel(sim::Simulator& simulator, ClusterConfig config)
-    : sim_(simulator), config_(std::move(config)) {
-  HOPLITE_CHECK_GT(config_.num_nodes, 0);
-  HOPLITE_CHECK(config_.per_node_bandwidth.empty() ||
-                config_.per_node_bandwidth.size() ==
-                    static_cast<std::size_t>(config_.num_nodes))
-      << "per-node bandwidth override must cover every node";
+FlatFabric::FlatFabric(sim::Simulator& simulator, ClusterConfig config)
+    : Fabric(simulator, std::move(config)) {
   const auto n = static_cast<std::size_t>(config_.num_nodes);
   egress_free_at_.assign(n, 0);
   ingress_free_at_.assign(n, 0);
-  memcpy_free_at_.assign(n, 0);
-  failed_.assign(n, false);
-  traffic_.assign(n, NodeTrafficStats{});
 }
 
-SimTime NetworkModel::Reserve(SimTime* free_at, SimDuration duration) const {
-  const SimTime start = std::max(sim_.Now(), *free_at);
-  *free_at = start + duration;
-  return start;
-}
-
-TransferId NetworkModel::Send(NodeID src, NodeID dst, std::int64_t bytes,
-                              DeliveryCallback on_delivered, FailureCallback on_failed) {
-  CheckNode(src);
-  CheckNode(dst);
-  HOPLITE_CHECK_GE(bytes, 0);
-  HOPLITE_CHECK(on_delivered != nullptr);
-
-  const TransferId id = next_transfer_id_++;
-
-  // A transfer to or from a dead node is noticed by the live peer once the
-  // socket times out.
-  if (failed_[static_cast<std::size_t>(src)] || failed_[static_cast<std::size_t>(dst)]) {
-    const NodeID dead = failed_[static_cast<std::size_t>(src)] ? src : dst;
-    if (on_failed != nullptr) {
-      sim_.ScheduleAfter(config_.failure_detection_delay,
-                         [cb = std::move(on_failed), dead] { cb(dead); });
-    }
-    return id;
-  }
-
-  if (src == dst) {
-    // Local "transfer": data moves through memory, not the NIC.
-    Memcpy(src, bytes, std::move(on_delivered));
-    return id;
-  }
-
+void FlatFabric::StartTransfer(TransferId id, NodeID src, NodeID dst, std::int64_t bytes,
+                               DeliveryCallback on_delivered, FailureCallback on_failed) {
   // The transfer occupies the sender's egress and the receiver's ingress for
   // the serialization time at the slower of the two NICs, starting when both
   // are free. Delivery lands one propagation latency + per-message software
@@ -65,13 +27,6 @@ TransferId NetworkModel::Send(NodeID src, NodeID dst, std::int64_t bytes,
   egress = wire_done;
   ingress = wire_done;
 
-  auto& src_stats = traffic_[static_cast<std::size_t>(src)];
-  auto& dst_stats = traffic_[static_cast<std::size_t>(dst)];
-  src_stats.bytes_sent += bytes;
-  src_stats.messages_sent += 1;
-  dst_stats.bytes_received += bytes;
-  dst_stats.messages_received += 1;
-
   const SimTime delivery =
       wire_done + config_.one_way_latency + config_.per_message_overhead;
   const sim::EventId ev = sim_.ScheduleAt(delivery, [this, id, cb = std::move(on_delivered)] {
@@ -79,10 +34,9 @@ TransferId NetworkModel::Send(NodeID src, NodeID dst, std::int64_t bytes,
     cb();
   });
   in_flight_.emplace(id, InFlight{src, dst, ev, std::move(on_failed)});
-  return id;
 }
 
-bool NetworkModel::CancelTransfer(TransferId id) {
+bool FlatFabric::CancelTransfer(TransferId id) {
   auto it = in_flight_.find(id);
   if (it == in_flight_.end()) return false;
   sim_.Cancel(it->second.delivery_event);
@@ -90,23 +44,7 @@ bool NetworkModel::CancelTransfer(TransferId id) {
   return true;
 }
 
-void NetworkModel::Memcpy(NodeID node, std::int64_t bytes, DeliveryCallback done) {
-  CheckNode(node);
-  HOPLITE_CHECK_GE(bytes, 0);
-  HOPLITE_CHECK(done != nullptr);
-  const SimDuration duration = TransferTime(bytes, config_.memcpy_bandwidth);
-  const SimTime start = Reserve(&memcpy_free_at_[static_cast<std::size_t>(node)], duration);
-  sim_.ScheduleAt(start + duration, std::move(done));
-}
-
-void NetworkModel::FailNode(NodeID node) {
-  CheckNode(node);
-  if (failed_[static_cast<std::size_t>(node)]) return;
-  failed_[static_cast<std::size_t>(node)] = true;
-  ReportFailureToPeers(node);
-}
-
-void NetworkModel::ReportFailureToPeers(NodeID failed) {
+void FlatFabric::AbortTransfersOf(NodeID failed) {
   // Collect first: failure callbacks may start new transfers.
   std::vector<FailureCallback> to_notify;
   for (auto it = in_flight_.begin(); it != in_flight_.end();) {
@@ -122,14 +60,11 @@ void NetworkModel::ReportFailureToPeers(NodeID failed) {
     }
   }
   for (auto& cb : to_notify) {
-    sim_.ScheduleAfter(config_.failure_detection_delay,
-                       [cb = std::move(cb), failed] { cb(failed); });
+    ScheduleFailureNotice(std::move(cb), failed);
   }
 }
 
-void NetworkModel::RecoverNode(NodeID node) {
-  CheckNode(node);
-  failed_[static_cast<std::size_t>(node)] = false;
+void FlatFabric::OnNodeRecovered(NodeID node) {
   // The rejoined node starts with idle queues no earlier than now.
   egress_free_at_[static_cast<std::size_t>(node)] =
       std::max(egress_free_at_[static_cast<std::size_t>(node)], sim_.Now());
@@ -137,24 +72,14 @@ void NetworkModel::RecoverNode(NodeID node) {
       std::max(ingress_free_at_[static_cast<std::size_t>(node)], sim_.Now());
 }
 
-bool NetworkModel::IsFailed(NodeID node) const {
-  CheckNode(node);
-  return failed_[static_cast<std::size_t>(node)];
-}
-
-SimTime NetworkModel::EgressFreeAt(NodeID node) const {
+SimTime FlatFabric::EgressFreeAt(NodeID node) const {
   CheckNode(node);
   return std::max(sim_.Now(), egress_free_at_[static_cast<std::size_t>(node)]);
 }
 
-SimTime NetworkModel::IngressFreeAt(NodeID node) const {
+SimTime FlatFabric::IngressFreeAt(NodeID node) const {
   CheckNode(node);
   return std::max(sim_.Now(), ingress_free_at_[static_cast<std::size_t>(node)]);
-}
-
-const NodeTrafficStats& NetworkModel::TrafficOf(NodeID node) const {
-  CheckNode(node);
-  return traffic_[static_cast<std::size_t>(node)];
 }
 
 }  // namespace hoplite::net

@@ -1,117 +1,36 @@
-// Flow-level simulated cluster network.
+// Flat flow-level cluster fabric (the paper's testbed).
 //
-// This module is the substitute for the paper's EC2 testbed fabric
-// (m5.4xlarge, 10 Gbps full-duplex NICs, ~85 us RTT). Each node has a
-// serialized egress queue and a serialized ingress queue: a transfer occupies
-// the sender's egress and the receiver's ingress for bytes/bandwidth
-// simulated seconds, then is delivered one propagation latency later.
-// Higher layers split objects into chunks, so store-and-forward over this
-// model naturally reproduces the pipelining behaviour the paper relies on.
+// This module is the substitute for the paper's EC2 fabric (m5.4xlarge,
+// 10 Gbps full-duplex NICs, ~85 us RTT). Each node has a serialized egress
+// queue and a serialized ingress queue: a transfer occupies the sender's
+// egress and the receiver's ingress for bytes/bandwidth simulated seconds,
+// then is delivered one propagation latency later. Higher layers split
+// objects into chunks, so store-and-forward over this model naturally
+// reproduces the pipelining behaviour the paper relies on.
 //
-// A per-node memcpy resource models the worker<->object-store copies whose
-// cost (and whose masking by pipelining) §3.3 of the paper discusses.
+// The per-node memcpy resource modelling the worker<->object-store copies
+// (§3.3) lives on the Fabric base, shared with every topology.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
-#include "common/logging.h"
 #include "common/units.h"
+#include "net/fabric.h"
 #include "sim/simulator.h"
 
 namespace hoplite::net {
 
-/// Static description of the simulated cluster.
-struct ClusterConfig {
-  int num_nodes = 16;
-
-  /// Per-node NIC bandwidth, full duplex (paper: 10 Gbps).
-  BytesPerSecond nic_bandwidth = Gbps(10);
-
-  /// One-way propagation + protocol latency between any two nodes.
-  /// The paper's testbed measures sub-millisecond RTTs; 42.5 us one-way
-  /// yields the ~85 us RTT typical of same-AZ EC2 placement groups.
-  SimDuration one_way_latency = Nanoseconds(42'500);
-
-  /// Per-node memory copy bandwidth for worker<->store copies
-  /// (m5.4xlarge sustains roughly 10 GB/s single-stream memcpy).
-  BytesPerSecond memcpy_bandwidth = GBps(10.0);
-
-  /// Fixed software overhead charged per message on top of propagation
-  /// latency (syscall + RPC framing). Applies to every Send.
-  SimDuration per_message_overhead = Nanoseconds(5'000);
-
-  /// How long a peer takes to notice that a failed node's socket died
-  /// (paper §5.5: Hoplite detects failures via socket liveness in ~0.74 s
-  /// including the application-level machinery; the transport-level
-  /// constant is configurable by the fault-tolerance layer).
-  SimDuration failure_detection_delay = Milliseconds(100);
-
-  /// Optional per-node NIC bandwidth override (heterogeneous clusters,
-  /// §6 "Network Heterogeneity"). Empty means uniform `nic_bandwidth`.
-  std::vector<BytesPerSecond> per_node_bandwidth;
-
-  [[nodiscard]] BytesPerSecond BandwidthOf(NodeID node) const {
-    if (!per_node_bandwidth.empty()) {
-      HOPLITE_CHECK_LT(static_cast<std::size_t>(node), per_node_bandwidth.size());
-      return per_node_bandwidth[static_cast<std::size_t>(node)];
-    }
-    return nic_bandwidth;
-  }
-};
-
-/// Identifier of an in-flight transfer, usable for cancellation.
-using TransferId = std::uint64_t;
-inline constexpr TransferId kInvalidTransfer = 0;
-
-/// Per-node traffic counters, exposed for tests and benches.
-struct NodeTrafficStats {
-  std::int64_t bytes_sent = 0;
-  std::int64_t bytes_received = 0;
-  std::uint64_t messages_sent = 0;
-  std::uint64_t messages_received = 0;
-};
-
-/// The simulated fabric. All methods must be called from simulation context
-/// (i.e., inside event callbacks or before Run()).
-class NetworkModel {
+/// The flat (non-blocking, contention-free) fabric: per-node serialized NIC
+/// queues and nothing shared between flows. This is the default topology and
+/// reproduces the paper's same-AZ EC2 measurements.
+class FlatFabric final : public Fabric {
  public:
-  using DeliveryCallback = std::function<void()>;
-  /// Invoked (instead of delivery) when the peer node fails; the argument is
-  /// the failed node.
-  using FailureCallback = std::function<void(NodeID)>;
+  FlatFabric(sim::Simulator& simulator, ClusterConfig config);
 
-  NetworkModel(sim::Simulator& simulator, ClusterConfig config);
-  NetworkModel(const NetworkModel&) = delete;
-  NetworkModel& operator=(const NetworkModel&) = delete;
-
-  /// Sends `bytes` from `src` to `dst`. `on_delivered` fires when the last
-  /// byte arrives at `dst`. If either endpoint fails first, `on_failed`
-  /// fires after the configured detection delay instead (if provided).
-  /// Self-sends (src == dst) are delivered through the memcpy resource.
-  TransferId Send(NodeID src, NodeID dst, std::int64_t bytes, DeliveryCallback on_delivered,
-                  FailureCallback on_failed = nullptr);
-
-  /// Cancels an in-flight transfer: neither callback will fire. Returns
-  /// false if the transfer already completed/failed. The NIC time already
-  /// reserved is not returned (the bytes were on the wire).
-  bool CancelTransfer(TransferId id);
-
-  /// Occupies `node`'s memcpy engine for bytes/memcpy_bandwidth, then `done`.
-  void Memcpy(NodeID node, std::int64_t bytes, DeliveryCallback done);
-
-  /// Marks a node as failed: every in-flight transfer touching it reports
-  /// failure to the surviving peer after the detection delay; new transfers
-  /// touching it fail the same way.
-  void FailNode(NodeID node);
-
-  /// Clears the failed flag (the node rejoined with empty queues).
-  void RecoverNode(NodeID node);
-
-  [[nodiscard]] bool IsFailed(NodeID node) const;
+  bool CancelTransfer(TransferId id) override;
 
   /// First instant at which a new transfer out of `node` could start
   /// (egress queue drain time; never earlier than Now()).
@@ -119,11 +38,11 @@ class NetworkModel {
   /// Same for the ingress direction.
   [[nodiscard]] SimTime IngressFreeAt(NodeID node) const;
 
-  [[nodiscard]] const NodeTrafficStats& TrafficOf(NodeID node) const;
-  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
-  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
-  [[nodiscard]] SimTime Now() const noexcept { return sim_.Now(); }
-  [[nodiscard]] int num_nodes() const noexcept { return config_.num_nodes; }
+ protected:
+  void StartTransfer(TransferId id, NodeID src, NodeID dst, std::int64_t bytes,
+                     DeliveryCallback on_delivered, FailureCallback on_failed) override;
+  void AbortTransfersOf(NodeID node) override;
+  void OnNodeRecovered(NodeID node) override;
 
  private:
   struct InFlight {
@@ -133,28 +52,12 @@ class NetworkModel {
     FailureCallback on_failed;  // may be empty
   };
 
-  void CheckNode(NodeID node) const {
-    HOPLITE_CHECK_GE(node, 0);
-    HOPLITE_CHECK_LT(node, config_.num_nodes);
-  }
-
-  /// Reserves a serialized resource whose head-of-line frees at `*free_at`,
-  /// for `duration`, starting no earlier than now. Returns the start time.
-  [[nodiscard]] SimTime Reserve(SimTime* free_at, SimDuration duration) const;
-
-  void ReportFailureToPeers(NodeID failed);
-
-  sim::Simulator& sim_;
-  ClusterConfig config_;
-
   std::vector<SimTime> egress_free_at_;
   std::vector<SimTime> ingress_free_at_;
-  std::vector<SimTime> memcpy_free_at_;
-  std::vector<bool> failed_;
-  std::vector<NodeTrafficStats> traffic_;
-
-  TransferId next_transfer_id_ = 1;
   std::unordered_map<TransferId, InFlight> in_flight_;
 };
+
+/// Historical name of the flat fabric, kept for existing call sites.
+using NetworkModel = FlatFabric;
 
 }  // namespace hoplite::net

@@ -1,0 +1,273 @@
+#include "net/rack_fabric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace hoplite::net {
+
+namespace {
+
+/// Wire residue below which a flow counts as finished. Completion events are
+/// scheduled at the ceiling nanosecond of remaining/rate, so a finished
+/// flow's booked residue is at most rounding error — well under half a byte.
+constexpr double kDoneBytes = 0.5;
+
+}  // namespace
+
+RackFabric::RackFabric(sim::Simulator& simulator, ClusterConfig config)
+    : Fabric(simulator, std::move(config)) {
+  HOPLITE_CHECK_GT(config_.fabric.num_racks, 0);
+  HOPLITE_CHECK_GT(config_.fabric.oversubscription, 0.0);
+  num_racks_ = std::min(config_.fabric.num_racks, config_.num_nodes);
+  nodes_per_rack_ = (config_.num_nodes + num_racks_ - 1) / num_racks_;
+
+  links_.assign(static_cast<std::size_t>(2 * config_.num_nodes + 2 * num_racks_), Link{});
+  for (NodeID node = 0; node < config_.num_nodes; ++node) {
+    const BytesPerSecond nic = config_.BandwidthOf(node);
+    HOPLITE_CHECK_GT(nic, 0.0);
+    links_[static_cast<std::size_t>(EgressLink(node))].capacity = nic;
+    links_[static_cast<std::size_t>(IngressLink(node))].capacity = nic;
+  }
+  for (int rack = 0; rack < num_racks_; ++rack) {
+    double rack_nic_sum = 0;
+    for (NodeID node = 0; node < config_.num_nodes; ++node) {
+      if (RackOf(node) == rack) rack_nic_sum += config_.BandwidthOf(node);
+    }
+    const double tor = rack_nic_sum / config_.fabric.oversubscription;
+    links_[static_cast<std::size_t>(UplinkLink(rack))].capacity = tor;
+    links_[static_cast<std::size_t>(DownlinkLink(rack))].capacity = tor;
+  }
+}
+
+int RackFabric::RackOf(NodeID node) const {
+  CheckNode(node);
+  return std::min(static_cast<int>(node) / nodes_per_rack_, num_racks_ - 1);
+}
+
+BytesPerSecond RackFabric::UplinkCapacityOf(int rack) const {
+  HOPLITE_CHECK_GE(rack, 0);
+  HOPLITE_CHECK_LT(rack, num_racks_);
+  return links_[static_cast<std::size_t>(UplinkLink(rack))].capacity;
+}
+
+double RackFabric::CurrentRate(TransferId id) const {
+  const auto it = flows_.find(id);
+  if (it == flows_.end() || it->second.stage != Stage::kWire) return 0;
+  return it->second.rate;
+}
+
+void RackFabric::StartTransfer(TransferId id, NodeID src, NodeID dst, std::int64_t bytes,
+                               DeliveryCallback on_delivered, FailureCallback on_failed) {
+  AdvanceProgress();
+
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.on_delivered = std::move(on_delivered);
+  flow.on_failed = std::move(on_failed);
+  auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  HOPLITE_CHECK(inserted);
+  Flow& f = it->second;
+
+  if (bytes == 0) {
+    // Control message: pure latency, no wire bandwidth.
+    EnterDeliveryStage(id, f);
+    return;
+  }
+
+  f.remaining = static_cast<double>(bytes);
+  f.links[static_cast<std::size_t>(f.num_links++)] = EgressLink(src);
+  f.links[static_cast<std::size_t>(f.num_links++)] = IngressLink(dst);
+  const int src_rack = RackOf(src);
+  const int dst_rack = RackOf(dst);
+  if (src_rack != dst_rack) {
+    f.links[static_cast<std::size_t>(f.num_links++)] = UplinkLink(src_rack);
+    f.links[static_cast<std::size_t>(f.num_links++)] = DownlinkLink(dst_rack);
+  }
+  for (int i = 0; i < f.num_links; ++i) {
+    links_[static_cast<std::size_t>(f.links[static_cast<std::size_t>(i)])].users += 1;
+  }
+  wire_flow_count_ += 1;
+
+  AssignRates();
+  RescheduleCompletion();
+}
+
+bool RackFabric::CancelTransfer(TransferId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  Flow& flow = it->second;
+  if (flow.stage == Stage::kDelivery) {
+    sim_.Cancel(flow.delivery_event);
+    flows_.erase(it);
+    return true;
+  }
+  AdvanceProgress();
+  DetachFromLinks(flow);
+  flows_.erase(it);
+  AssignRates();
+  RescheduleCompletion();
+  return true;
+}
+
+void RackFabric::AbortTransfersOf(NodeID node) {
+  AdvanceProgress();
+  // Collect first: failure callbacks may start new transfers.
+  std::vector<FailureCallback> to_notify;
+  bool links_changed = false;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow& flow = it->second;
+    if (flow.src != node && flow.dst != node) {
+      ++it;
+      continue;
+    }
+    if (flow.stage == Stage::kDelivery) {
+      sim_.Cancel(flow.delivery_event);
+    } else {
+      DetachFromLinks(flow);
+      links_changed = true;
+    }
+    if (flow.on_failed != nullptr) to_notify.push_back(std::move(flow.on_failed));
+    it = flows_.erase(it);
+  }
+  if (links_changed) {
+    AssignRates();
+    RescheduleCompletion();
+  }
+  for (auto& cb : to_notify) {
+    ScheduleFailureNotice(std::move(cb), node);
+  }
+}
+
+void RackFabric::DetachFromLinks(Flow& flow) {
+  for (int i = 0; i < flow.num_links; ++i) {
+    links_[static_cast<std::size_t>(flow.links[static_cast<std::size_t>(i)])].users -= 1;
+  }
+  flow.num_links = 0;
+  flow.rate = 0;
+  wire_flow_count_ -= 1;
+}
+
+void RackFabric::AdvanceProgress() {
+  const SimTime now = sim_.Now();
+  if (now == last_progress_) return;
+  const double dt = static_cast<double>(now - last_progress_) * 1e-9;
+  last_progress_ = now;
+  for (auto& [id, flow] : flows_) {
+    if (flow.stage != Stage::kWire) continue;
+    flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
+  }
+}
+
+void RackFabric::AssignRates() {
+  for (Link& link : links_) {
+    link.unfrozen = 0;
+    link.allocated = 0;
+    link.saturated = false;
+  }
+  int unfrozen_flows = 0;
+  for (auto& [id, flow] : flows_) {
+    if (flow.stage != Stage::kWire) continue;
+    flow.rate = 0;
+    flow.frozen = false;
+    ++unfrozen_flows;
+    for (int i = 0; i < flow.num_links; ++i) {
+      links_[static_cast<std::size_t>(flow.links[static_cast<std::size_t>(i)])].unfrozen += 1;
+    }
+  }
+
+  // Progressive filling: raise every unfrozen flow's rate uniformly until a
+  // link saturates, freeze the flows crossing it, repeat. Each round
+  // saturates at least the bottleneck link, so the loop terminates.
+  int guard = unfrozen_flows + static_cast<int>(links_.size()) + 1;
+  while (unfrozen_flows > 0 && guard-- > 0) {
+    double delta = std::numeric_limits<double>::infinity();
+    for (const Link& link : links_) {
+      if (link.unfrozen == 0 || link.saturated) continue;
+      const double headroom = std::max(0.0, link.capacity - link.allocated);
+      delta = std::min(delta, headroom / link.unfrozen);
+    }
+    HOPLITE_CHECK(std::isfinite(delta)) << "unfrozen flow with no unsaturated link";
+    for (auto& [id, flow] : flows_) {
+      if (flow.stage != Stage::kWire || flow.frozen) continue;
+      flow.rate += delta;
+    }
+    for (Link& link : links_) {
+      if (link.unfrozen == 0 || link.saturated) continue;
+      link.allocated += delta * link.unfrozen;
+      if (link.capacity - link.allocated <= link.capacity * 1e-9) link.saturated = true;
+    }
+    for (auto& [id, flow] : flows_) {
+      if (flow.stage != Stage::kWire || flow.frozen) continue;
+      bool bottlenecked = false;
+      for (int i = 0; i < flow.num_links && !bottlenecked; ++i) {
+        bottlenecked =
+            links_[static_cast<std::size_t>(flow.links[static_cast<std::size_t>(i)])].saturated;
+      }
+      if (!bottlenecked) continue;
+      flow.frozen = true;
+      --unfrozen_flows;
+      for (int i = 0; i < flow.num_links; ++i) {
+        links_[static_cast<std::size_t>(flow.links[static_cast<std::size_t>(i)])].unfrozen -= 1;
+      }
+    }
+  }
+  HOPLITE_CHECK_EQ(unfrozen_flows, 0) << "progressive filling did not converge";
+}
+
+void RackFabric::RescheduleCompletion() {
+  if (completion_event_.IsValid()) {
+    sim_.Cancel(completion_event_);
+    completion_event_ = sim::EventId{};
+  }
+  const SimTime now = sim_.Now();
+  SimTime best = kSimTimeMax;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.stage != Stage::kWire) continue;
+    SimTime at = kSimTimeMax;
+    if (flow.remaining <= kDoneBytes) {
+      at = now;
+    } else if (flow.rate > 0) {
+      const double ns = std::ceil(flow.remaining / flow.rate * 1e9);
+      at = ns >= static_cast<double>(kSimTimeMax - now) ? kSimTimeMax
+                                                        : now + static_cast<SimTime>(ns);
+    }
+    best = std::min(best, at);
+  }
+  if (best < kSimTimeMax) {
+    completion_event_ = sim_.ScheduleAt(best, [this] { OnWireCompletion(); });
+  }
+}
+
+void RackFabric::OnWireCompletion() {
+  completion_event_ = sim::EventId{};
+  AdvanceProgress();
+  bool links_changed = false;
+  for (auto& [id, flow] : flows_) {
+    if (flow.stage != Stage::kWire || flow.remaining > kDoneBytes) continue;
+    DetachFromLinks(flow);
+    EnterDeliveryStage(id, flow);
+    links_changed = true;
+  }
+  if (links_changed) AssignRates();
+  RescheduleCompletion();
+}
+
+void RackFabric::EnterDeliveryStage(TransferId id, Flow& flow) {
+  flow.stage = Stage::kDelivery;
+  SimDuration latency = config_.one_way_latency + config_.per_message_overhead;
+  if (RackOf(flow.src) != RackOf(flow.dst)) {
+    latency += config_.fabric.cross_rack_extra_latency;
+  }
+  flow.delivery_event = sim_.ScheduleAfter(latency, [this, id] {
+    auto it = flows_.find(id);
+    HOPLITE_CHECK(it != flows_.end());
+    DeliveryCallback cb = std::move(it->second.on_delivered);
+    flows_.erase(it);
+    cb();
+  });
+}
+
+}  // namespace hoplite::net

@@ -1,0 +1,122 @@
+// Rack-topology fabric with progressive max-min fair bandwidth sharing.
+//
+// Nodes are grouped into racks behind top-of-rack (ToR) uplinks. A flow
+// from `src` to `dst` traverses:
+//
+//   src NIC egress --> [ToR uplink of src's rack --> core -->
+//                       ToR downlink of dst's rack] --> dst NIC ingress
+//
+// where the bracketed links are only crossed by inter-rack flows. Each ToR
+// uplink/downlink carries (sum of the rack's NIC bandwidth) divided by the
+// configured oversubscription ratio, so at 1:1 the fabric is non-blocking
+// and at 8:1 the core is the bottleneck the moment more than 1/8 of a
+// rack's NIC capacity wants out.
+//
+// Unlike FlatFabric's serialized per-node queues, concurrent flows here
+// share links fluidly: rates follow progressive filling (max-min fairness),
+// recomputed event-driven whenever a flow starts, finishes, is cancelled or
+// fails. Iteration orders are fixed (flows by ascending TransferId, links by
+// index), so runs stay bit-reproducible. This is the regime of inter-
+// datacenter congestion studies (Zeng; Sander et al. for flow-rate
+// fairness) that the flat testbed model cannot express.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "net/fabric.h"
+#include "sim/simulator.h"
+
+namespace hoplite::net {
+
+class RackFabric final : public Fabric {
+ public:
+  RackFabric(sim::Simulator& simulator, ClusterConfig config);
+
+  bool CancelTransfer(TransferId id) override;
+
+  // ---------------- introspection for tests and benches ----------------
+
+  [[nodiscard]] int num_racks() const noexcept { return num_racks_; }
+  [[nodiscard]] int RackOf(NodeID node) const;
+  /// Capacity of the ToR uplink (== downlink) of `rack`, bytes per second.
+  [[nodiscard]] BytesPerSecond UplinkCapacityOf(int rack) const;
+  /// Current fair-share rate of an in-flight transfer in bytes per second
+  /// (0 if unknown or already past the wire stage).
+  [[nodiscard]] double CurrentRate(TransferId id) const;
+  /// Number of flows currently occupying wire bandwidth.
+  [[nodiscard]] std::size_t wire_flows() const noexcept { return wire_flow_count_; }
+
+ protected:
+  void StartTransfer(TransferId id, NodeID src, NodeID dst, std::int64_t bytes,
+                     DeliveryCallback on_delivered, FailureCallback on_failed) override;
+  void AbortTransfersOf(NodeID node) override;
+
+ private:
+  /// A shared resource: one NIC direction or one ToR uplink/downlink.
+  struct Link {
+    double capacity = 0;  ///< bytes per second
+    int users = 0;        ///< flows currently crossing this link
+    // Scratch state for progressive filling:
+    int unfrozen = 0;
+    double allocated = 0;
+    bool saturated = false;
+  };
+
+  enum class Stage {
+    kWire,      ///< occupying link bandwidth (remaining > 0)
+    kDelivery,  ///< past the wire; propagation latency event scheduled
+  };
+
+  struct Flow {
+    NodeID src = kInvalidNode;
+    NodeID dst = kInvalidNode;
+    Stage stage = Stage::kWire;
+    double remaining = 0;  ///< bytes left on the wire
+    double rate = 0;       ///< current fair share, bytes per second
+    bool frozen = false;   ///< scratch state for progressive filling
+    std::array<int, 4> links{};
+    int num_links = 0;
+    sim::EventId delivery_event;  ///< valid in kDelivery
+    DeliveryCallback on_delivered;
+    FailureCallback on_failed;  // may be empty
+  };
+
+  // Link index layout: [0, n) egress NICs, [n, 2n) ingress NICs,
+  // [2n, 2n + r) ToR uplinks, [2n + r, 2n + 2r) ToR downlinks.
+  [[nodiscard]] int EgressLink(NodeID node) const { return static_cast<int>(node); }
+  [[nodiscard]] int IngressLink(NodeID node) const {
+    return config_.num_nodes + static_cast<int>(node);
+  }
+  [[nodiscard]] int UplinkLink(int rack) const { return 2 * config_.num_nodes + rack; }
+  [[nodiscard]] int DownlinkLink(int rack) const {
+    return 2 * config_.num_nodes + num_racks_ + rack;
+  }
+
+  /// Books `remaining -= rate * dt` for every wire flow since the last call.
+  void AdvanceProgress();
+  /// Recomputes every wire flow's rate via progressive filling.
+  void AssignRates();
+  /// (Re)schedules the single next-wire-completion event.
+  void RescheduleCompletion();
+  void OnWireCompletion();
+  /// Moves a finished wire flow into the delivery (latency) stage.
+  void EnterDeliveryStage(TransferId id, Flow& flow);
+  void DetachFromLinks(Flow& flow);
+
+  int num_racks_ = 0;
+  int nodes_per_rack_ = 0;
+  std::vector<Link> links_;
+  /// Ordered map: progressive filling and completion scans iterate flows in
+  /// ascending TransferId order, which keeps runs deterministic.
+  std::map<TransferId, Flow> flows_;
+  std::size_t wire_flow_count_ = 0;
+  SimTime last_progress_ = 0;
+  sim::EventId completion_event_;
+};
+
+}  // namespace hoplite::net

@@ -50,6 +50,7 @@ class Simulator {
     const EventId id{++next_seq_};
     heap_.push_back(Event{t, id.seq, std::move(fn)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
+    pending_.insert(id.seq);
     return id;
   }
 
@@ -62,9 +63,15 @@ class Simulator {
   /// Cancels a pending event. Safe to call for events that already fired or
   /// were already cancelled (returns false in those cases; true if this call
   /// is the one that cancelled it).
+  ///
+  /// Tombstones are swept eagerly once they outnumber half the pending
+  /// events, so heavy cancel traffic (or cancelling into an abandoned heap)
+  /// cannot grow `cancelled_` without bound.
   bool Cancel(EventId id) {
-    if (!id.IsValid() || id.seq > next_seq_) return false;
-    return cancelled_.insert(id.seq).second;
+    if (!id.IsValid() || pending_.erase(id.seq) == 0) return false;
+    cancelled_.insert(id.seq);
+    if (cancelled_.size() > heap_.size() / 2) SweepCancelled();
+    return true;
   }
 
   /// Runs the next pending event, if any. Returns false when the queue is
@@ -78,6 +85,7 @@ class Simulator {
         cancelled_.erase(it);
         continue;
       }
+      pending_.erase(ev.seq);
       HOPLITE_CHECK_GE(ev.time, now_);
       now_ = ev.time;
       ++executed_events_;
@@ -97,7 +105,16 @@ class Simulator {
   /// deadline are executed). Time advances to `deadline` afterwards even if
   /// the queue drained earlier.
   void RunUntil(SimTime deadline) {
-    while (!heap_.empty() && PeekTime() <= deadline) {
+    while (!heap_.empty()) {
+      // Drop cancelled heads first: a tombstone at or before the deadline
+      // must not license Step() to execute a live event beyond it.
+      if (auto it = cancelled_.find(heap_.front().seq); it != cancelled_.end()) {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        heap_.pop_back();
+        cancelled_.erase(it);
+        continue;
+      }
+      if (PeekTime() > deadline) break;
       Step();
     }
     if (now_ < deadline) now_ = deadline;
@@ -119,6 +136,9 @@ class Simulator {
   [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_events_; }
   /// Number of events currently pending (cancelled-but-unswept included).
   [[nodiscard]] std::size_t pending_events() const noexcept { return heap_.size(); }
+  /// Number of cancelled-but-unswept tombstones (bounded by the sweep in
+  /// Cancel; exposed for the accounting regression tests).
+  [[nodiscard]] std::size_t cancelled_tombstones() const noexcept { return cancelled_.size(); }
   [[nodiscard]] bool Idle() const noexcept { return heap_.empty(); }
 
  private:
@@ -137,10 +157,28 @@ class Simulator {
 
   [[nodiscard]] SimTime PeekTime() const noexcept { return heap_.front().time; }
 
+  /// Drops every cancelled event from the heap and clears the tombstone set
+  /// (every tombstone matches exactly one heap entry, because Cancel only
+  /// marks pending events). Removing entries does not perturb execution
+  /// order: it is fully determined by (time, seq).
+  void SweepCancelled() {
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const Event& ev) {
+                                 return cancelled_.count(ev.seq) > 0;
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    cancelled_.clear();
+  }
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_events_ = 0;
   std::vector<Event> heap_;
+  /// Seqs of events that are scheduled and not yet fired or cancelled.
+  /// Gives Cancel an exact pending test, so cancel-after-fire and repeated
+  /// cancels return false without ever inserting an unreclaimable tombstone.
+  std::unordered_set<std::uint64_t> pending_;
   std::unordered_set<std::uint64_t> cancelled_;
 };
 

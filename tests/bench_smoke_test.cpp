@@ -24,11 +24,12 @@ RunOptions SmokeScale() {
   return options;
 }
 
-TEST(BenchRegistryTest, AllThirteenFiguresRegistered) {
+TEST(BenchRegistryTest, AllFourteenFiguresRegistered) {
   const std::set<std::string> expected{
       "fig6",  "fig7",  "fig8",  "fig9",       "fig10",
       "fig11", "fig12", "fig13", "fig14",      "fig15",
-      "adaptive-d", "directory-latency", "engine-micro"};
+      "adaptive-d", "directory-latency", "engine-micro",
+      "topo_oversubscription"};
   std::set<std::string> registered;
   for (const Figure& figure : Registry::Instance().figures()) {
     EXPECT_NE(figure.fn, nullptr) << figure.name;
@@ -47,6 +48,7 @@ TEST(BenchRegistryTest, FindIsExactAndMissesUnknown) {
 
 TEST(BenchSmokeTest, EveryFigureProducesFiniteRowsAtTinyScale) {
   const RunOptions opt = SmokeScale();
+  EXPECT_EQ(Registry::Instance().figures().size(), 14u);
   for (const Figure& figure : Registry::Instance().figures()) {
     SCOPED_TRACE(figure.name);
     const std::vector<Row> rows = figure.fn(opt);
@@ -84,6 +86,47 @@ TEST(BenchSmokeTest, AdaptiveDegreeStaysWithinTenPercentOfBestAtPaperScale) {
   EXPECT_GT(summary.coords[0].second, 0.0);
   EXPECT_EQ(summary.value, summary.coords[0].second)
       << "adaptive reduce degree fell outside 10% of the best forced degree";
+}
+
+// The topology figure is this repo's gate for the rack fabric: across the
+// 1:1 -> 8:1 oversubscription sweep, Hoplite's tree collectives must beat
+// the Ray-like point-to-point baseline at every cell and degrade gracefully
+// (monotonically, and by less than the 8x bandwidth cut) rather than
+// collapse. Event-level cheap (<0.1 s), so the gate runs at paper scale.
+TEST(BenchSmokeTest, TopoOversubscriptionHopliteBeatsRayAndDegradesGracefully) {
+  const Figure* figure = Registry::Instance().Find("topo_oversubscription");
+  ASSERT_NE(figure, nullptr);
+  const std::vector<Row> rows = figure->fn(RunOptions{});
+  ASSERT_FALSE(rows.empty());
+
+  const auto value_of = [&rows](const std::string& series, const std::string& op,
+                                double oversub) {
+    for (const Row& row : rows) {
+      if (row.series != series) continue;
+      if (row.labels.empty() || row.labels[0] != std::make_pair(std::string("op"), op)) {
+        continue;
+      }
+      if (row.coords.empty() || row.coords[0].second != oversub) continue;
+      return row.value;
+    }
+    ADD_FAILURE() << "missing row: " << series << " " << op << " " << oversub;
+    return 0.0;
+  };
+
+  for (const std::string op : {"broadcast", "reduce", "allreduce"}) {
+    double previous = 0;
+    for (const double oversub : {1.0, 2.0, 4.0, 8.0}) {
+      const double hoplite = value_of("Hoplite", op, oversub);
+      const double ray = value_of("Ray", op, oversub);
+      EXPECT_LT(hoplite, ray) << op << " at " << oversub << ":1";
+      EXPECT_GE(hoplite, previous) << op << " sped up under congestion at " << oversub;
+      previous = hoplite;
+    }
+    const double flat = value_of("Hoplite", op, 1.0);
+    const double congested = value_of("Hoplite", op, 8.0);
+    EXPECT_GT(congested, flat) << op << " ignored the oversubscribed uplink";
+    EXPECT_LT(congested, 8 * flat) << op << " collapsed instead of degrading";
+  }
 }
 
 TEST(BenchSmokeTest, JsonSerializationIsWellFormed) {

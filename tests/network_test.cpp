@@ -225,6 +225,92 @@ TEST(NetworkTest, TrafficCountersTrackBytes) {
   EXPECT_EQ(net.TrafficOf(0).messages_sent, 2u);
 }
 
+TEST(NetworkTest, CancelAfterFailNodeReturnsFalseAndFailureStillReported) {
+  // FailNode wins the race: it already aborted the flight and scheduled the
+  // peer's failure notice, so a late CancelTransfer finds nothing to cancel
+  // and cannot un-schedule the notice.
+  sim::Simulator sim;
+  NetworkModel net(sim, TestConfig(2));
+  bool delivered = false;
+  NodeID reported = kInvalidNode;
+  const TransferId id =
+      net.Send(0, 1, MB(1), [&] { delivered = true; }, [&](NodeID n) { reported = n; });
+  net.FailNode(1);
+  EXPECT_FALSE(net.CancelTransfer(id));
+  sim.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(reported, 1);
+}
+
+TEST(NetworkTest, FailNodeAfterCancelFiresNoCallbacks) {
+  // CancelTransfer wins the race: the flight is gone, so the subsequent
+  // FailNode has nothing to report for it.
+  sim::Simulator sim;
+  NetworkModel net(sim, TestConfig(2));
+  bool delivered = false;
+  bool failure_reported = false;
+  const TransferId id = net.Send(0, 1, MB(1), [&] { delivered = true; },
+                                 [&](NodeID) { failure_reported = true; });
+  EXPECT_TRUE(net.CancelTransfer(id));
+  net.FailNode(1);
+  sim.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_FALSE(failure_reported);
+}
+
+TEST(NetworkTest, TrafficCountedAtSendSurvivesInFlightFailure) {
+  // Counters are committed when the bytes go on the wire; a mid-flight node
+  // death does not refund them at either endpoint.
+  sim::Simulator sim;
+  NetworkModel net(sim, TestConfig(2));
+  net.Send(0, 1, MB(4), [] {}, [](NodeID) {});
+  net.FailNode(1);
+  sim.Run();
+  EXPECT_EQ(net.TrafficOf(0).bytes_sent, MB(4));
+  EXPECT_EQ(net.TrafficOf(0).messages_sent, 1u);
+  EXPECT_EQ(net.TrafficOf(1).bytes_received, MB(4));
+}
+
+TEST(NetworkTest, SendToAlreadyFailedNodeCountsNoTraffic) {
+  // Nothing reaches the wire when the destination is known-dead at Send
+  // time, so neither endpoint's counters move.
+  sim::Simulator sim;
+  NetworkModel net(sim, TestConfig(2));
+  net.FailNode(1);
+  net.Send(0, 1, MB(4), [] {}, [](NodeID) {});
+  sim.Run();
+  EXPECT_EQ(net.TrafficOf(0).bytes_sent, 0);
+  EXPECT_EQ(net.TrafficOf(0).messages_sent, 0u);
+  EXPECT_EQ(net.TrafficOf(1).bytes_received, 0);
+}
+
+TEST(NetworkTest, PerNodeBandwidthOverrideAppliesPerDirectionAndQueue) {
+  // Overrides are per node, not global: the 1 Gbps node slows its own
+  // transfers (either direction) but fast pairs still run at 10 Gbps.
+  sim::Simulator sim;
+  auto cfg = TestConfig(3);
+  cfg.per_node_bandwidth = {Gbps(10), Gbps(1), Gbps(10)};
+  NetworkModel net(sim, cfg);
+  std::vector<SimTime> done(3, -1);
+  net.Send(1, 0, MB(1), [&] { done[0] = sim.Now(); });
+  net.Send(0, 2, MB(1), [&] { done[1] = sim.Now(); });
+  net.Send(2, 1, MB(1), [&] { done[2] = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done[0], TransferTime(MB(1), Gbps(1)) + Microseconds(50));
+  EXPECT_EQ(done[1], TransferTime(MB(1), Gbps(10)) + Microseconds(50));
+  // Egress and ingress are independent directions: node 1's earlier egress
+  // does not delay this ingress, but the 10 Gbps sender still serializes at
+  // the slow receiver's NIC rate.
+  EXPECT_EQ(done[2], TransferTime(MB(1), Gbps(1)) + Microseconds(50));
+}
+
+TEST(NetworkTest, PerNodeBandwidthOverrideSizeIsValidated) {
+  sim::Simulator sim;
+  auto cfg = TestConfig(3);
+  cfg.per_node_bandwidth = {Gbps(10), Gbps(1)};  // one short
+  EXPECT_DEATH({ NetworkModel net(sim, cfg); }, "per-node bandwidth");
+}
+
 TEST(NetworkTest, EgressFreeAtReflectsQueue) {
   sim::Simulator sim;
   NetworkModel net(sim, TestConfig(2));

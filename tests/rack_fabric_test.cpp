@@ -1,0 +1,255 @@
+// Unit tests for the rack-topology fabric with max-min fair sharing.
+#include "net/rack_fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace hoplite::net {
+namespace {
+
+/// 2 racks, 1:1 by default; per_message_overhead zeroed for exact arithmetic.
+ClusterConfig RackConfig(int nodes, int racks, double oversubscription) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.nic_bandwidth = Gbps(10);
+  cfg.one_way_latency = Microseconds(50);
+  cfg.per_message_overhead = 0;
+  cfg.memcpy_bandwidth = GBps(10);
+  cfg.failure_detection_delay = Milliseconds(100);
+  cfg.fabric.topology = TopologyKind::kRack;
+  cfg.fabric.num_racks = racks;
+  cfg.fabric.oversubscription = oversubscription;
+  return cfg;
+}
+
+/// Fair-share completion times carry ceil-rounding per recompute; a couple
+/// of nanoseconds of slack absorbs it without hiding real errors.
+constexpr SimTime kRoundingSlackNs = 4;
+
+TEST(RackFabricTest, MakeFabricSelectsImplementationByTopology) {
+  sim::Simulator sim;
+  ClusterConfig flat;
+  flat.num_nodes = 4;
+  const auto a = MakeFabric(sim, flat);
+  EXPECT_NE(dynamic_cast<FlatFabric*>(a.get()), nullptr);
+  const auto b = MakeFabric(sim, RackConfig(4, 2, 2.0));
+  EXPECT_NE(dynamic_cast<RackFabric*>(b.get()), nullptr);
+}
+
+TEST(RackFabricTest, RackAssignmentIsContiguousBlocks) {
+  sim::Simulator sim;
+  RackFabric net(sim, RackConfig(8, 2, 1.0));
+  EXPECT_EQ(net.num_racks(), 2);
+  for (NodeID n = 0; n < 4; ++n) EXPECT_EQ(net.RackOf(n), 0) << n;
+  for (NodeID n = 4; n < 8; ++n) EXPECT_EQ(net.RackOf(n), 1) << n;
+  // Uplink carries the rack's aggregate NIC bandwidth at 1:1.
+  EXPECT_DOUBLE_EQ(net.UplinkCapacityOf(0), 4 * Gbps(10));
+}
+
+TEST(RackFabricTest, SoleIntraRackFlowRunsAtNicRate) {
+  sim::Simulator sim;
+  RackFabric net(sim, RackConfig(4, 2, 8.0));
+  SimTime delivered_at = -1;
+  net.Send(0, 1, MB(64), [&] { delivered_at = sim.Now(); });
+  sim.Run();
+  const SimTime expect = TransferTime(MB(64), Gbps(10)) + Microseconds(50);
+  EXPECT_NEAR(delivered_at, expect, kRoundingSlackNs);
+}
+
+TEST(RackFabricTest, CrossRackFlowIsBottleneckedByOversubscribedUplink) {
+  sim::Simulator sim;
+  RackFabric net(sim, RackConfig(4, 2, 8.0));
+  // Uplink capacity: 2 NICs * 10 Gbps / 8 = 2.5 Gbps — the bottleneck.
+  SimTime delivered_at = -1;
+  net.Send(0, 2, MB(64), [&] { delivered_at = sim.Now(); });
+  sim.Run();
+  const SimTime expect = TransferTime(MB(64), Gbps(2.5)) + Microseconds(50);
+  EXPECT_NEAR(delivered_at, expect, kRoundingSlackNs);
+}
+
+TEST(RackFabricTest, ConcurrentFlowsOnSharedUplinkSplitItFairly) {
+  sim::Simulator sim;
+  RackFabric net(sim, RackConfig(4, 2, 4.0));
+  // Uplink: 20 Gbps / 4 = 5 Gbps shared by two flows from rack 0 to rack 1.
+  std::vector<SimTime> delivered;
+  net.Send(0, 2, MB(32), [&] { delivered.push_back(sim.Now()); });
+  net.Send(1, 3, MB(32), [&] { delivered.push_back(sim.Now()); });
+  sim.Run();
+  ASSERT_EQ(delivered.size(), 2u);
+  const SimTime expect = TransferTime(MB(32), Gbps(2.5)) + Microseconds(50);
+  EXPECT_NEAR(delivered[0], expect, kRoundingSlackNs);
+  EXPECT_NEAR(delivered[1], expect, kRoundingSlackNs);
+}
+
+TEST(RackFabricTest, MaxMinGivesUnusedShareToUnconstrainedFlow) {
+  // Heterogeneous NICs: the slow sender cannot use its full fair share of
+  // the uplink; progressive filling hands the residue to the fast flow.
+  ClusterConfig cfg = RackConfig(4, 2, 2.0);
+  cfg.per_node_bandwidth = {Gbps(2), Gbps(10), Gbps(10), Gbps(10)};
+  // Uplink of rack 0: (2 + 10) Gbps / 2 = 6 Gbps. Flow A (node 0 -> 2) is
+  // frozen at its 2 Gbps NIC; flow B (node 1 -> 3) gets the remaining 4.
+  sim::Simulator sim;
+  RackFabric net(sim, cfg);
+  const TransferId a = net.Send(0, 2, GB(1), [] {});
+  const TransferId b = net.Send(1, 3, GB(1), [] {});
+  EXPECT_DOUBLE_EQ(net.CurrentRate(a), Gbps(2));
+  EXPECT_DOUBLE_EQ(net.CurrentRate(b), Gbps(4));
+  sim.Run();
+}
+
+TEST(RackFabricTest, FinishedFlowReleasesItsShareToTheSurvivor) {
+  sim::Simulator sim;
+  RackFabric net(sim, RackConfig(4, 2, 4.0));
+  // Uplink 5 Gbps. Short flow and long flow share it (2.5 Gbps each) until
+  // the short one drains; the long one then speeds up to 5 Gbps.
+  SimTime long_done = -1;
+  net.Send(0, 2, MB(16), [] {});
+  net.Send(1, 3, MB(48), [&] { long_done = sim.Now(); });
+  sim.Run();
+  // Phase 1: both at 2.5 Gbps until the 16 MB flow drains (it finishes its
+  // wire time when 16 MB left at 2.5 Gbps). The long flow has sent 16 MB by
+  // then and pushes the remaining 32 MB at the full 5 Gbps.
+  const SimTime expect = TransferTime(MB(16), Gbps(2.5)) +
+                         TransferTime(MB(32), Gbps(5)) + Microseconds(50);
+  EXPECT_NEAR(long_done, expect, 2 * kRoundingSlackNs);
+}
+
+TEST(RackFabricTest, IntraRackTrafficDoesNotTouchTheUplink) {
+  sim::Simulator sim;
+  RackFabric net(sim, RackConfig(4, 2, 8.0));
+  // One cross-rack flow plus one intra-rack flow between disjoint node
+  // pairs: the intra-rack flow keeps full NIC rate, the cross-rack flow
+  // keeps the whole (oversubscribed) uplink.
+  const TransferId cross = net.Send(0, 2, MB(64), [] {});
+  const TransferId intra = net.Send(1, 0, MB(64), [] {});
+  EXPECT_DOUBLE_EQ(net.CurrentRate(cross), Gbps(2.5));
+  EXPECT_DOUBLE_EQ(net.CurrentRate(intra), Gbps(10));
+  sim.Run();
+}
+
+TEST(RackFabricTest, ZeroByteControlMessageCostsOnlyLatency) {
+  sim::Simulator sim;
+  RackFabric net(sim, RackConfig(4, 2, 8.0));
+  SimTime delivered_at = -1;
+  net.Send(0, 2, 0, [&] { delivered_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(delivered_at, Microseconds(50));
+  EXPECT_EQ(net.wire_flows(), 0u);
+}
+
+TEST(RackFabricTest, CrossRackExtraLatencyIsCharged) {
+  ClusterConfig cfg = RackConfig(4, 2, 1.0);
+  cfg.fabric.cross_rack_extra_latency = Microseconds(10);
+  sim::Simulator sim;
+  RackFabric net(sim, cfg);
+  SimTime intra = -1;
+  SimTime cross = -1;
+  net.Send(0, 1, 0, [&] { intra = sim.Now(); });
+  net.Send(0, 2, 0, [&] { cross = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(intra, Microseconds(50));
+  EXPECT_EQ(cross, Microseconds(60));
+}
+
+TEST(RackFabricTest, SelfSendGoesThroughMemcpy) {
+  sim::Simulator sim;
+  RackFabric net(sim, RackConfig(4, 2, 8.0));
+  SimTime delivered_at = -1;
+  net.Send(1, 1, MB(10), [&] { delivered_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(delivered_at, TransferTime(MB(10), GBps(10)));
+}
+
+TEST(RackFabricTest, CancelReleasesBandwidthImmediately) {
+  sim::Simulator sim;
+  RackFabric net(sim, RackConfig(4, 2, 4.0));
+  bool cancelled_flow_delivered = false;
+  const TransferId victim =
+      net.Send(0, 2, GB(1), [&] { cancelled_flow_delivered = true; });
+  const TransferId survivor = net.Send(1, 3, MB(32), [] {});
+  EXPECT_DOUBLE_EQ(net.CurrentRate(survivor), Gbps(2.5));
+  EXPECT_TRUE(net.CancelTransfer(victim));
+  EXPECT_FALSE(net.CancelTransfer(victim));
+  EXPECT_DOUBLE_EQ(net.CurrentRate(survivor), Gbps(5));
+  sim.Run();
+  EXPECT_FALSE(cancelled_flow_delivered);
+}
+
+TEST(RackFabricTest, FailNodeAbortsFlowsAndNotifiesSurvivorAfterDelay) {
+  sim::Simulator sim;
+  RackFabric net(sim, RackConfig(4, 2, 4.0));
+  bool delivered = false;
+  NodeID reported = kInvalidNode;
+  SimTime reported_at = -1;
+  net.Send(0, 2, GB(1), [&] { delivered = true; },
+           [&](NodeID dead) {
+             reported = dead;
+             reported_at = sim.Now();
+           });
+  const TransferId survivor = net.Send(1, 3, MB(32), [] {});
+  sim.ScheduleAt(Milliseconds(1), [&] { net.FailNode(2); });
+  sim.RunUntil(Milliseconds(1));
+  // The aborted flow's uplink share is released to the survivor.
+  EXPECT_DOUBLE_EQ(net.CurrentRate(survivor), Gbps(5));
+  sim.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(reported, 2);
+  EXPECT_EQ(reported_at, Milliseconds(1) + Milliseconds(100));
+}
+
+TEST(RackFabricTest, SendToFailedNodeFailsAfterDetectionDelay) {
+  sim::Simulator sim;
+  RackFabric net(sim, RackConfig(4, 2, 4.0));
+  net.FailNode(3);
+  bool delivered = false;
+  NodeID reported = kInvalidNode;
+  net.Send(0, 3, MB(1), [&] { delivered = true; }, [&](NodeID dead) { reported = dead; });
+  sim.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(reported, 3);
+  // No wire bandwidth was occupied and no traffic was counted.
+  EXPECT_EQ(net.wire_flows(), 0u);
+  EXPECT_EQ(net.TrafficOf(0).bytes_sent, 0);
+}
+
+TEST(RackFabricTest, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    sim::Simulator sim;
+    RackFabric net(sim, RackConfig(8, 2, 4.0));
+    std::vector<SimTime> deliveries;
+    for (NodeID src = 0; src < 4; ++src) {
+      for (NodeID dst = 4; dst < 8; ++dst) {
+        net.Send(src, dst, MB(8) + src * KB(64) + dst * KB(16),
+                 [&deliveries, &sim] { deliveries.push_back(sim.Now()); });
+      }
+    }
+    sim.Run();
+    return deliveries;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(RackFabricTest, AggregateCrossRackThroughputMatchesUplink) {
+  // 4 concurrent cross-rack flows over a 5 Gbps uplink must take ~4x the
+  // single-flow time: the fabric enforces the shared-link capacity, not
+  // just per-NIC limits (which FlatFabric would allow to run in parallel).
+  sim::Simulator sim;
+  RackFabric net(sim, RackConfig(8, 2, 8.0));
+  SimTime last = 0;
+  for (int i = 0; i < 4; ++i) {
+    net.Send(static_cast<NodeID>(i), static_cast<NodeID>(4 + i), MB(16),
+             [&] { last = sim.Now(); });
+  }
+  sim.Run();
+  const SimTime expect = TransferTime(4 * MB(16), Gbps(5)) + Microseconds(50);
+  EXPECT_NEAR(last, expect, 4 * kRoundingSlackNs);
+}
+
+}  // namespace
+}  // namespace hoplite::net

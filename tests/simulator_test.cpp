@@ -170,6 +170,77 @@ TEST(SimulatorTest, ManyEventsStressOrdering) {
   EXPECT_EQ(sim.executed_events(), 10'000u);
 }
 
+TEST(SimulatorTest, RunUntilDoesNotExecutePastDeadlineOverCancelledHead) {
+  Simulator sim;
+  const EventId head = sim.ScheduleAt(Milliseconds(5), [] {});
+  bool late_fired = false;
+  sim.ScheduleAt(Milliseconds(100), [&] { late_fired = true; });
+  sim.Cancel(head);  // 1 tombstone of 2 pending: survives the sweep threshold
+  sim.RunUntil(Milliseconds(10));
+  EXPECT_FALSE(late_fired) << "event beyond the deadline was executed";
+  EXPECT_EQ(sim.Now(), Milliseconds(10));
+  sim.Run();
+  EXPECT_TRUE(late_fired);
+  EXPECT_EQ(sim.Now(), Milliseconds(100));
+}
+
+TEST(SimulatorTest, CancelSweepsTombstonesWhenTheyExceedHalfTheHeap) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.ScheduleAt(Milliseconds(i + 1), [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 100u);
+  // Cancel every event: once tombstones outnumber half the heap, the sweep
+  // reclaims both the heap entries and the tombstone set — an abandoned
+  // (never-drained) heap cannot pin them forever.
+  for (const EventId id : ids) {
+    EXPECT_TRUE(sim.Cancel(id));
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancelled_tombstones(), 0u);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulatorTest, CancelAfterFireDoesNotLeakTombstonesForever) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(sim.ScheduleAt(Milliseconds(i), [] {}));
+  }
+  sim.Run();
+  // Stale cancels (the event already fired) must not insert a tombstone no
+  // heap pop will ever reclaim — and must report that nothing was cancelled.
+  for (const EventId id : ids) {
+    EXPECT_FALSE(sim.Cancel(id));
+    EXPECT_EQ(sim.cancelled_tombstones(), 0u) << "stale tombstone survived";
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, SweepPreservesExecutionOrderAndPendingAccounting) {
+  Simulator sim;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(sim.ScheduleAt(Milliseconds(64 - i), [&fired, i] { fired.push_back(i); }));
+  }
+  // Cancel the odd-scheduled events; the sweep triggers part-way through.
+  for (int i = 1; i < 64; i += 2) {
+    EXPECT_TRUE(sim.Cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_EQ(sim.pending_events() - sim.cancelled_tombstones(), 32u);
+  sim.Run();
+  ASSERT_EQ(fired.size(), 32u);
+  // Survivors fire strictly by timestamp (i.e., in descending i).
+  for (std::size_t k = 1; k < fired.size(); ++k) {
+    EXPECT_LT(fired[k], fired[k - 1]);
+  }
+  EXPECT_EQ(sim.executed_events(), 32u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancelled_tombstones(), 0u);
+}
+
 TEST(UnitsTest, Conversions) {
   EXPECT_EQ(Microseconds(1), Nanoseconds(1000));
   EXPECT_EQ(Milliseconds(1), Microseconds(1000));
