@@ -13,8 +13,10 @@
 #include "bench/bench_util.h"
 #include "bench/registry.h"
 #include "common/rng.h"
+#include "common/logging.h"
 #include "core/reduce_tree.h"
 #include "net/fabric.h"
+#include "net/rack_fabric.h"
 #include "sim/simulator.h"
 
 namespace hoplite::bench {
@@ -118,6 +120,61 @@ std::vector<Row> Run(const RunOptions& opt) {
                        .coords = {{"positions", n}},
                        .value = iters / secs,
                        .unit = "fills_per_second"});
+  }
+
+  {
+    // Rack-fabric fair-share stress: one concurrent flow per node (1024 at
+    // paper scale) on a 4:1-oversubscribed rack fabric with datacenter-style
+    // locality — 7 of 8 flows stay inside their rack, the rest cross the
+    // core. Flows start staggered and carry varied sizes, so completions
+    // cascade as distinct events; every start/finish re-shares bandwidth.
+    // This is the workload the incremental (dirty-link, component-local)
+    // fair-share bookkeeping exists for: the pre-rewrite full-recompute
+    // engine revisited every flow and link on each of those events.
+    const int rf_nodes = opt.Nodes(1024);
+    const int rf_racks = std::max(2, rf_nodes / 32);
+    net::ClusterConfig rf_cfg;
+    rf_cfg.num_nodes = rf_nodes;
+    rf_cfg.fabric.topology = net::TopologyKind::kRack;
+    rf_cfg.fabric.num_racks = rf_racks;
+    rf_cfg.fabric.oversubscription = 4.0;
+    const int per_rack = (rf_nodes + rf_racks - 1) / rf_racks;
+    const double secs = BestWallSeconds(repeats, [&] {
+      sim::Simulator sim;
+      net::RackFabric net(sim, rf_cfg);
+      Rng rng(23);
+      int delivered = 0;
+      for (int i = 0; i < rf_nodes; ++i) {
+        const NodeID src = static_cast<NodeID>(i);
+        // Rack-local peer: a non-self node of the same rack block. The last
+        // rack may be ragged (fewer than per_rack nodes) or, at tiny smoke
+        // scales, hold a single node — fall back to cross-rack then.
+        const int rack_base = (i / per_rack) * per_rack;
+        const int rack_size = std::min(per_rack, rf_nodes - rack_base);
+        NodeID dst;
+        if (i % 8 != 0 && rack_size >= 2) {
+          const int offset = 1 + static_cast<int>(rng.NextBounded(
+                                     static_cast<std::uint64_t>(rack_size - 1)));
+          dst = static_cast<NodeID>(rack_base + (i - rack_base + offset) % rack_size);
+        } else {
+          dst = static_cast<NodeID>((i + rf_nodes / 2 + 3) % rf_nodes);
+        }
+        const std::int64_t bytes =
+            MB(2) + static_cast<std::int64_t>(rng.NextBounded(64)) * KB(64);
+        sim.ScheduleAt(static_cast<SimTime>(i) * 1'000,
+                       [&net, &delivered, src, dst, bytes] {
+                         net.Send(src, dst, bytes, [&delivered] { ++delivered; });
+                       });
+      }
+      sim.Run();
+      HOPLITE_CHECK_EQ(delivered, rf_nodes);
+      sink = sink + static_cast<std::uint64_t>(sim.executed_events());
+    });
+    rows.push_back(Row{.series = "rack-fair-share",
+                       .coords = {{"flows", static_cast<double>(rf_nodes)},
+                                  {"racks", static_cast<double>(rf_racks)}},
+                       .value = rf_nodes / secs,
+                       .unit = "flows_per_second"});
   }
 
   {

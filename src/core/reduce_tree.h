@@ -107,6 +107,20 @@ class ReduceTreeShape {
 /// Default pipelining block size assumed by the cost model (4 MB, §5.1.1).
 inline constexpr double kDefaultChunkBytes = 4.0 * 1024 * 1024;
 
+/// Depth of the deepest position of a complete d-ary tree over n positions
+/// (the last level-order index is always on the bottom level). This is the
+/// pipeline depth a tree reduce actually pays; the real-valued log_d(n) the
+/// model used before overstates it at boundary sizes (n = 9, d = 2 has
+/// depth 3, not log2(9) = 3.17), skewing ChooseReduceDegree off the flatter
+/// tree exactly where clusters stop being powers of d.
+[[nodiscard]] inline int ReduceTreeDepth(int n, int d) {
+  HOPLITE_CHECK_GE(n, 1);
+  HOPLITE_CHECK_GE(d, 1);
+  int depth = 0;
+  for (int pos = n - 1; pos != 0; pos = (pos - 1) / d) ++depth;
+  return depth;
+}
+
 /// Predicted completion time of a d-ary tree reduce. This refines Eq. (1)
 /// of the paper with the pipelining granularity the paper's runtime
 /// calibrates empirically ("based on an empirical measure of these three
@@ -114,10 +128,13 @@ inline constexpr double kDefaultChunkBytes = 4.0 * 1024 * 1024;
 /// the per-hop pipeline latency is max(L, min(S, chunk)/B), which reduces
 /// to Eq. (1) exactly when S >> chunk (large objects) or chunk/B << L
 /// (small objects):
-///   T(1) = (n-1)*hop + L + S/B   (chain; the bandwidth term paid once)
-///   T(d) = hop*log_d(n) + d*S/B  (d >= 2)
-///   T(n) = L + n*S/B             (star)
+///   T(1) = (n-1)*hop + L + S/B     (chain; the bandwidth term paid once)
+///   T(d) = hop*depth(n,d) + d*S/B  (d >= 2; true deepest-position depth)
+///   T(n) = L + n*S/B               (star)
 /// L = per-hop latency (seconds), B = bandwidth (bytes/s), S = object bytes.
+/// depth(n, d) matches ReduceTreeShape(n, d).Depth(n - 1): the un-ceiled
+/// log_d(n) the model used before misprices boundary sizes (see
+/// ReduceTreeDepth above).
 [[nodiscard]] inline double PredictReduceSeconds(int n, int d, double latency_s,
                                                  double bandwidth_bps, double size_bytes,
                                                  double chunk_bytes = kDefaultChunkBytes) {
@@ -128,8 +145,7 @@ inline constexpr double kDefaultChunkBytes = 4.0 * 1024 * 1024;
   if (n == 1) return latency_s + size_bytes / bandwidth_bps;
   if (d == 1) return (n - 1) * hop + latency_s + size_bytes / bandwidth_bps;
   if (d >= n) return latency_s + n * size_bytes / bandwidth_bps;
-  return hop * std::log(static_cast<double>(n)) / std::log(static_cast<double>(d)) +
-         d * size_bytes / bandwidth_bps;
+  return hop * ReduceTreeDepth(n, d) + d * size_bytes / bandwidth_bps;
 }
 
 /// Picks the degree in {1, 2, n} minimizing the predicted time (§4: "we

@@ -4,6 +4,43 @@
 
 namespace hoplite::directory {
 
+namespace {
+
+/// Sorted-insert position for `node` in the flat location table.
+template <typename Records>
+[[nodiscard]] auto LowerBound(Records& records, NodeID node) {
+  return std::lower_bound(records.begin(), records.end(), node,
+                          [](const auto& rec, NodeID n) { return rec.node < n; });
+}
+
+}  // namespace
+
+ObjectDirectory::Location* ObjectDirectory::ObjectEntry::FindLocation(NodeID node) {
+  const auto it = LowerBound(locations, node);
+  return it != locations.end() && it->node == node ? &it->loc : nullptr;
+}
+
+const ObjectDirectory::Location* ObjectDirectory::ObjectEntry::FindLocation(
+    NodeID node) const {
+  const auto it = LowerBound(locations, node);
+  return it != locations.end() && it->node == node ? &it->loc : nullptr;
+}
+
+std::pair<ObjectDirectory::Location*, bool> ObjectDirectory::ObjectEntry::AddLocation(
+    NodeID node) {
+  auto it = LowerBound(locations, node);
+  if (it != locations.end() && it->node == node) return {&it->loc, false};
+  it = locations.insert(it, LocationRecord{node, Location{}});
+  return {&it->loc, true};
+}
+
+bool ObjectDirectory::ObjectEntry::RemoveLocation(NodeID node) {
+  const auto it = LowerBound(locations, node);
+  if (it == locations.end() || it->node != node) return false;
+  locations.erase(it);
+  return true;
+}
+
 ObjectDirectory::ObjectDirectory(net::Fabric& network, DirectoryConfig config)
     : network_(network), sim_(network.simulator()), config_(config) {}
 
@@ -18,8 +55,7 @@ void ObjectDirectory::RegisterPartial(ObjectID object, NodeID node, std::int64_t
     ObjectEntry& entry = EntryOf(object);
     if (entry.size < 0) entry.size = size;
     HOPLITE_CHECK_EQ(entry.size, size) << "conflicting sizes registered for " << object;
-    if (entry.locations.count(node) > 0) return;  // idempotent
-    entry.locations.emplace(node, Location{});
+    if (!entry.AddLocation(node).second) return;  // idempotent
     Publish(object, entry, LocationEvent{object, node, entry.size, false, false});
     ServeParked(object);
   });
@@ -30,12 +66,12 @@ void ObjectDirectory::MarkComplete(ObjectID object, NodeID node) {
     auto obj_it = objects_.find(object);
     if (obj_it == objects_.end()) return;  // deleted concurrently
     ObjectEntry& entry = obj_it->second;
-    auto it = entry.locations.find(node);
-    if (it == entry.locations.end()) return;  // removed concurrently (failure)
-    it->second.chain.clear();
-    it->second.complete = true;
-    if (it->second.state != LocationState::kBusy) {
-      it->second.state = LocationState::kAvailableComplete;
+    Location* loc = entry.FindLocation(node);
+    if (loc == nullptr) return;  // removed concurrently (failure)
+    loc->chain.clear();
+    loc->complete = true;
+    if (loc->state != LocationState::kBusy) {
+      loc->state = LocationState::kAvailableComplete;
     }
     // If busy: completeness is recorded now and takes effect when the
     // location returns to the pool.
@@ -49,7 +85,7 @@ void ObjectDirectory::RemoveLocation(ObjectID object, NodeID node) {
     auto obj_it = objects_.find(object);
     if (obj_it == objects_.end()) return;
     ObjectEntry& entry = obj_it->second;
-    if (entry.locations.erase(node) > 0) {
+    if (entry.RemoveLocation(node)) {
       Publish(object, entry, LocationEvent{object, node, entry.size, false, true});
     }
   });
@@ -85,63 +121,63 @@ void ObjectDirectory::DeleteObject(ObjectID object,
     std::vector<NodeID> holders;
     auto it = objects_.find(object);
     if (it != objects_.end()) {
-      for (const auto& [node, loc] : it->second.locations) holders.push_back(node);
-      std::sort(holders.begin(), holders.end());
-      // Parked claims on a deleted object are dropped: the framework only
-      // calls Delete once no task can still reference the ObjectID (§6).
+      for (const auto& rec : it->second.locations) holders.push_back(rec.node);
+      // A claim parked at delete time must not be dropped: its callback
+      // would never fire and the claimant would hang forever. It stays
+      // parked on the id — semantically identical to the same claim
+      // arriving one tick after the delete — and resolves when the object
+      // is re-created.
+      std::deque<ParkedClaim> parked = std::move(it->second.parked);
       objects_.erase(it);
+      if (!parked.empty()) EntryOf(object).parked = std::move(parked);
     }
     if (on_deleted) on_deleted(std::move(holders));
   });
 }
 
 NodeID ObjectDirectory::PickSender(const ObjectEntry& entry, NodeID receiver) const {
-  NodeID best = kInvalidNode;
-  bool best_complete = false;
-  for (const auto& [node, loc] : entry.locations) {
-    if (node == receiver) continue;
-    if (loc.state == LocationState::kBusy) continue;
-    const bool complete = loc.state == LocationState::kAvailableComplete;
-    if (!complete) {
-      // Reject partial senders whose upstream chain contains the receiver:
-      // granting one would create a cyclic fetch (§3.5.1).
-      if (std::find(loc.chain.begin(), loc.chain.end(), receiver) != loc.chain.end()) {
-        continue;
-      }
+  // Ascending-node scan of the sorted table: the first available complete
+  // copy wins; failing that, the first available partial copy whose chain
+  // does not contain the receiver (granting one would create a cyclic
+  // fetch, §3.5.1).
+  NodeID best_partial = kInvalidNode;
+  for (const auto& rec : entry.locations) {
+    if (rec.node == receiver) continue;
+    if (rec.loc.state == LocationState::kBusy) continue;
+    if (rec.loc.state == LocationState::kAvailableComplete) return rec.node;
+    if (best_partial != kInvalidNode) continue;
+    if (std::find(rec.loc.chain.begin(), rec.loc.chain.end(), receiver) !=
+        rec.loc.chain.end()) {
+      continue;
     }
-    // Prefer complete copies; tie-break on the smaller node id so that the
-    // choice is deterministic (unordered_map iteration order is not).
-    if (best == kInvalidNode || (complete && !best_complete) ||
-        (complete == best_complete && node < best)) {
-      best = node;
-      best_complete = complete;
-    }
+    best_partial = rec.node;
   }
-  return best;
+  return best_partial;
 }
 
 void ObjectDirectory::Grant(ObjectID object, ObjectEntry& entry, NodeID sender,
                             NodeID receiver, ClaimCallback callback,
                             SimDuration reply_latency) {
-  auto sender_it = entry.locations.find(sender);
-  HOPLITE_CHECK(sender_it != entry.locations.end());
+  Location* sender_loc = entry.FindLocation(sender);
+  HOPLITE_CHECK(sender_loc != nullptr);
   ClaimReply reply;
   reply.object = object;
   reply.object_size = entry.size;
   reply.sender = sender;
-  reply.sender_complete = sender_it->second.state == LocationState::kAvailableComplete;
-  reply.sender_chain = sender_it->second.chain;
+  reply.sender_complete = sender_loc->state == LocationState::kAvailableComplete;
+  reply.sender_chain = sender_loc->chain;
   reply.sender_chain.push_back(sender);
 
   // One receiver per sender: the granted location leaves the pool (§3.4.1).
-  sender_it->second.state = LocationState::kBusy;
-  sender_it->second.serving = receiver;
+  sender_loc->state = LocationState::kBusy;
+  sender_loc->serving = receiver;
 
   // The receiver becomes a partial location immediately, inheriting the
-  // dependency chain, so later receivers can pipeline from it.
-  auto [recv_it, inserted] = entry.locations.emplace(receiver, Location{});
-  recv_it->second.chain = reply.sender_chain;
-  recv_it->second.fetch_origin = true;
+  // dependency chain, so later receivers can pipeline from it. (The insert
+  // may reallocate the table — sender_loc is dead past this point.)
+  const auto [recv_loc, inserted] = entry.AddLocation(receiver);
+  recv_loc->chain = reply.sender_chain;
+  recv_loc->fetch_origin = true;
   if (inserted) {
     Publish(object, entry, LocationEvent{object, receiver, entry.size, false, false});
   }
@@ -171,10 +207,9 @@ void ObjectDirectory::ClaimSender(ObjectID object, NodeID receiver, ClaimCallbac
                     });
       return;
     }
-    if (auto self = entry.locations.find(receiver);
-        self != entry.locations.end() &&
-        (!self->second.fetch_origin ||
-         self->second.state == LocationState::kAvailableComplete)) {
+    if (const Location* self = entry.FindLocation(receiver);
+        self != nullptr &&
+        (!self->fetch_origin || self->state == LocationState::kAvailableComplete)) {
       // The receiver already holds (or is locally producing) the object.
       ClaimReply reply;
       reply.object = object;
@@ -230,10 +265,9 @@ void ObjectDirectory::ServeParked(ObjectID object) {
   // behaviour of a per-object wait queue in the reference implementation).
   while (!entry.parked.empty()) {
     const NodeID receiver = entry.parked.front().receiver;
-    const auto self = entry.locations.find(receiver);
-    if (self != entry.locations.end() &&
-        (!self->second.fetch_origin ||
-         self->second.state == LocationState::kAvailableComplete)) {
+    const Location* self = entry.FindLocation(receiver);
+    if (self != nullptr &&
+        (!self->fetch_origin || self->state == LocationState::kAvailableComplete)) {
       // The receiver became a location itself (e.g. a reduce sink landed on
       // it): resolve the claim locally.
       ParkedClaim claim = std::move(entry.parked.front());
@@ -261,18 +295,18 @@ void ObjectDirectory::TransferFinished(ObjectID object, NodeID sender, NodeID re
     auto obj_it = objects_.find(object);
     if (obj_it == objects_.end()) return;
     ObjectEntry& entry = obj_it->second;
-    if (auto it = entry.locations.find(sender); it != entry.locations.end()) {
+    if (Location* loc = entry.FindLocation(sender); loc != nullptr) {
       // The sender returns to the pool with its recorded completeness.
-      it->second.state = it->second.AvailableState();
-      it->second.serving = kInvalidNode;
+      loc->state = loc->AvailableState();
+      loc->serving = kInvalidNode;
       Publish(object, entry,
-              LocationEvent{object, sender, entry.size, it->second.complete, false});
+              LocationEvent{object, sender, entry.size, loc->complete, false});
     }
-    if (auto it = entry.locations.find(receiver); it != entry.locations.end()) {
-      it->second.chain.clear();
-      it->second.complete = true;
-      if (it->second.state != LocationState::kBusy) {
-        it->second.state = LocationState::kAvailableComplete;
+    if (Location* loc = entry.FindLocation(receiver); loc != nullptr) {
+      loc->chain.clear();
+      loc->complete = true;
+      if (loc->state != LocationState::kBusy) {
+        loc->state = LocationState::kAvailableComplete;
       }
       Publish(object, entry, LocationEvent{object, receiver, entry.size, true, false});
     }
@@ -287,17 +321,17 @@ void ObjectDirectory::TransferAborted(ObjectID object, NodeID sender, NodeID rec
     if (obj_it == objects_.end()) return;
     ObjectEntry& entry = obj_it->second;
     if (sender_alive) {
-      if (auto it = entry.locations.find(sender); it != entry.locations.end()) {
-        it->second.state = it->second.AvailableState();
-        it->second.serving = kInvalidNode;
+      if (Location* loc = entry.FindLocation(sender); loc != nullptr) {
+        loc->state = loc->AvailableState();
+        loc->serving = kInvalidNode;
       }
     } else {
-      entry.locations.erase(sender);
+      entry.RemoveLocation(sender);
     }
-    if (auto it = entry.locations.find(receiver); it != entry.locations.end()) {
+    if (Location* loc = entry.FindLocation(receiver); loc != nullptr) {
       // The receiver keeps its prefix but no longer depends on anyone until
       // it re-claims.
-      it->second.chain.clear();
+      loc->chain.clear();
     }
     ServeParked(object);
   });
@@ -310,12 +344,14 @@ ObjectDirectory::SubscriptionId ObjectDirectory::Subscribe(ObjectID object,
   // Register synchronously (so an Unsubscribe always wins over the pending
   // snapshot); the current-state snapshot is delivered one read latency
   // later, like any async query reply (§3.2).
-  EntryOf(object).subscribers.emplace(id, std::move(callback));
+  EntryOf(object).subscribers.emplace_back(id, std::move(callback));
   sim_.ScheduleAfter(config_.read_latency, [this, object, id] {
     auto obj_it = objects_.find(object);
     if (obj_it == objects_.end()) return;
     ObjectEntry& entry = obj_it->second;
-    auto sub_it = entry.subscribers.find(id);
+    const auto sub_it =
+        std::find_if(entry.subscribers.begin(), entry.subscribers.end(),
+                     [id](const auto& sub) { return sub.first == id; });
     if (sub_it == entry.subscribers.end()) return;  // unsubscribed meanwhile
     // Copy: the callback may unsubscribe (invalidating the iterator).
     const SubscriptionCallback cb = sub_it->second;
@@ -325,9 +361,9 @@ ObjectDirectory::SubscriptionId ObjectDirectory::Subscribe(ObjectID object,
     } else {
       std::vector<LocationEvent> events;
       events.reserve(entry.locations.size());
-      for (const auto& [node, loc] : entry.locations) {
-        events.push_back(LocationEvent{object, node, entry.size,
-                                       loc.state == LocationState::kAvailableComplete,
+      for (const auto& rec : entry.locations) {
+        events.push_back(LocationEvent{object, rec.node, entry.size,
+                                       rec.loc.state == LocationState::kAvailableComplete,
                                        false});
       }
       for (const auto& event : events) cb(event);
@@ -339,13 +375,15 @@ ObjectDirectory::SubscriptionId ObjectDirectory::Subscribe(ObjectID object,
 void ObjectDirectory::Unsubscribe(ObjectID object, SubscriptionId id) {
   auto it = objects_.find(object);
   if (it == objects_.end()) return;
-  it->second.subscribers.erase(id);
+  auto& subs = it->second.subscribers;
+  subs.erase(std::remove_if(subs.begin(), subs.end(),
+                            [id](const auto& sub) { return sub.first == id; }),
+             subs.end());
 }
 
 void ObjectDirectory::Publish(ObjectID object, const ObjectEntry& entry,
                               const LocationEvent& event) {
   (void)object;
-  if (entry.subscribers.empty()) return;
   for (const auto& [id, callback] : entry.subscribers) {
     sim_.ScheduleAfter(config_.notify_latency, [callback, event] { callback(event); });
   }
@@ -356,15 +394,15 @@ void ObjectDirectory::NodeFailed(NodeID node) {
   // death from the failure detector, which already waited the detection
   // delay before telling anyone.
   for (auto& [object, entry] : objects_) {
-    if (entry.locations.erase(node) > 0) {
+    if (entry.RemoveLocation(node)) {
       Publish(object, entry, LocationEvent{object, node, entry.size, false, true});
     }
     // Senders that were busy serving the dead node return to the pool;
     // otherwise they would be leaked as busy forever.
-    for (auto& [holder, loc] : entry.locations) {
-      if (loc.state == LocationState::kBusy && loc.serving == node) {
-        loc.state = loc.AvailableState();
-        loc.serving = kInvalidNode;
+    for (auto& rec : entry.locations) {
+      if (rec.loc.state == LocationState::kBusy && rec.loc.serving == node) {
+        rec.loc.state = rec.loc.AvailableState();
+        rec.loc.serving = kInvalidNode;
       }
     }
     auto& parked = entry.parked;
@@ -386,9 +424,9 @@ std::optional<std::int64_t> ObjectDirectory::SizeOf(ObjectID object) const {
 std::optional<LocationState> ObjectDirectory::StateOf(ObjectID object, NodeID node) const {
   auto it = objects_.find(object);
   if (it == objects_.end()) return std::nullopt;
-  auto loc_it = it->second.locations.find(node);
-  if (loc_it == it->second.locations.end()) return std::nullopt;
-  return loc_it->second.state;
+  const Location* loc = it->second.FindLocation(node);
+  if (loc == nullptr) return std::nullopt;
+  return loc->state;
 }
 
 std::vector<NodeID> ObjectDirectory::LocationsOf(ObjectID object) const {
@@ -396,8 +434,8 @@ std::vector<NodeID> ObjectDirectory::LocationsOf(ObjectID object) const {
   auto it = objects_.find(object);
   if (it == objects_.end()) return nodes;
   nodes.reserve(it->second.locations.size());
-  for (const auto& [node, loc] : it->second.locations) nodes.push_back(node);
-  std::sort(nodes.begin(), nodes.end());
+  // The table is sorted by node already.
+  for (const auto& rec : it->second.locations) nodes.push_back(rec.node);
   return nodes;
 }
 

@@ -125,7 +125,11 @@ class ObjectDirectory {
 
   /// Drops every trace of `object` (Delete). Returns (via callback, after
   /// the write latency) the set of nodes that held copies so the caller can
-  /// purge local stores.
+  /// purge local stores. Claims parked at delete time stay parked (on the
+  /// object id, exactly as a claim issued after the delete would): dropping
+  /// them would strand the claimants' callbacks forever, and a parked claim
+  /// is proof the id is still referenced — it resolves when the object is
+  /// re-created.
   void DeleteObject(ObjectID object, std::function<void(std::vector<NodeID>)> on_deleted);
 
   // ------------------------------------------------------------------
@@ -208,13 +212,34 @@ class ObjectDirectory {
     NodeID receiver = kInvalidNode;
     ClaimCallback callback;
   };
+  /// One copy of the object: flat record in the per-object location table.
+  struct LocationRecord {
+    NodeID node = kInvalidNode;
+    Location loc;
+  };
   struct ObjectEntry {
     std::int64_t size = -1;  ///< -1 until first registration
     bool is_inline = false;
     store::Buffer inline_payload;
-    std::unordered_map<NodeID, Location> locations;
+    /// Sorted by node id. The location table is scanned far more often than
+    /// it is mutated (every claim walks it; cluster-wide ops walk it per
+    /// object), so a flat sorted vector beats a node-keyed hash map: scans
+    /// are contiguous, and iteration order is deterministic by construction
+    /// instead of by hash-table accident.
+    std::vector<LocationRecord> locations;
     std::deque<ParkedClaim> parked;
-    std::unordered_map<SubscriptionId, SubscriptionCallback> subscribers;
+    /// Sorted by subscription id (ids are handed out in increasing order and
+    /// only ever appended, so insertion order == id order).
+    std::vector<std::pair<SubscriptionId, SubscriptionCallback>> subscribers;
+
+    /// Binary-search lookup; nullptr if `node` holds no copy.
+    [[nodiscard]] Location* FindLocation(NodeID node);
+    [[nodiscard]] const Location* FindLocation(NodeID node) const;
+    /// Inserts (sorted) or finds the record for `node`; second is true when
+    /// newly inserted.
+    std::pair<Location*, bool> AddLocation(NodeID node);
+    /// Removes `node`'s record; returns whether it existed.
+    bool RemoveLocation(NodeID node);
   };
 
   /// Applies a mutation after the directory write latency.

@@ -14,6 +14,15 @@ namespace {
 /// flow's booked residue is at most rounding error — well under half a byte.
 constexpr double kDoneBytes = 0.5;
 
+/// Min-heap comparator for the lazy completion heaps (earliest time first;
+/// ties broken by id only to keep the comparison a strict weak order).
+struct EntryLater {
+  template <typename E>
+  [[nodiscard]] bool operator()(const E& a, const E& b) const noexcept {
+    return a.time != b.time ? a.time > b.time : a.id > b.id;
+  }
+};
+
 }  // namespace
 
 RackFabric::RackFabric(sim::Simulator& simulator, ClusterConfig config)
@@ -58,10 +67,25 @@ double RackFabric::CurrentRate(TransferId id) const {
   return it->second.rate;
 }
 
+bool RackFabric::IsStale(const HeapEntry& entry) const {
+  const auto it = flows_.find(entry.id);
+  return it == flows_.end() || it->second.stage != Stage::kWire ||
+         it->second.gen != entry.gen;
+}
+
+double RackFabric::RemainingAt(const Flow& flow, SimTime t) {
+  if (t == flow.anchor) return flow.remaining;
+  const double dt = static_cast<double>(t - flow.anchor) * 1e-9;
+  return std::max(0.0, flow.remaining - flow.rate * dt);
+}
+
+void RackFabric::Materialize(Flow& flow, SimTime t) {
+  flow.remaining = RemainingAt(flow, t);
+  flow.anchor = t;
+}
+
 void RackFabric::StartTransfer(TransferId id, NodeID src, NodeID dst, std::int64_t bytes,
                                DeliveryCallback on_delivered, FailureCallback on_failed) {
-  AdvanceProgress();
-
   Flow flow;
   flow.src = src;
   flow.dst = dst;
@@ -78,6 +102,7 @@ void RackFabric::StartTransfer(TransferId id, NodeID src, NodeID dst, std::int64
   }
 
   f.remaining = static_cast<double>(bytes);
+  f.anchor = sim_.Now();
   f.links[static_cast<std::size_t>(f.num_links++)] = EgressLink(src);
   f.links[static_cast<std::size_t>(f.num_links++)] = IngressLink(dst);
   const int src_rack = RackOf(src);
@@ -86,12 +111,16 @@ void RackFabric::StartTransfer(TransferId id, NodeID src, NodeID dst, std::int64
     f.links[static_cast<std::size_t>(f.num_links++)] = UplinkLink(src_rack);
     f.links[static_cast<std::size_t>(f.num_links++)] = DownlinkLink(dst_rack);
   }
+  std::vector<int>& dirty = dirty_scratch_;
+  dirty.clear();
   for (int i = 0; i < f.num_links; ++i) {
-    links_[static_cast<std::size_t>(f.links[static_cast<std::size_t>(i)])].users += 1;
+    const int link = f.links[static_cast<std::size_t>(i)];
+    links_[static_cast<std::size_t>(link)].flows.push_back(id);
+    dirty.push_back(link);
   }
   wire_flow_count_ += 1;
 
-  AssignRates();
+  Recompute(dirty);
   RescheduleCompletion();
 }
 
@@ -104,36 +133,40 @@ bool RackFabric::CancelTransfer(TransferId id) {
     flows_.erase(it);
     return true;
   }
-  AdvanceProgress();
-  DetachFromLinks(flow);
+  std::vector<int>& dirty = dirty_scratch_;
+  dirty.clear();
+  DetachFromLinks(id, flow, dirty);
   flows_.erase(it);
-  AssignRates();
+  Recompute(dirty);
   RescheduleCompletion();
   return true;
 }
 
 void RackFabric::AbortTransfersOf(NodeID node) {
-  AdvanceProgress();
-  // Collect first: failure callbacks may start new transfers.
+  // Deterministic order: collect the victims, then process by ascending id.
+  std::vector<TransferId> victims;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.src == node || flow.dst == node) victims.push_back(id);
+  }
+  std::sort(victims.begin(), victims.end());
+  // Collect callbacks before notifying: failure callbacks may start new
+  // transfers.
   std::vector<FailureCallback> to_notify;
-  bool links_changed = false;
-  for (auto it = flows_.begin(); it != flows_.end();) {
+  std::vector<int>& dirty = dirty_scratch_;
+  dirty.clear();
+  for (const TransferId id : victims) {
+    auto it = flows_.find(id);
     Flow& flow = it->second;
-    if (flow.src != node && flow.dst != node) {
-      ++it;
-      continue;
-    }
     if (flow.stage == Stage::kDelivery) {
       sim_.Cancel(flow.delivery_event);
     } else {
-      DetachFromLinks(flow);
-      links_changed = true;
+      DetachFromLinks(id, flow, dirty);
     }
     if (flow.on_failed != nullptr) to_notify.push_back(std::move(flow.on_failed));
-    it = flows_.erase(it);
+    flows_.erase(it);
   }
-  if (links_changed) {
-    AssignRates();
+  if (!dirty.empty()) {
+    Recompute(dirty);
     RescheduleCompletion();
   }
   for (auto& cb : to_notify) {
@@ -141,80 +174,165 @@ void RackFabric::AbortTransfersOf(NodeID node) {
   }
 }
 
-void RackFabric::DetachFromLinks(Flow& flow) {
+void RackFabric::DetachFromLinks(TransferId id, Flow& flow, std::vector<int>& dirty) {
   for (int i = 0; i < flow.num_links; ++i) {
-    links_[static_cast<std::size_t>(flow.links[static_cast<std::size_t>(i)])].users -= 1;
+    const int link = flow.links[static_cast<std::size_t>(i)];
+    auto& on_link = links_[static_cast<std::size_t>(link)].flows;
+    // Find-and-swap-remove: order within a link's list is irrelevant (the
+    // component pass sorts by id before anything order-sensitive happens).
+    const auto pos = std::find(on_link.begin(), on_link.end(), id);
+    HOPLITE_CHECK(pos != on_link.end());
+    *pos = on_link.back();
+    on_link.pop_back();
+    dirty.push_back(link);
   }
   flow.num_links = 0;
   flow.rate = 0;
+  ++flow.gen;  // invalidate any completion-heap records
   wire_flow_count_ -= 1;
 }
 
-void RackFabric::AdvanceProgress() {
+void RackFabric::Recompute(const std::vector<int>& dirty) {
   const SimTime now = sim_.Now();
-  if (now == last_progress_) return;
-  const double dt = static_cast<double>(now - last_progress_) * 1e-9;
-  last_progress_ = now;
-  for (auto& [id, flow] : flows_) {
-    if (flow.stage != Stage::kWire) continue;
-    flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
-  }
-}
+  ++epoch_;
+  comp_links_.clear();
+  comp_flows_.clear();
 
-void RackFabric::AssignRates() {
-  for (Link& link : links_) {
-    link.unfrozen = 0;
-    link.allocated = 0;
-    link.saturated = false;
+  // BFS over the sharing graph: every flow on a dirty link, every link of
+  // such a flow, transitively.
+  std::vector<int>& stack = bfs_stack_;
+  stack.clear();
+  for (const int link : dirty) {
+    Link& l = links_[static_cast<std::size_t>(link)];
+    if (l.mark == epoch_) continue;
+    l.mark = epoch_;
+    comp_links_.push_back(link);
+    stack.push_back(link);
   }
-  int unfrozen_flows = 0;
-  for (auto& [id, flow] : flows_) {
-    if (flow.stage != Stage::kWire) continue;
-    flow.rate = 0;
-    flow.frozen = false;
-    ++unfrozen_flows;
-    for (int i = 0; i < flow.num_links; ++i) {
-      links_[static_cast<std::size_t>(flow.links[static_cast<std::size_t>(i)])].unfrozen += 1;
+  while (!stack.empty()) {
+    const int link = stack.back();
+    stack.pop_back();
+    for (const TransferId id : links_[static_cast<std::size_t>(link)].flows) {
+      Flow& f = flows_.find(id)->second;
+      if (f.mark == epoch_) continue;
+      f.mark = epoch_;
+      comp_flows_.push_back(CompFlow{id, &f});
+      for (int i = 0; i < f.num_links; ++i) {
+        const int fl = f.links[static_cast<std::size_t>(i)];
+        Link& l = links_[static_cast<std::size_t>(fl)];
+        if (l.mark == epoch_) continue;
+        l.mark = epoch_;
+        comp_links_.push_back(fl);
+        stack.push_back(fl);
+      }
     }
   }
+  if (comp_flows_.empty()) return;
+  // Ascending TransferId: the deterministic iteration order of the filling
+  // and of the heap-record refresh below. Flow pointers are stable for the
+  // duration of the pass (nothing inserts into flows_ here), so the hot
+  // loops below never touch the hash table again.
+  std::sort(comp_flows_.begin(), comp_flows_.end(),
+            [](const CompFlow& a, const CompFlow& b) { return a.id < b.id; });
 
-  // Progressive filling: raise every unfrozen flow's rate uniformly until a
-  // link saturates, freeze the flows crossing it, repeat. Each round
-  // saturates at least the bottleneck link, so the loop terminates.
-  int guard = unfrozen_flows + static_cast<int>(links_.size()) + 1;
+  for (const CompFlow& cf : comp_flows_) {
+    Materialize(*cf.flow, now);
+    cf.flow->frozen = false;
+  }
+  for (const int link : comp_links_) {
+    Link& l = links_[static_cast<std::size_t>(link)];
+    l.unfrozen = static_cast<int>(l.flows.size());
+    l.frozen_sum = 0;
+    l.saturated = false;
+  }
+
+  // Progressive filling by water levels: every round, the lowest per-link
+  // fair share among unsaturated links is the level at which those links
+  // saturate; their flows freeze at exactly that level. Assigning the level
+  // directly (instead of accumulating per-round deltas) makes the result
+  // independent of which other components happen to be recomputed alongside
+  // — the component-local pass is bit-identical to a whole-fabric pass.
+  int unfrozen_flows = static_cast<int>(comp_flows_.size());
+  int guard = unfrozen_flows + static_cast<int>(comp_links_.size()) + 1;
   while (unfrozen_flows > 0 && guard-- > 0) {
-    double delta = std::numeric_limits<double>::infinity();
-    for (const Link& link : links_) {
-      if (link.unfrozen == 0 || link.saturated) continue;
-      const double headroom = std::max(0.0, link.capacity - link.allocated);
-      delta = std::min(delta, headroom / link.unfrozen);
+    double level = std::numeric_limits<double>::infinity();
+    for (const int link : comp_links_) {
+      Link& l = links_[static_cast<std::size_t>(link)];
+      if (l.unfrozen == 0 || l.saturated) continue;
+      const double share = std::max(0.0, l.capacity - l.frozen_sum) / l.unfrozen;
+      level = std::min(level, share);
     }
-    HOPLITE_CHECK(std::isfinite(delta)) << "unfrozen flow with no unsaturated link";
-    for (auto& [id, flow] : flows_) {
-      if (flow.stage != Stage::kWire || flow.frozen) continue;
-      flow.rate += delta;
+    HOPLITE_CHECK(std::isfinite(level)) << "unfrozen flow with no unsaturated link";
+    for (const int link : comp_links_) {
+      Link& l = links_[static_cast<std::size_t>(link)];
+      if (l.unfrozen == 0 || l.saturated) continue;
+      const double headroom = l.capacity - (l.frozen_sum + level * l.unfrozen);
+      if (headroom <= l.capacity * 1e-9) l.saturated = true;
     }
-    for (Link& link : links_) {
-      if (link.unfrozen == 0 || link.saturated) continue;
-      link.allocated += delta * link.unfrozen;
-      if (link.capacity - link.allocated <= link.capacity * 1e-9) link.saturated = true;
-    }
-    for (auto& [id, flow] : flows_) {
-      if (flow.stage != Stage::kWire || flow.frozen) continue;
+    for (const CompFlow& cf : comp_flows_) {
+      Flow& f = *cf.flow;
+      if (f.frozen) continue;
       bool bottlenecked = false;
-      for (int i = 0; i < flow.num_links && !bottlenecked; ++i) {
+      for (int i = 0; i < f.num_links && !bottlenecked; ++i) {
         bottlenecked =
-            links_[static_cast<std::size_t>(flow.links[static_cast<std::size_t>(i)])].saturated;
+            links_[static_cast<std::size_t>(f.links[static_cast<std::size_t>(i)])].saturated;
       }
       if (!bottlenecked) continue;
-      flow.frozen = true;
+      f.frozen = true;
+      f.rate = level;
       --unfrozen_flows;
-      for (int i = 0; i < flow.num_links; ++i) {
-        links_[static_cast<std::size_t>(flow.links[static_cast<std::size_t>(i)])].unfrozen -= 1;
+      for (int i = 0; i < f.num_links; ++i) {
+        Link& l = links_[static_cast<std::size_t>(f.links[static_cast<std::size_t>(i)])];
+        l.unfrozen -= 1;
+        l.frozen_sum += level;
       }
     }
   }
   HOPLITE_CHECK_EQ(unfrozen_flows, 0) << "progressive filling did not converge";
+
+  for (const CompFlow& cf : comp_flows_) {
+    ++cf.flow->gen;
+    PushCompletionRecords(cf.id, *cf.flow);
+  }
+  CompactHeaps();
+}
+
+void RackFabric::PushCompletionRecords(TransferId id, Flow& flow) {
+  const SimTime now = flow.anchor;
+  SimTime t_own = kSimTimeMax;
+  SimTime t_half = kSimTimeMax;
+  if (flow.remaining <= kDoneBytes) {
+    t_own = now;
+    t_half = now;
+  } else if (flow.rate > 0) {
+    const double own_ns = std::ceil(flow.remaining / flow.rate * 1e9);
+    if (own_ns < static_cast<double>(kSimTimeMax - now)) {
+      // Floor of one nanosecond: a residue that rounds to a zero-length
+      // completion must still move time forward, or the completion event
+      // reschedules itself at `now` forever.
+      t_own = now + std::max<SimTime>(1, static_cast<SimTime>(own_ns));
+      const double half_ns = std::ceil((flow.remaining - kDoneBytes) / flow.rate * 1e9);
+      t_half = now + std::max<SimTime>(1, static_cast<SimTime>(std::max(0.0, half_ns)));
+      // ceil() worked on rounded quotients; nudge onto the exact boundary
+      // of the booked-remaining test so the sweep window matches a full
+      // per-event scan. At most a couple of probes each way.
+      for (int probe = 0; probe < 4 && t_half > now + 1 &&
+                          RemainingAt(flow, t_half - 1) <= kDoneBytes;
+           ++probe) {
+        --t_half;
+      }
+      for (int probe = 0; probe < 4 && t_half < t_own && RemainingAt(flow, t_half) > kDoneBytes;
+           ++probe) {
+        ++t_half;
+      }
+      t_half = std::min(t_half, t_own);
+    }
+  }
+  if (t_own == kSimTimeMax) return;  // no rate: waits for the next recompute
+  own_heap_.push_back(HeapEntry{t_own, id, flow.gen});
+  std::push_heap(own_heap_.begin(), own_heap_.end(), EntryLater{});
+  half_heap_.push_back(HeapEntry{t_half, id, flow.gen});
+  std::push_heap(half_heap_.begin(), half_heap_.end(), EntryLater{});
 }
 
 void RackFabric::RescheduleCompletion() {
@@ -223,35 +341,72 @@ void RackFabric::RescheduleCompletion() {
     completion_event_ = sim::EventId{};
   }
   const SimTime now = sim_.Now();
-  SimTime best = kSimTimeMax;
-  for (const auto& [id, flow] : flows_) {
-    if (flow.stage != Stage::kWire) continue;
-    SimTime at = kSimTimeMax;
-    if (flow.remaining <= kDoneBytes) {
-      at = now;
-    } else if (flow.rate > 0) {
-      const double ns = std::ceil(flow.remaining / flow.rate * 1e9);
-      at = ns >= static_cast<double>(kSimTimeMax - now) ? kSimTimeMax
-                                                        : now + static_cast<SimTime>(ns);
+  const auto valid_top = [this](std::vector<HeapEntry>& heap) -> const HeapEntry* {
+    while (!heap.empty()) {
+      const HeapEntry& top = heap.front();
+      if (IsStale(top)) {
+        std::pop_heap(heap.begin(), heap.end(), EntryLater{});
+        heap.pop_back();
+        continue;
+      }
+      return &top;
     }
-    best = std::min(best, at);
-  }
-  if (best < kSimTimeMax) {
-    completion_event_ = sim_.ScheduleAt(best, [this] { OnWireCompletion(); });
-  }
+    return nullptr;
+  };
+  const HeapEntry* own = valid_top(own_heap_);
+  if (own == nullptr) return;
+  SimTime at = std::max(own->time, now);
+  // A flow whose residue has already drained under the done threshold
+  // completes at the very next opportunity: any mutation that lands while
+  // it is sub-residue fires the completion sweep immediately, exactly like
+  // the old per-event full scan's `remaining <= done -> at = now` rule.
+  const HeapEntry* half = valid_top(half_heap_);
+  if (half != nullptr && half->time <= now) at = now;
+  completion_event_ = sim_.ScheduleAt(at, [this] { OnWireCompletion(); });
 }
 
 void RackFabric::OnWireCompletion() {
   completion_event_ = sim::EventId{};
-  AdvanceProgress();
-  bool links_changed = false;
-  for (auto& [id, flow] : flows_) {
-    if (flow.stage != Stage::kWire || flow.remaining > kDoneBytes) continue;
-    DetachFromLinks(flow);
-    EnterDeliveryStage(id, flow);
-    links_changed = true;
+  const SimTime now = sim_.Now();
+  std::vector<TransferId>& done = done_scratch_;
+  std::vector<TransferId>& not_yet = not_yet_scratch_;
+  done.clear();
+  not_yet.clear();
+  while (!half_heap_.empty() && half_heap_.front().time <= now) {
+    const HeapEntry e = half_heap_.front();
+    std::pop_heap(half_heap_.begin(), half_heap_.end(), EntryLater{});
+    half_heap_.pop_back();
+    if (IsStale(e)) continue;
+    if (RemainingAt(flows_.find(e.id)->second, now) <= kDoneBytes) {
+      done.push_back(e.id);
+    } else {
+      not_yet.push_back(e.id);
+    }
   }
-  if (links_changed) AssignRates();
+  // Completions run in ascending TransferId order, exactly like the old
+  // whole-map sweep.
+  std::sort(done.begin(), done.end());
+  std::vector<int>& dirty = dirty_scratch_;
+  dirty.clear();
+  for (const TransferId id : done) {
+    Flow& flow = flows_.find(id)->second;
+    DetachFromLinks(id, flow, dirty);
+    EnterDeliveryStage(id, flow);
+  }
+  const bool recomputed = !dirty.empty();
+  if (recomputed) Recompute(dirty);
+  // Residue not under the threshold yet (the sweep window was conservative):
+  // re-anchor and push fresh records so the next event still sees the flow —
+  // unless this event's Recompute already refreshed it (its component shared
+  // a link with a completing flow), which would have made a pre-Recompute
+  // push instant garbage in both heaps.
+  for (const TransferId id : not_yet) {
+    Flow& flow = flows_.find(id)->second;
+    if (recomputed && flow.mark == epoch_) continue;
+    Materialize(flow, now);
+    ++flow.gen;
+    PushCompletionRecords(id, flow);
+  }
   RescheduleCompletion();
 }
 
@@ -268,6 +423,18 @@ void RackFabric::EnterDeliveryStage(TransferId id, Flow& flow) {
     flows_.erase(it);
     cb();
   });
+}
+
+void RackFabric::CompactHeaps() {
+  const auto compact = [this](std::vector<HeapEntry>& heap) {
+    if (heap.size() < 64 || heap.size() <= 2 * wire_flow_count_ + 16) return;
+    heap.erase(std::remove_if(heap.begin(), heap.end(),
+                              [this](const HeapEntry& e) { return IsStale(e); }),
+               heap.end());
+    std::make_heap(heap.begin(), heap.end(), EntryLater{});
+  };
+  compact(own_heap_);
+  compact(half_heap_);
 }
 
 }  // namespace hoplite::net

@@ -6,12 +6,17 @@
 // Simulator instance. Events at equal timestamps fire in scheduling order
 // (FIFO tie-break via a monotonically increasing sequence number), which makes
 // every run bit-reproducible from its inputs.
+//
+// Events live in generation-stamped slots: the heap holds small plain
+// records {time, seq, slot, gen} while callbacks sit in a slot array indexed
+// by EventId. Schedule, Cancel and the fired/cancelled test are all O(1)
+// array operations (plus the heap push/pop) — no per-event hash-set traffic,
+// which is what used to dominate the event loop at 1024-node scale.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -21,11 +26,16 @@
 namespace hoplite::sim {
 
 /// Handle to a scheduled event; usable to cancel it before it fires.
+/// Internally a slot index plus the slot's generation at scheduling time, so
+/// stale handles (fired, cancelled, slot since reused) are recognized in O(1).
 struct EventId {
-  std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;  ///< 0 only in the default (invalid) handle
 
-  [[nodiscard]] constexpr bool IsValid() const noexcept { return seq != 0; }
-  friend constexpr bool operator==(EventId a, EventId b) noexcept { return a.seq == b.seq; }
+  [[nodiscard]] constexpr bool IsValid() const noexcept { return gen != 0; }
+  friend constexpr bool operator==(EventId a, EventId b) noexcept {
+    return a.slot == b.slot && a.gen == b.gen;
+  }
 };
 
 /// A discrete-event simulator with integer-nanosecond virtual time.
@@ -47,11 +57,21 @@ class Simulator {
   EventId ScheduleAt(SimTime t, Callback fn) {
     HOPLITE_CHECK_GE(t, now_) << "cannot schedule into the past";
     HOPLITE_CHECK(fn != nullptr);
-    const EventId id{++next_seq_};
-    heap_.push_back(Event{t, id.seq, std::move(fn)});
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    }
+    Slot& s = slots_[slot];
+    ++s.gen;  // gen 0 is reserved for the invalid handle; first use is gen 1
+    s.live = true;
+    s.fn = std::move(fn);
+    heap_.push_back(Event{t, ++next_seq_, slot, s.gen});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
-    pending_.insert(id.seq);
-    return id;
+    return EventId{slot, s.gen};
   }
 
   /// Schedules `fn` to run `delay` nanoseconds from now (delay >= 0).
@@ -64,13 +84,18 @@ class Simulator {
   /// were already cancelled (returns false in those cases; true if this call
   /// is the one that cancelled it).
   ///
-  /// Tombstones are swept eagerly once they outnumber half the pending
-  /// events, so heavy cancel traffic (or cancelling into an abandoned heap)
-  /// cannot grow `cancelled_` without bound.
+  /// Stale heap records are swept eagerly once they outnumber half the
+  /// pending events, so heavy cancel traffic (or cancelling into an
+  /// abandoned heap) cannot grow the heap without bound.
   bool Cancel(EventId id) {
-    if (!id.IsValid() || pending_.erase(id.seq) == 0) return false;
-    cancelled_.insert(id.seq);
-    if (cancelled_.size() > heap_.size() / 2) SweepCancelled();
+    if (!id.IsValid() || id.slot >= slots_.size()) return false;
+    Slot& s = slots_[id.slot];
+    if (s.gen != id.gen || !s.live) return false;  // fired, cancelled, or reused
+    s.live = false;
+    s.fn = nullptr;
+    free_slots_.push_back(id.slot);
+    ++stale_;
+    if (stale_ > heap_.size() / 2) SweepCancelled();
     return true;
   }
 
@@ -79,17 +104,21 @@ class Simulator {
   bool Step() {
     while (!heap_.empty()) {
       std::pop_heap(heap_.begin(), heap_.end(), Later{});
-      Event ev = std::move(heap_.back());
+      const Event ev = heap_.back();
       heap_.pop_back();
-      if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
-        cancelled_.erase(it);
+      Slot& s = slots_[ev.slot];
+      if (s.gen != ev.gen || !s.live) {
+        --stale_;
         continue;
       }
-      pending_.erase(ev.seq);
+      Callback fn = std::move(s.fn);
+      s.live = false;
+      s.fn = nullptr;
+      free_slots_.push_back(ev.slot);
       HOPLITE_CHECK_GE(ev.time, now_);
       now_ = ev.time;
       ++executed_events_;
-      ev.fn();
+      fn();
       return true;
     }
     return false;
@@ -106,15 +135,17 @@ class Simulator {
   /// the queue drained earlier.
   void RunUntil(SimTime deadline) {
     while (!heap_.empty()) {
-      // Drop cancelled heads first: a tombstone at or before the deadline
+      // Drop cancelled heads first: a stale record at or before the deadline
       // must not license Step() to execute a live event beyond it.
-      if (auto it = cancelled_.find(heap_.front().seq); it != cancelled_.end()) {
+      const Event& head = heap_.front();
+      const Slot& s = slots_[head.slot];
+      if (s.gen != head.gen || !s.live) {
         std::pop_heap(heap_.begin(), heap_.end(), Later{});
         heap_.pop_back();
-        cancelled_.erase(it);
+        --stale_;
         continue;
       }
-      if (PeekTime() > deadline) break;
+      if (head.time > deadline) break;
       Step();
     }
     if (now_ < deadline) now_ = deadline;
@@ -134,18 +165,26 @@ class Simulator {
 
   /// Number of events executed so far (cancelled events excluded).
   [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_events_; }
-  /// Number of events currently pending (cancelled-but-unswept included).
+  /// Number of heap records currently pending (cancelled-but-unswept included).
   [[nodiscard]] std::size_t pending_events() const noexcept { return heap_.size(); }
-  /// Number of cancelled-but-unswept tombstones (bounded by the sweep in
+  /// Number of cancelled-but-unswept heap records (bounded by the sweep in
   /// Cancel; exposed for the accounting regression tests).
-  [[nodiscard]] std::size_t cancelled_tombstones() const noexcept { return cancelled_.size(); }
+  [[nodiscard]] std::size_t cancelled_tombstones() const noexcept { return stale_; }
   [[nodiscard]] bool Idle() const noexcept { return heap_.empty(); }
 
  private:
+  /// A heap record: plain data only; the callback lives in the slot array so
+  /// heap moves never touch a std::function.
   struct Event {
     SimTime time;
     std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  struct Slot {
     Callback fn;
+    std::uint32_t gen = 0;
+    bool live = false;
   };
   struct Later {
     // Max-heap comparator inverted into a min-heap by (time, seq):
@@ -155,31 +194,26 @@ class Simulator {
     }
   };
 
-  [[nodiscard]] SimTime PeekTime() const noexcept { return heap_.front().time; }
-
-  /// Drops every cancelled event from the heap and clears the tombstone set
-  /// (every tombstone matches exactly one heap entry, because Cancel only
-  /// marks pending events). Removing entries does not perturb execution
-  /// order: it is fully determined by (time, seq).
+  /// Drops every stale (cancelled) record from the heap. Removing entries
+  /// does not perturb execution order: it is fully determined by (time, seq).
   void SweepCancelled() {
     heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
                                [this](const Event& ev) {
-                                 return cancelled_.count(ev.seq) > 0;
+                                 const Slot& s = slots_[ev.slot];
+                                 return s.gen != ev.gen || !s.live;
                                }),
                 heap_.end());
     std::make_heap(heap_.begin(), heap_.end(), Later{});
-    cancelled_.clear();
+    stale_ = 0;
   }
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_events_ = 0;
   std::vector<Event> heap_;
-  /// Seqs of events that are scheduled and not yet fired or cancelled.
-  /// Gives Cancel an exact pending test, so cancel-after-fire and repeated
-  /// cancels return false without ever inserting an unreclaimable tombstone.
-  std::unordered_set<std::uint64_t> pending_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t stale_ = 0;
 };
 
 }  // namespace hoplite::sim

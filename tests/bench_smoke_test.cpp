@@ -24,12 +24,12 @@ RunOptions SmokeScale() {
   return options;
 }
 
-TEST(BenchRegistryTest, AllFourteenFiguresRegistered) {
+TEST(BenchRegistryTest, AllFifteenFiguresRegistered) {
   const std::set<std::string> expected{
       "fig6",  "fig7",  "fig8",  "fig9",       "fig10",
       "fig11", "fig12", "fig13", "fig14",      "fig15",
       "adaptive-d", "directory-latency", "engine-micro",
-      "topo_oversubscription"};
+      "topo_oversubscription", "scale_nodes"};
   std::set<std::string> registered;
   for (const Figure& figure : Registry::Instance().figures()) {
     EXPECT_NE(figure.fn, nullptr) << figure.name;
@@ -48,7 +48,7 @@ TEST(BenchRegistryTest, FindIsExactAndMissesUnknown) {
 
 TEST(BenchSmokeTest, EveryFigureProducesFiniteRowsAtTinyScale) {
   const RunOptions opt = SmokeScale();
-  EXPECT_EQ(Registry::Instance().figures().size(), 14u);
+  EXPECT_EQ(Registry::Instance().figures().size(), 15u);
   for (const Figure& figure : Registry::Instance().figures()) {
     SCOPED_TRACE(figure.name);
     const std::vector<Row> rows = figure.fn(opt);

@@ -295,5 +295,82 @@ TEST_F(DirectoryTest, ShardIsStableAndInRange) {
   EXPECT_EQ(dir_.ShardOf(obj_), shard);
 }
 
+TEST_F(DirectoryTest, DeleteWhileParkedKeepsTheClaimAlive) {
+  // A claim parked behind a missing sender must survive a concurrent
+  // Delete: dropping it would strand the claimant's callback forever. The
+  // claim resolves once the object is re-created, exactly as if it had been
+  // issued after the delete.
+  dir_.RegisterPartial(obj_, 2, MB(1));
+  sim_.Run();
+  int replies = 0;
+  NodeID granted = kInvalidNode;
+  // Claim the only copy, then re-claim from the same receiver (a client
+  // whose first fetch stalled does exactly this): the second claim has no
+  // eligible sender — 2 is busy, 5 cannot serve itself — so it parks.
+  dir_.ClaimSender(obj_, 5, [&](const ClaimReply&) { ++replies; });
+  dir_.ClaimSender(obj_, 5, [&](const ClaimReply& r) {
+    ++replies;
+    granted = r.sender;
+  });
+  sim_.Run();
+  EXPECT_EQ(replies, 1);
+  dir_.DeleteObject(obj_, nullptr);
+  sim_.Run();
+  // Every copy and the recorded size are gone; the id lives on only as a
+  // parking lot (exactly the state a claim-before-put creates).
+  EXPECT_EQ(dir_.LocationsOf(obj_), std::vector<NodeID>{});
+  EXPECT_EQ(dir_.SizeOf(obj_), std::nullopt);
+  EXPECT_EQ(replies, 1) << "parked claim must not be dropped or misfired";
+  // Re-create the object: the surviving parked claim is served from it.
+  dir_.RegisterPartial(obj_, 3, MB(1));
+  dir_.MarkComplete(obj_, 3);
+  sim_.Run();
+  EXPECT_EQ(replies, 2);
+  EXPECT_EQ(granted, 3);
+}
+
+TEST_F(DirectoryTest, DeleteWhileClaimInFlightDoesNotResurrectTheEntry) {
+  // Delete races a granted (in-flight) claim: the transfer-finished write
+  // that lands after the delete must not recreate locations or crash, and
+  // the claimant's reply must already have been delivered.
+  dir_.RegisterPartial(obj_, 2, MB(1));
+  dir_.MarkComplete(obj_, 2);
+  sim_.Run();
+  std::optional<ClaimReply> reply;
+  dir_.ClaimSender(obj_, 5, [&](const ClaimReply& r) { reply = r; });
+  sim_.Run();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->sender, 2);
+  // The receiver is now a registered partial and the sender is busy; the
+  // framework deletes the object while the bytes are still on the wire.
+  dir_.DeleteObject(obj_, nullptr);
+  sim_.Run();
+  EXPECT_FALSE(dir_.HasObject(obj_));
+  // The late completion write finds no entry and must be a clean no-op.
+  dir_.TransferFinished(obj_, 2, 5);
+  sim_.Run();
+  EXPECT_FALSE(dir_.HasObject(obj_));
+  EXPECT_EQ(dir_.LocationsOf(obj_), std::vector<NodeID>{});
+}
+
+TEST_F(DirectoryTest, DeleteWhileClaimReadInFlightParksOnTheFreshEntry) {
+  // The claim's read latency straddles the delete: when the read lands the
+  // entry is gone, so the claim parks on the fresh entry and resolves when
+  // the object reappears.
+  dir_.RegisterPartial(obj_, 2, MB(1));
+  dir_.MarkComplete(obj_, 2);
+  sim_.Run();
+  dir_.DeleteObject(obj_, nullptr);  // write latency 167 us < read latency 177 us
+  std::optional<ClaimReply> reply;
+  dir_.ClaimSender(obj_, 5, [&](const ClaimReply& r) { reply = r; });
+  sim_.Run();
+  EXPECT_FALSE(reply.has_value()) << "claim must park, not resolve on a deleted copy";
+  dir_.RegisterPartial(obj_, 7, MB(1));
+  dir_.MarkComplete(obj_, 7);
+  sim_.Run();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->sender, 7);
+}
+
 }  // namespace
 }  // namespace hoplite::directory

@@ -235,6 +235,75 @@ TEST(RackFabricTest, DeterministicAcrossRuns) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(RackFabricTest, ManyTinyStaggeredFlowsDrainWithoutEventStorm) {
+  // Regression for the near-zero-residue loop: flows whose remaining bytes
+  // shrink to sub-byte residues (tiny payloads, rates in the GB/s range,
+  // heavy event churn from staggered starts) must never reschedule a
+  // zero-length completion event at the current instant forever. The clamp
+  // floors every rescheduled completion at one nanosecond, so the whole
+  // batch drains with a bounded number of executed events.
+  sim::Simulator sim;
+  RackFabric net(sim, RackConfig(8, 2, 2.0));
+  const int kFlows = 512;
+  int delivered = 0;
+  for (int i = 0; i < kFlows; ++i) {
+    const NodeID src = static_cast<NodeID>(i % 4);
+    const NodeID dst = static_cast<NodeID>(4 + (i + 1) % 4);
+    const std::int64_t bytes = 1 + i % 3;  // 1-3 byte payloads
+    sim.ScheduleAt(static_cast<SimTime>(i), [&net, &delivered, src, dst, bytes] {
+      net.Send(src, dst, bytes, [&delivered] { ++delivered; });
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, kFlows);
+  EXPECT_EQ(net.wire_flows(), 0u);
+  // Starts + completions + deliveries plus bounded rescheduling slack; a
+  // same-instant completion loop would trip this by orders of magnitude.
+  EXPECT_LT(sim.executed_events(), 20u * kFlows);
+}
+
+TEST(RackFabricTest, DisjointComponentFlowKeepsItsRateAcrossForeignChurn) {
+  // A start or finish only re-shares bandwidth on the component of flows
+  // reachable from the changed links. An intra-rack flow in rack 1 shares
+  // nothing with intra-rack traffic in rack 0, so rack-0 churn must leave
+  // its fair share untouched (and, by max-min componentwise factorization,
+  // its delivery time exactly as if rack 0 were idle).
+  sim::Simulator sim;
+  RackFabric net(sim, RackConfig(8, 2, 8.0));
+  const TransferId loner = net.Send(4, 5, MB(64), [] {});
+  EXPECT_DOUBLE_EQ(net.CurrentRate(loner), Gbps(10));
+  // Churn in rack 0: two flows sharing node 0's egress, then a cancel.
+  const TransferId a = net.Send(0, 1, MB(32), [] {});
+  const TransferId b = net.Send(0, 2, MB(32), [] {});
+  EXPECT_DOUBLE_EQ(net.CurrentRate(a), Gbps(5));
+  EXPECT_DOUBLE_EQ(net.CurrentRate(b), Gbps(5));
+  EXPECT_DOUBLE_EQ(net.CurrentRate(loner), Gbps(10)) << "foreign start re-rated the loner";
+  EXPECT_TRUE(net.CancelTransfer(a));
+  EXPECT_DOUBLE_EQ(net.CurrentRate(b), Gbps(10));
+  EXPECT_DOUBLE_EQ(net.CurrentRate(loner), Gbps(10)) << "foreign cancel re-rated the loner";
+  sim.Run();
+}
+
+TEST(RackFabricTest, SoloFlowDeliveryIsExactRegardlessOfForeignEvents) {
+  // The lazy progress accounting books a flow's remaining bytes only when
+  // its own rate changes; interleaving unrelated events in another rack
+  // must not shift the flow's completion by even a nanosecond.
+  const auto run = [](bool with_foreign_churn) {
+    sim::Simulator sim;
+    RackFabric net(sim, RackConfig(8, 2, 8.0));
+    SimTime delivered_at = -1;
+    net.Send(4, 5, MB(64), [&] { delivered_at = sim.Now(); });
+    if (with_foreign_churn) {
+      for (int i = 0; i < 100; ++i) {
+        sim.ScheduleAt(Microseconds(1) * (i + 1), [&net] { net.Send(0, 1, KB(64), [] {}); });
+      }
+    }
+    sim.Run();
+    return delivered_at;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
 TEST(RackFabricTest, AggregateCrossRackThroughputMatchesUplink) {
   // 4 concurrent cross-rack flows over a 5 Gbps uplink must take ~4x the
   // single-flow time: the fabric enforces the shared-link capacity, not

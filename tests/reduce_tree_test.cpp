@@ -155,5 +155,54 @@ TEST(ReduceDegreeModelTest, TinyClusters) {
   EXPECT_EQ(ChooseReduceDegree(2, 100e-6, Gbps(10), 1e6), 2);
 }
 
+TEST(ReduceDegreeModelTest, DepthMatchesDeepestShapePosition) {
+  // The cost model must charge the pipeline depth the tree actually has:
+  // the depth of the deepest (last level-order) position of the shape.
+  for (int n : {2, 3, 5, 8, 9, 16, 17, 31, 33, 48, 64, 100}) {
+    for (int d : {2, 3, 4, 7}) {
+      if (d >= n) continue;
+      EXPECT_EQ(ReduceTreeDepth(n, d), ReduceTreeShape(n, d).Depth(n - 1))
+          << "n=" << n << " d=" << d;
+    }
+  }
+  // Boundary sizes one past a full tree: depth grows by exactly one level.
+  EXPECT_EQ(ReduceTreeDepth(7, 2), 2);
+  EXPECT_EQ(ReduceTreeDepth(8, 2), 3);
+  EXPECT_EQ(ReduceTreeDepth(9, 2), 3);   // log2(9) = 3.17 overstated this
+  EXPECT_EQ(ReduceTreeDepth(15, 2), 3);
+  EXPECT_EQ(ReduceTreeDepth(16, 2), 4);
+  EXPECT_EQ(ReduceTreeDepth(17, 2), 4);  // log2(17) = 4.09 overstated this
+}
+
+TEST(ReduceDegreeModelTest, BoundaryClusterSizeDecisions) {
+  // Degree decisions at off-power-of-two cluster sizes, the regime the
+  // un-ceiled log_d(n) depth silently mispriced. Latency-bound objects take
+  // the star, bandwidth-bound ones the chain, and the mid sizes the binary
+  // tree — at every boundary n, not just powers of two.
+  const double L = 100e-6;
+  const double B = Gbps(10);
+  const auto choose = [&](int n, std::int64_t bytes) {
+    return ChooseReduceDegree(n, L, B, static_cast<double>(bytes));
+  };
+  for (const int n : {3, 5, 9, 17, 33}) {
+    EXPECT_EQ(choose(n, KB(4)), n) << "n=" << n;        // latency-bound: star
+    EXPECT_EQ(choose(n, MB(256)), 1) << "n=" << n;      // bandwidth-bound: chain
+  }
+  EXPECT_EQ(choose(3, MB(4)), 3);   // 3 nodes: star stays ahead of d=2
+  EXPECT_EQ(choose(5, MB(4)), 2);
+  EXPECT_EQ(choose(9, MB(4)), 2);
+  EXPECT_EQ(choose(17, MB(4)), 2);
+  EXPECT_EQ(choose(33, MB(4)), 2);
+  EXPECT_EQ(choose(17, MB(32)), 2);
+  EXPECT_EQ(choose(33, MB(32)), 2);
+  // The regression the depth fix exists for: at n = 9 / 64 KB the true
+  // depth-3 binary tree beats the star; the log2(9) = 3.17 model used to
+  // overprice it and pick d = 9.
+  EXPECT_EQ(choose(9, KB(64)), 2);
+  const double t2 = PredictReduceSeconds(9, 2, L, B, static_cast<double>(KB(64)));
+  const double t9 = PredictReduceSeconds(9, 9, L, B, static_cast<double>(KB(64)));
+  EXPECT_LT(t2, t9);
+}
+
 }  // namespace
 }  // namespace hoplite::core
