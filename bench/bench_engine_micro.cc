@@ -123,6 +123,30 @@ std::vector<Row> Run(const RunOptions& opt) {
   }
 
   {
+    // The lazy fill path the reduce coordinator actually takes: draw the
+    // first k positions of a (much larger) tree from a FillCursor instead
+    // of materializing the whole O(n) FillSequence. A 1M-position binary
+    // tree here streams its first 64 positions in O(k * depth) work — the
+    // win recorded vs the row above (which pays O(n) per reduce).
+    const int n = 1 << 20;
+    const int k = 64;
+    const int iters = 1000;
+    const double secs = BestWallSeconds(repeats, [&] {
+      for (int i = 0; i < iters; ++i) {
+        core::ReduceTreeShape shape(n, 2);
+        core::ReduceTreeShape::FillCursor cursor(shape);
+        std::uint64_t acc = 0;
+        for (int j = 0; j < k; ++j) acc += static_cast<std::uint64_t>(cursor.Next());
+        sink = sink + acc;
+      }
+    });
+    rows.push_back(Row{.series = "reduce-tree-lazy-first-k",
+                       .coords = {{"positions", n}, {"k", k}},
+                       .value = iters / secs,
+                       .unit = "fills_per_second"});
+  }
+
+  {
     // Rack-fabric fair-share stress: one concurrent flow per node (1024 at
     // paper scale) on a 4:1-oversubscribed rack fabric with datacenter-style
     // locality — 7 of 8 flows stay inside their rack, the rest cross the

@@ -25,12 +25,10 @@ double GlooOp(const std::string& op, int nodes, std::int64_t bytes) {
   sim::Simulator sim;
   const auto net = net::MakeFabric(sim, PaperCluster(nodes).network);
   baselines::GlooLikeCollectives gloo(sim, *net, baselines::GlooConfig{});
-  SimTime done = 0;
-  const auto on_done = [&] { done = sim.Now(); };
-  if (op == "broadcast") gloo.Broadcast(BaselineRanks(nodes), bytes, on_done);
-  if (op == "allreduce") gloo.HalvingDoublingAllreduce(BaselineRanks(nodes), bytes, on_done);
-  sim.Run();
-  return ToSeconds(done);
+  Ref<SimTime> done;
+  if (op == "broadcast") done = gloo.Broadcast(BaselineRanks(nodes), bytes);
+  if (op == "allreduce") done = gloo.HalvingDoublingAllreduce(BaselineRanks(nodes), bytes);
+  return FinishBaseline(sim, done);
 }
 
 std::vector<Row> Run(const RunOptions& opt) {

@@ -27,9 +27,9 @@ double HopliteRtt(std::int64_t bytes, bool pipelining) {
   const ObjectID back = ObjectID::FromName("pong");
   SimTime done = 0;
   cluster.client(0).Put(there, store::Buffer::OfSize(bytes));
-  cluster.client(1).Get(there, [&](const store::Buffer&) {
+  cluster.client(1).Get(there).Then([&] {
     cluster.client(1).Put(back, store::Buffer::OfSize(bytes));
-    cluster.client(0).Get(back, [&](const store::Buffer&) { done = cluster.Now(); });
+    cluster.client(0).Get(back).Then([&] { done = cluster.Now(); });
   });
   cluster.RunAll();
   return ToSeconds(done);
@@ -41,7 +41,9 @@ double MpiRtt(std::int64_t bytes) {
   const auto net = net::MakeFabric(sim, PaperCluster(2).network);
   baselines::MpiLikeCollectives mpi(sim, *net, baselines::MpiConfig{});
   SimTime done = 0;
-  mpi.Send(0, 1, bytes, [&] { mpi.Send(1, 0, bytes, [&] { done = sim.Now(); }); });
+  mpi.Send(0, 1, bytes).Then([&] {
+    mpi.Send(1, 0, bytes).Then([&](SimTime t) { done = t; });
+  });
   sim.Run();
   return ToSeconds(done);
 }
@@ -55,9 +57,9 @@ double RayRtt(std::int64_t bytes, const baselines::RayLikeConfig& config) {
   const ObjectID back = ObjectID::FromName("pong");
   SimTime done = 0;
   transport.Put(0, there, bytes);
-  transport.Get(1, there, [&] {
+  transport.Get(1, there).Then([&] {
     transport.Put(1, back, bytes);
-    transport.Get(0, back, [&] { done = sim.Now(); });
+    transport.Get(0, back).Then([&] { done = sim.Now(); });
   });
   sim.Run();
   return ToSeconds(done);

@@ -25,13 +25,11 @@ double GlooOp(const std::string& op, int nodes, std::int64_t bytes) {
   sim::Simulator sim;
   const auto net = net::MakeFabric(sim, PaperCluster(nodes).network);
   baselines::GlooLikeCollectives gloo(sim, *net, baselines::GlooConfig{});
-  SimTime done = 0;
-  const auto on_done = [&] { done = sim.Now(); };
-  if (op == "broadcast") gloo.Broadcast(BaselineRanks(nodes), bytes, on_done);
-  if (op == "ring") gloo.RingChunkedAllreduce(BaselineRanks(nodes), bytes, on_done);
-  if (op == "hd") gloo.HalvingDoublingAllreduce(BaselineRanks(nodes), bytes, on_done);
-  sim.Run();
-  return ToSeconds(done);
+  Ref<SimTime> done;
+  if (op == "broadcast") done = gloo.Broadcast(BaselineRanks(nodes), bytes);
+  if (op == "ring") done = gloo.RingChunkedAllreduce(BaselineRanks(nodes), bytes);
+  if (op == "hd") done = gloo.HalvingDoublingAllreduce(BaselineRanks(nodes), bytes);
+  return FinishBaseline(sim, done);
 }
 
 std::vector<Row> Run(const RunOptions& opt) {

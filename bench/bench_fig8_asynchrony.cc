@@ -28,24 +28,19 @@ double MpiOp(const std::string& op, int nodes, std::int64_t bytes, SimDuration i
   sim::Simulator sim;
   const auto net = net::MakeFabric(sim, PaperCluster(nodes).network);
   baselines::MpiLikeCollectives mpi(sim, *net, baselines::MpiConfig{});
-  SimTime done = 0;
-  const auto on_done = [&] { done = sim.Now(); };
-  if (op == "broadcast") mpi.Broadcast(StaggeredRanks(nodes, interval), bytes, on_done);
-  if (op == "reduce") mpi.Reduce(StaggeredRanks(nodes, interval), bytes, on_done);
-  if (op == "allreduce") mpi.Allreduce(StaggeredRanks(nodes, interval), bytes, on_done);
-  sim.Run();
-  return ToSeconds(done);
+  Ref<SimTime> done;
+  if (op == "broadcast") done = mpi.Broadcast(StaggeredRanks(nodes, interval), bytes);
+  if (op == "reduce") done = mpi.Reduce(StaggeredRanks(nodes, interval), bytes);
+  if (op == "allreduce") done = mpi.Allreduce(StaggeredRanks(nodes, interval), bytes);
+  return FinishBaseline(sim, done);
 }
 
 double GlooRing(int nodes, std::int64_t bytes, SimDuration interval) {
   sim::Simulator sim;
   const auto net = net::MakeFabric(sim, PaperCluster(nodes).network);
   baselines::GlooLikeCollectives gloo(sim, *net, baselines::GlooConfig{});
-  SimTime done = 0;
-  gloo.RingChunkedAllreduce(StaggeredRanks(nodes, interval), bytes,
-                            [&] { done = sim.Now(); });
-  sim.Run();
-  return ToSeconds(done);
+  return FinishBaseline(sim,
+                        gloo.RingChunkedAllreduce(StaggeredRanks(nodes, interval), bytes));
 }
 
 double HopliteOp(const std::string& op, int nodes, std::int64_t bytes,

@@ -5,6 +5,12 @@
 // time from when the inputs are ready (or the operation starts) to when the
 // last participant finishes; Get uses the read-only fast path, like the
 // paper's Hoplite/Ray measurements.
+//
+// Runners are written against the Ref future API (core/ref.h): staggered
+// starts are `At(sim, t).Then(...)` chains, and "last participant finished"
+// is a `WhenAll` over the per-participant refs — no hand-rolled countdown
+// state. Refs settle inline, so these runners are event-identical to their
+// raw-callback predecessors.
 #pragma once
 
 #include <string>
@@ -18,6 +24,7 @@
 #include "common/units.h"
 #include "core/client.h"
 #include "core/cluster.h"
+#include "core/ref.h"
 #include "store/buffer.h"
 
 namespace hoplite::bench {
@@ -49,6 +56,17 @@ static_assert(net::ClusterConfig{}.per_message_overhead == Microseconds(5));
 // seconds (from t = 0) of the whole operation.
 // ----------------------------------------------------------------------
 
+/// Drains the cluster and returns the settle time of `all_done` in seconds,
+/// checking that every participant actually finished.
+[[nodiscard]] inline double FinishCollective(core::HopliteCluster& cluster,
+                                             const Ref<std::vector<store::Buffer>>& all_done) {
+  SimTime last = 0;
+  all_done.Then([&cluster, &last] { last = cluster.Now(); });
+  cluster.RunAll();
+  HOPLITE_CHECK(all_done.ready());
+  return ToSeconds(last);
+}
+
 /// Broadcast: node 0 Puts at ready_at[0]; every other node Gets at its
 /// ready_at. Returns when the last receiver holds the object.
 [[nodiscard]] inline double HopliteBroadcast(core::HopliteCluster& cluster,
@@ -56,46 +74,33 @@ static_assert(net::ClusterConfig{}.per_message_overhead == Microseconds(5));
                                              const std::vector<SimTime>& ready_at) {
   const ObjectID object = ObjectID::FromName("bcast-object");
   auto& sim = cluster.simulator();
-  sim.ScheduleAt(ready_at[0], [&cluster, object, bytes] {
+  At(sim, ready_at[0]).Then([&cluster, object, bytes] {
     cluster.client(0).Put(object, store::Buffer::OfSize(bytes));
   });
-  int remaining = cluster.num_nodes() - 1;
-  SimTime last = 0;
+  std::vector<Ref<store::Buffer>> received;
   for (NodeID r = 1; r < cluster.num_nodes(); ++r) {
-    sim.ScheduleAt(ready_at[static_cast<std::size_t>(r)], [&cluster, &remaining, &last, r,
-                                                           object] {
-      cluster.client(r).Get(object, core::GetOptions{.read_only = true},
-                            [&cluster, &remaining, &last](const store::Buffer&) {
-                              --remaining;
-                              last = cluster.Now();
-                            });
-    });
+    received.push_back(
+        At(sim, ready_at[static_cast<std::size_t>(r)]).Then([&cluster, r, object] {
+          return cluster.client(r).Get(object, core::GetOptions{.read_only = true});
+        }));
   }
-  cluster.RunAll();
-  HOPLITE_CHECK_EQ(remaining, 0);
-  return ToSeconds(last);
+  return FinishCollective(cluster, WhenAll(received));
 }
 
 /// Gather: every node Puts at its ready_at; node 0 then Gets every object.
 [[nodiscard]] inline double HopliteGather(core::HopliteCluster& cluster, std::int64_t bytes,
                                           const std::vector<SimTime>& ready_at) {
   auto& sim = cluster.simulator();
-  int remaining = cluster.num_nodes() - 1;
-  SimTime last = 0;
+  std::vector<Ref<store::Buffer>> gathered;
   for (NodeID w = 1; w < cluster.num_nodes(); ++w) {
     const ObjectID object = ObjectID::FromName("gather").WithIndex(w);
-    sim.ScheduleAt(ready_at[static_cast<std::size_t>(w)], [&cluster, w, object, bytes] {
+    At(sim, ready_at[static_cast<std::size_t>(w)]).Then([&cluster, w, object, bytes] {
       cluster.client(w).Put(object, store::Buffer::OfSize(bytes));
     });
-    cluster.client(0).Get(object, core::GetOptions{.read_only = true},
-                          [&cluster, &remaining, &last](const store::Buffer&) {
-                            --remaining;
-                            last = cluster.Now();
-                          });
+    gathered.push_back(
+        cluster.client(0).Get(object, core::GetOptions{.read_only = true}));
   }
-  cluster.RunAll();
-  HOPLITE_CHECK_EQ(remaining, 0);
-  return ToSeconds(last);
+  return FinishCollective(cluster, WhenAll(gathered));
 }
 
 /// Reduce: every node Puts at its ready_at; node 0 Reduces all and Gets the
@@ -109,21 +114,19 @@ static_assert(net::ClusterConfig{}.per_message_overhead == Microseconds(5));
   for (NodeID w = 0; w < cluster.num_nodes(); ++w) {
     const ObjectID object = ObjectID::FromName("reduce").WithIndex(w);
     sources.push_back(object);
-    sim.ScheduleAt(ready_at[static_cast<std::size_t>(w)], [&cluster, w, object, bytes] {
+    At(sim, ready_at[static_cast<std::size_t>(w)]).Then([&cluster, w, object, bytes] {
       cluster.client(w).Put(object, store::Buffer::OfSize(bytes));
     });
   }
   const ObjectID target = ObjectID::FromName("reduce-sum");
-  SimTime done = 0;
   core::ReduceSpec spec;
   spec.target = target;
   spec.sources = std::move(sources);
   cluster.client(0).Reduce(std::move(spec));
-  cluster.client(0).Get(target, core::GetOptions{.read_only = true},
-                        [&cluster, &done](const store::Buffer&) { done = cluster.Now(); });
-  cluster.RunAll();
-  HOPLITE_CHECK_GT(done, 0);
-  return ToSeconds(done);
+  return FinishCollective(
+      cluster,
+      WhenAll(std::vector<Ref<store::Buffer>>{
+          cluster.client(0).Get(target, core::GetOptions{.read_only = true})}));
 }
 
 /// Allreduce: reduce at node 0 + every node Gets the result (§3.4.3).
@@ -135,7 +138,7 @@ static_assert(net::ClusterConfig{}.per_message_overhead == Microseconds(5));
   for (NodeID w = 0; w < cluster.num_nodes(); ++w) {
     const ObjectID object = ObjectID::FromName("allreduce").WithIndex(w);
     sources.push_back(object);
-    sim.ScheduleAt(ready_at[static_cast<std::size_t>(w)], [&cluster, w, object, bytes] {
+    At(sim, ready_at[static_cast<std::size_t>(w)]).Then([&cluster, w, object, bytes] {
       cluster.client(w).Put(object, store::Buffer::OfSize(bytes));
     });
   }
@@ -144,18 +147,12 @@ static_assert(net::ClusterConfig{}.per_message_overhead == Microseconds(5));
   spec.target = target;
   spec.sources = std::move(sources);
   cluster.client(0).Reduce(std::move(spec));
-  int remaining = cluster.num_nodes();
-  SimTime last = 0;
+  std::vector<Ref<store::Buffer>> received;
   for (NodeID w = 0; w < cluster.num_nodes(); ++w) {
-    cluster.client(w).Get(target, core::GetOptions{.read_only = true},
-                          [&cluster, &remaining, &last](const store::Buffer&) {
-                            --remaining;
-                            last = cluster.Now();
-                          });
+    received.push_back(
+        cluster.client(w).Get(target, core::GetOptions{.read_only = true}));
   }
-  cluster.RunAll();
-  HOPLITE_CHECK_EQ(remaining, 0);
-  return ToSeconds(last);
+  return FinishCollective(cluster, WhenAll(received));
 }
 
 // ----------------------------------------------------------------------
@@ -177,6 +174,13 @@ inline void CheckCollectiveOp(const std::string& op) {
       << "unknown collective op: " << op;
 }
 
+/// Drains `sim` and returns the collective ref's completion time in seconds.
+[[nodiscard]] inline double FinishBaseline(sim::Simulator& sim, const Ref<SimTime>& done) {
+  sim.Run();
+  HOPLITE_CHECK(done.ready());
+  return ToSeconds(done.value());
+}
+
 [[nodiscard]] inline double MpiCollective(const std::string& op,
                                           const net::ClusterConfig& net_config,
                                           std::int64_t bytes) {
@@ -185,14 +189,12 @@ inline void CheckCollectiveOp(const std::string& op) {
   sim::Simulator sim;
   const auto net = net::MakeFabric(sim, net_config);
   baselines::MpiLikeCollectives mpi(sim, *net, baselines::MpiConfig{});
-  SimTime done = 0;
-  const auto on_done = [&] { done = sim.Now(); };
-  if (op == "broadcast") mpi.Broadcast(BaselineRanks(nodes), bytes, on_done);
-  if (op == "gather") mpi.Gather(BaselineRanks(nodes), bytes, on_done);
-  if (op == "reduce") mpi.Reduce(BaselineRanks(nodes), bytes, on_done);
-  if (op == "allreduce") mpi.Allreduce(BaselineRanks(nodes), bytes, on_done);
-  sim.Run();
-  return ToSeconds(done);
+  Ref<SimTime> done;
+  if (op == "broadcast") done = mpi.Broadcast(BaselineRanks(nodes), bytes);
+  if (op == "gather") done = mpi.Gather(BaselineRanks(nodes), bytes);
+  if (op == "reduce") done = mpi.Reduce(BaselineRanks(nodes), bytes);
+  if (op == "allreduce") done = mpi.Allreduce(BaselineRanks(nodes), bytes);
+  return FinishBaseline(sim, done);
 }
 
 [[nodiscard]] inline double MpiCollective(const std::string& op, int nodes,
@@ -209,8 +211,6 @@ inline void CheckCollectiveOp(const std::string& op) {
   sim::Simulator sim;
   const auto net = net::MakeFabric(sim, net_config);
   baselines::RayLikeTransport transport(sim, *net, config);
-  SimTime done = 0;
-  const auto on_done = [&] { done = sim.Now(); };
   std::vector<ObjectID> sources;
   std::vector<NodeID> receivers;
   for (int i = 0; i < nodes; ++i) {
@@ -218,17 +218,22 @@ inline void CheckCollectiveOp(const std::string& op) {
     if (i > 0) receivers.push_back(static_cast<NodeID>(i));
   }
   const ObjectID target = ObjectID::FromName("result");
+  SimTime done = 0;
   if (op == "broadcast") {
-    transport.Put(0, sources[0], bytes,
-                  [&] { transport.Broadcast(sources[0], receivers, on_done); });
+    transport.Put(0, sources[0], bytes).Then([&] {
+      transport.Broadcast(sources[0], receivers).Then([&](SimTime t) { done = t; });
+    });
   } else {
     for (int i = 0; i < nodes; ++i) {
       transport.Put(static_cast<NodeID>(i), sources[static_cast<std::size_t>(i)], bytes);
     }
-    if (op == "gather") transport.Gather(0, sources, on_done);
-    if (op == "reduce") transport.Reduce(0, sources, target, bytes, on_done);
+    const auto record = [&](const Ref<SimTime>& op_done) {
+      op_done.Then([&](SimTime t) { done = t; });
+    };
+    if (op == "gather") record(transport.Gather(0, sources));
+    if (op == "reduce") record(transport.Reduce(0, sources, target, bytes));
     if (op == "allreduce") {
-      transport.Allreduce(0, sources, target, bytes, receivers, on_done);
+      record(transport.Allreduce(0, sources, target, bytes, receivers));
     }
   }
   sim.Run();

@@ -44,21 +44,22 @@ struct Frontend {
     for (NodeID replica = 1; replica <= kReplicas; ++replica) {
       if (!alive[static_cast<std::size_t>(replica)]) continue;
       waiting.insert(static_cast<std::uint64_t>(replica));
-      cluster.client(replica).Get(
-          QueryId(q), core::GetOptions{.read_only = true},
-          [this, replica, q](const store::Buffer&) {
-            // 30 ms of inference, then a 1 KB vote (inline fast path).
-            cluster.simulator().ScheduleAfter(Milliseconds(30), [this, replica, q] {
-              if (!alive[static_cast<std::size_t>(replica)]) return;
-              cluster.client(replica).Put(VoteId(replica, q),
-                                          store::Buffer::OfSize(1024));
-            });
+      // One Then chain per replica: fetch the batch (broadcast tree), infer
+      // for 30 ms, vote (inline fast path).
+      cluster.client(replica)
+          .Get(QueryId(q), core::GetOptions{.read_only = true})
+          .Then([this] { return After(cluster.simulator(), Milliseconds(30)); })
+          .Then([this, replica, q] {
+            if (!alive[static_cast<std::size_t>(replica)]) return;
+            cluster.client(replica).Put(VoteId(replica, q),
+                                        store::Buffer::OfSize(1024));
           });
-      cluster.client(0).Get(VoteId(replica, q), core::GetOptions{.read_only = true},
-                            [this, replica](const store::Buffer&) {
-                              waiting.erase(static_cast<std::uint64_t>(replica));
-                              MaybeFinish();
-                            });
+      cluster.client(0)
+          .Get(VoteId(replica, q), core::GetOptions{.read_only = true})
+          .Then([this, replica] {
+            waiting.erase(static_cast<std::uint64_t>(replica));
+            MaybeFinish();
+          });
     }
   }
 
@@ -86,7 +87,9 @@ int main() {
   core::HopliteCluster cluster(options);
 
   Frontend frontend{cluster};
-  cluster.AddMembershipListener([&](NodeID node, bool alive) {
+  // Scoped subscription: dropping the handle (e.g. a frontend that shuts
+  // down before the cluster) unregisters the listener.
+  const auto membership = cluster.AddMembershipListener([&](NodeID node, bool alive) {
     frontend.alive[static_cast<std::size_t>(node)] = alive;
     std::printf("[%7.1f ms] replica %d is %s\n", ToMilliseconds(cluster.Now()), node,
                 alive ? "back" : "down");

@@ -55,13 +55,27 @@ int main() {
   std::printf("== Reduce 6 of 10 gradients; node 3 dies mid-reduce ==\n");
   const ObjectID sum = ObjectID::FromName("sum");
   std::vector<ObjectID> reduced_set;
-  cluster.client(0).Reduce(
-      core::ReduceSpec{sum, gradients, 6, store::ReduceOp::kSum},
-      [&](const core::ReduceResult& result) {
+  // One chain: reduce, record which gradients made it, fetch the sum. The
+  // continuation returns another ref, which Then flattens.
+  cluster.client(0)
+      .Reduce(core::ReduceSpec{sum, gradients, 6, store::ReduceOp::kSum})
+      .Then([&](const core::ReduceResult& result) {
         reduced_set = result.reduced;
         std::printf("[%6.1f ms] reduce finished with %zu objects (%zu left out)\n",
                     ToMilliseconds(cluster.Now()), result.reduced.size(),
                     result.unreduced.size());
+        return cluster.client(0).Get(sum);
+      })
+      .Then([&](const store::Buffer& value) {
+        const float expected = ExpectedSum(reduced_set, kNodes);
+        std::printf("[%6.1f ms] sum[0] = %.1f, expected %.1f -> %s\n",
+                    ToMilliseconds(cluster.Now()), value.values()[0], expected,
+                    value.values()[0] == expected ? "CORRECT" : "WRONG");
+        for (const ObjectID& id : reduced_set) {
+          if (id == ObjectID::FromName("grad").WithIndex(3)) {
+            std::printf("ERROR: the dead node's gradient is in the result!\n");
+          }
+        }
       });
   // Node 3's gradient arrives at 60 ms; kill the node at 70 ms, after it
   // joined the tree but long before the reduce can finish (node 5 arrives
@@ -69,17 +83,6 @@ int main() {
   cluster.simulator().ScheduleAt(Milliseconds(70), [&] {
     std::printf("[%6.1f ms] node 3 killed\n", ToMilliseconds(cluster.Now()));
     cluster.KillNode(3);
-  });
-  cluster.client(0).Get(sum, [&](const store::Buffer& value) {
-    const float expected = ExpectedSum(reduced_set, kNodes);
-    std::printf("[%6.1f ms] sum[0] = %.1f, expected %.1f -> %s\n",
-                ToMilliseconds(cluster.Now()), value.values()[0], expected,
-                value.values()[0] == expected ? "CORRECT" : "WRONG");
-    for (const ObjectID& id : reduced_set) {
-      if (id == ObjectID::FromName("grad").WithIndex(3)) {
-        std::printf("ERROR: the dead node's gradient is in the result!\n");
-      }
-    }
   });
   cluster.RunAll();
 
@@ -89,16 +92,17 @@ int main() {
   cluster.client(3).Put(ObjectID::FromName("grad").WithIndex(3),
                         store::Buffer::FromValues(std::vector<float>(kElems, 4.0f)));
   const ObjectID sum2 = ObjectID::FromName("sum-round2");
-  cluster.client(0).Reduce(
-      core::ReduceSpec{sum2, gradients, 0, store::ReduceOp::kSum},
-      [&](const core::ReduceResult& result) {
+  cluster.client(0)
+      .Reduce(core::ReduceSpec{sum2, gradients, 0, store::ReduceOp::kSum})
+      .Then([&](const core::ReduceResult& result) {
         std::printf("[%6.1f ms] second reduce finished with all %zu objects\n",
                     ToMilliseconds(cluster.Now()), result.reduced.size());
+        return cluster.client(0).Get(sum2);
+      })
+      .Then([&](const store::Buffer& value) {
+        std::printf("[%6.1f ms] full sum[0] = %.1f (expect 1+2+...+10 = 55)\n",
+                    ToMilliseconds(cluster.Now()), value.values()[0]);
       });
-  cluster.client(0).Get(sum2, [&](const store::Buffer& value) {
-    std::printf("[%6.1f ms] full sum[0] = %.1f (expect 1+2+...+10 = 55)\n",
-                ToMilliseconds(cluster.Now()), value.values()[0]);
-  });
   cluster.RunAll();
   return 0;
 }

@@ -3,9 +3,10 @@
 // Demonstrates the paper's motivating pattern: the server reduces the
 // gradients of the first half of workers to finish each round and
 // broadcasts the new weights back to exactly those workers, while slow
-// workers keep computing on their stale copy. Uses the TaskSystem (dynamic
-// tasks + futures) for the worker computations and the Hoplite client API
-// for the collective data movement.
+// workers keep computing on their stale copy. TaskSystem::Submit returns
+// the task's output future immediately; the collective data movement is a
+// Reduce future chained into per-worker Get futures, with WhenAll closing
+// each round.
 //
 //   $ ./examples/parameter_server
 #include <cstdio>
@@ -15,6 +16,7 @@
 #include "common/units.h"
 #include "core/client.h"
 #include "core/cluster.h"
+#include "core/ref.h"
 #include "task/task_system.h"
 
 using namespace hoplite;
@@ -59,25 +61,39 @@ struct ParameterServer {
     spec.target = ObjectID::FromName("update").WithIndex(round);
     spec.sources = outstanding;
     spec.num_objects = (kNodes - 1) / 2;  // first half of finishers
-    cluster.client(0).Reduce(std::move(spec), [this](const core::ReduceResult& result) {
+    cluster.client(0).Reduce(std::move(spec)).Then([this](const core::ReduceResult&
+                                                              result) {
       std::printf("[%7.1f ms] round %d: reduced %zu gradients, %zu still in flight\n",
                   ToMilliseconds(cluster.Now()), round, result.reduced.size(),
                   result.unreduced.size());
-      // New model for the fast workers; they start the next round.
+      // New model for the fast workers; each resumes as soon as its copy
+      // arrives, and WhenAll reports when the whole batch is back to work.
       const ObjectID model = ObjectID::FromName("weights").WithIndex(round + 1);
       cluster.client(0).Put(
           model, store::Buffer::FromValues(std::vector<float>(kElems, 0.0f)));
       outstanding = result.unreduced;
+      std::vector<Ref<store::Buffer>> delivered;
       for (const ObjectID grad : result.reduced) {
         for (NodeID w = 1; w < kNodes; ++w) {
           if (grad != GradId(w, worker_round[static_cast<std::size_t>(w)])) continue;
           worker_round[static_cast<std::size_t>(w)] += 1;
           outstanding.push_back(GradId(w, worker_round[static_cast<std::size_t>(w)]));
-          cluster.client(w).Get(model, core::GetOptions{.read_only = true},
-                                [this, w](const store::Buffer&) { LaunchWorker(w); });
+          delivered.push_back(
+              cluster.client(w)
+                  .Get(model, core::GetOptions{.read_only = true})
+                  .Then([this, w](const store::Buffer& copy) {
+                    LaunchWorker(w);
+                    return copy;
+                  }));
           break;
         }
       }
+      const int finished_round = round;
+      WhenAll(delivered).Then([this, finished_round](
+                                  const std::vector<store::Buffer>& copies) {
+        std::printf("[%7.1f ms] round %d: %zu fast workers restarted\n",
+                    ToMilliseconds(cluster.Now()), finished_round, copies.size());
+      });
       ++round;
       RunRound();
     });

@@ -1,8 +1,15 @@
-// Quickstart: the Hoplite core API in five minutes.
+// Quickstart: the Hoplite futures API in five minutes.
 //
-// Spins up a simulated 4-node cluster and walks through the Table 1 API:
-// Put / Get (implicit broadcast) / Reduce / Delete, printing what happens
-// and when (in simulated time).
+// Spins up a simulated 4-node cluster and walks through the Table 1 API in
+// its Ref form: every call returns an object future immediately (§2.1), and
+// programs are built by composing futures instead of hand-rolling callback
+// state machines:
+//
+//   Put / Get            -> Ref chains with Then
+//   broadcast            -> WhenAll over concurrent Gets
+//   Reduce               -> Ref<ReduceResult>, chained into a Get
+//   Delete               -> error propagation (a pending Get observes it)
+//   Get(id, timeout)     -> WithTimeout / GetOptions::timeout
 //
 //   $ ./examples/quickstart
 #include <cstdio>
@@ -11,6 +18,7 @@
 #include "common/units.h"
 #include "core/client.h"
 #include "core/cluster.h"
+#include "core/ref.h"
 
 using namespace hoplite;
 
@@ -20,33 +28,36 @@ int main() {
   options.network.num_nodes = 4;
   core::HopliteCluster cluster(options);
 
-  std::printf("== 1. Put / Get: move one object between nodes ==\n");
+  std::printf("== 1. Put / Get: every call returns a future immediately ==\n");
   const ObjectID weights = ObjectID::FromName("model-weights");
   std::vector<float> values(4 * 1024 * 1024, 1.5f);  // 16 MB of parameters
-  cluster.client(0).Put(weights, store::Buffer::FromValues(values), [&] {
+  cluster.client(0).Put(weights, store::Buffer::FromValues(values)).Then([&] {
     std::printf("[%6.2f ms] node 0: Put complete\n", ToMilliseconds(cluster.Now()));
   });
-  cluster.client(1).Get(weights, [&](const store::Buffer& buffer) {
+  // Get returns a Ref<Buffer>; Then chains run inline when it becomes ready.
+  cluster.client(1).Get(weights).Then([&](const store::Buffer& buffer) {
     std::printf("[%6.2f ms] node 1: Got %lld bytes, first value %.1f\n",
                 ToMilliseconds(cluster.Now()), static_cast<long long>(buffer.size()),
                 buffer.values()[0]);
   });
   cluster.RunAll();
 
-  std::printf("\n== 2. Broadcast: every node Gets the same object ==\n");
+  std::printf("\n== 2. Broadcast: WhenAll over concurrent Gets ==\n");
   // Broadcast is implicit (§3.4.1): concurrent Gets self-organize into a
-  // distribution tree via the object directory; the sender's NIC is not the
-  // bottleneck.
+  // distribution tree via the object directory. WhenAll gives one future
+  // for "everyone has it".
+  std::vector<Ref<store::Buffer>> fetched;
   for (NodeID node = 2; node < 4; ++node) {
-    cluster.client(node).Get(weights, core::GetOptions{.read_only = true},
-                             [&, node](const store::Buffer&) {
-                               std::printf("[%6.2f ms] node %d: received the broadcast\n",
-                                           ToMilliseconds(cluster.Now()), node);
-                             });
+    fetched.push_back(cluster.client(node).Get(
+        weights, core::GetOptions{.read_only = true}));
   }
+  WhenAll(fetched).Then([&](const std::vector<store::Buffer>& copies) {
+    std::printf("[%6.2f ms] all %zu receivers hold the broadcast\n",
+                ToMilliseconds(cluster.Now()), copies.size());
+  });
   cluster.RunAll();
 
-  std::printf("\n== 3. Reduce: sum gradients from every node ==\n");
+  std::printf("\n== 3. Reduce: a future for the sum, chained into a Get ==\n");
   std::vector<ObjectID> gradients;
   for (NodeID node = 0; node < 4; ++node) {
     const ObjectID grad = ObjectID::FromName("grad").WithIndex(node);
@@ -56,23 +67,54 @@ int main() {
                   std::vector<float>(1024 * 1024, static_cast<float>(node + 1))));
   }
   const ObjectID total = ObjectID::FromName("grad-total");
-  cluster.client(0).Reduce(
-      core::ReduceSpec{total, gradients, 0, store::ReduceOp::kSum},
-      [&](const core::ReduceResult& result) {
+  // Then flattens: a continuation may itself return a Ref, so "reduce, then
+  // fetch the result" is one chain.
+  cluster.client(0)
+      .Reduce(core::ReduceSpec{total, gradients, 0, store::ReduceOp::kSum})
+      .Then([&](const core::ReduceResult& result) {
         std::printf("[%6.2f ms] node 0: reduced %zu objects\n",
                     ToMilliseconds(cluster.Now()), result.reduced.size());
+        return cluster.client(0).Get(total);
+      })
+      .Then([&](const store::Buffer& buffer) {
+        std::printf("[%6.2f ms] node 0: sum[0] = %.1f (expect 1+2+3+4 = 10)\n",
+                    ToMilliseconds(cluster.Now()), buffer.values()[0]);
       });
-  cluster.client(0).Get(total, [&](const store::Buffer& buffer) {
-    std::printf("[%6.2f ms] node 0: sum[0] = %.1f (expect 1+2+3+4 = 10)\n",
-                ToMilliseconds(cluster.Now()), buffer.values()[0]);
+  cluster.RunAll();
+
+  std::printf("\n== 4. Failure propagation: Delete fails pending futures ==\n");
+  // A Get whose object is Delete'd mid-fetch observes kDeleted instead of
+  // silently never firing — the classic lost-callback bug of raw plumbing.
+  const ObjectID big = ObjectID::FromName("doomed");
+  cluster.client(0).Put(big, store::Buffer::OfSize(64 * 1024 * 1024));
+  cluster.client(3)
+      .Get(big)
+      .Then([](const store::Buffer&) {
+        std::printf("ERROR: the fetch of a deleted object completed!\n");
+      })
+      .OnError([&](const RefError& error) {
+        std::printf("[%6.2f ms] node 3: Get failed as expected: %s (%s)\n",
+                    ToMilliseconds(cluster.Now()), error.message.c_str(),
+                    RefErrorCodeName(error.code));
+      });
+  cluster.simulator().ScheduleAfter(Milliseconds(5), [&] {
+    cluster.client(0).Delete(big).Then([&] {
+      std::printf("[%6.2f ms] all copies of the object are gone\n",
+                  ToMilliseconds(cluster.Now()));
+    });
   });
   cluster.RunAll();
 
-  std::printf("\n== 4. Delete: garbage-collect an object cluster-wide ==\n");
-  cluster.client(0).Delete(weights, [&] {
-    std::printf("[%6.2f ms] all copies of the weights are gone\n",
-                ToMilliseconds(cluster.Now()));
-  });
+  std::printf("\n== 5. Timeouts: Get(id, timeout) instead of hanging ==\n");
+  // Nobody ever Puts this id; without a timeout the future would wait
+  // forever (Table 1's Get takes a timeout for exactly this reason).
+  cluster.client(2)
+      .Get(ObjectID::FromName("never-produced"),
+           core::GetOptions{.timeout = Milliseconds(50)})
+      .OnError([&](const RefError& error) {
+        std::printf("[%6.2f ms] Get timed out as expected (%s)\n",
+                    ToMilliseconds(cluster.Now()), RefErrorCodeName(error.code));
+      });
   cluster.RunAll();
   return 0;
 }

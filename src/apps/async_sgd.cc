@@ -44,6 +44,7 @@ struct HopliteSgd {
   AsyncSgdOptions options;
   Rng rng;
   core::HopliteCluster cluster;
+  core::HopliteCluster::MembershipSubscription membership;
   AsyncSgdResult result;
 
   int workers = 0;
@@ -64,7 +65,7 @@ struct HopliteSgd {
     worker_alive.assign(static_cast<std::size_t>(options.num_nodes), true);
 
     auto* const self = this;
-    cluster.AddMembershipListener([self](NodeID node, bool alive) {
+    membership = cluster.AddMembershipListener([self](NodeID node, bool alive) {
       self->worker_alive[static_cast<std::size_t>(node)] = alive;
       if (!alive && self->awaiting_model.erase(static_cast<std::uint64_t>(node)) > 0) {
         // A worker died while fetching the model: don't block the round.
@@ -124,7 +125,7 @@ struct HopliteSgd {
     spec.sources = outstanding;
     spec.num_objects = static_cast<std::size_t>(half);
     spec.op = store::ReduceOp::kSum;
-    cluster.client(0).Reduce(std::move(spec), [self](const core::ReduceResult& r) {
+    cluster.client(0).Reduce(std::move(spec)).Then([self](const core::ReduceResult& r) {
       self->OnReduced(r);
     });
   }
@@ -155,15 +156,15 @@ struct HopliteSgd {
       if (!worker_alive[static_cast<std::size_t>(w)]) continue;
       pending_broadcast += 1;
       awaiting_model.insert(static_cast<std::uint64_t>(w));
-      cluster.client(w).Get(ModelId(model_round), core::GetOptions{.read_only = true},
-                            [self, w](const store::Buffer&) {
-                              if (self->awaiting_model.erase(
-                                      static_cast<std::uint64_t>(w)) == 0) {
-                                return;  // already accounted (died meanwhile)
-                              }
-                              self->StartWorkerCompute(w);
-                              self->OnModelDelivered();
-                            });
+      cluster.client(w)
+          .Get(ModelId(model_round), core::GetOptions{.read_only = true})
+          .Then([self, w] {
+            if (self->awaiting_model.erase(static_cast<std::uint64_t>(w)) == 0) {
+              return;  // already accounted (died meanwhile)
+            }
+            self->StartWorkerCompute(w);
+            self->OnModelDelivered();
+          });
     }
     if (pending_broadcast == 0) FinishRound();
   }
@@ -294,7 +295,7 @@ struct RaySgd {
   /// in order, the first `half` of a round triggering the weight update.
   void SubscribeGradient(NodeID w, int grad_round) {
     auto* const self = this;
-    transport.Get(0, GradId(w, grad_round), [self, w] { self->OnGradientArrived(w); });
+    transport.Get(0, GradId(w, grad_round)).Then([self, w] { self->OnGradientArrived(w); });
   }
 
   void OnGradientArrived(NodeID w) {
@@ -330,7 +331,7 @@ struct RaySgd {
     // Broadcast the new model to the batch of finished workers.
     const int model_round = round + 1;
     auto* const self = this;
-    transport.Put(0, ModelId(model_round), options.model_bytes, [self, model_round] {
+    transport.Put(0, ModelId(model_round), options.model_bytes).Then([self, model_round] {
       auto waiting = self->awaiting_model;
       self->pending_broadcast = 0;
       for (const std::uint64_t w64 : waiting) {
@@ -340,7 +341,7 @@ struct RaySgd {
           continue;
         }
         self->pending_broadcast += 1;
-        self->transport.Get(w, ModelId(model_round), [self, w] {
+        self->transport.Get(w, ModelId(model_round)).Then([self, w] {
           if (self->awaiting_model.erase(static_cast<std::uint64_t>(w)) == 0) return;
           self->StartWorkerCompute(w);
           self->SubscribeGradient(w, self->worker_round[static_cast<std::size_t>(w)]);

@@ -100,7 +100,7 @@ struct HopliteRl {
       spec.target = GradSumId(round);
       spec.sources = outstanding;
       spec.num_objects = static_cast<std::size_t>(half);
-      cluster.client(0).Reduce(std::move(spec), [self](const core::ReduceResult& r) {
+      cluster.client(0).Reduce(std::move(spec)).Then([self](const core::ReduceResult& r) {
         self->batch_workers.clear();
         std::vector<ObjectID> next = r.unreduced;
         for (const ObjectID id : r.reduced) {
@@ -127,8 +127,9 @@ struct HopliteRl {
     // the trainer form this round's batch.
     const std::vector<ObjectID> watched = outstanding;
     for (const ObjectID id : watched) {
-      cluster.client(0).Get(id, core::GetOptions{.read_only = true},
-                            [self, id](const store::Buffer&) { self->OnSample(id); });
+      cluster.client(0)
+          .Get(id, core::GetOptions{.read_only = true})
+          .Then([self, id] { self->OnSample(id); });
     }
   }
 
@@ -166,11 +167,12 @@ struct HopliteRl {
     cluster.client(0).Put(PolicyId(model_round), store::Buffer::OfSize(options.model_bytes));
     pending_broadcast = static_cast<int>(batch_workers.size());
     for (const NodeID w : batch_workers) {
-      cluster.client(w).Get(PolicyId(model_round), core::GetOptions{.read_only = true},
-                            [self, w](const store::Buffer&) {
-                              self->StartRollout(w);
-                              if (--self->pending_broadcast == 0) self->FinishRound();
-                            });
+      cluster.client(w)
+          .Get(PolicyId(model_round), core::GetOptions{.read_only = true})
+          .Then([self, w] {
+            self->StartRollout(w);
+            if (--self->pending_broadcast == 0) self->FinishRound();
+          });
     }
     if (pending_broadcast == 0) FinishRound();
   }
@@ -244,7 +246,7 @@ struct RayRl {
     auto* const self = this;
     // Both modes fetch every upload into the trainer one by one (Ray has no
     // reduce; gradients are applied individually, Figure 1a).
-    transport.Get(0, RolloutId(w, upload_round), [self, w] { self->OnUpload(w); });
+    transport.Get(0, RolloutId(w, upload_round)).Then([self, w] { self->OnUpload(w); });
   }
 
   void OnUpload(NodeID w) {
@@ -290,19 +292,18 @@ struct RayRl {
     auto* const self = this;
     auto batch = std::make_shared<std::vector<NodeID>>(std::move(batch_workers));
     batch_workers.clear();
-    transport.Put(0, PolicyId(model_round), options.model_bytes,
-                  [self, model_round, batch] {
-                    self->pending_broadcast = static_cast<int>(batch->size());
-                    for (const NodeID w : *batch) {
-                      self->transport.Get(w, PolicyId(model_round), [self, w] {
-                        self->StartRollout(w);
-                        self->Subscribe(
-                            w, self->worker_round[static_cast<std::size_t>(w)]);
-                        if (--self->pending_broadcast == 0) self->FinishRound();
-                      });
-                    }
-                    if (self->pending_broadcast == 0) self->FinishRound();
-                  });
+    transport.Put(0, PolicyId(model_round), options.model_bytes)
+        .Then([self, model_round, batch] {
+          self->pending_broadcast = static_cast<int>(batch->size());
+          for (const NodeID w : *batch) {
+            self->transport.Get(w, PolicyId(model_round)).Then([self, w] {
+              self->StartRollout(w);
+              self->Subscribe(w, self->worker_round[static_cast<std::size_t>(w)]);
+              if (--self->pending_broadcast == 0) self->FinishRound();
+            });
+          }
+          if (self->pending_broadcast == 0) self->FinishRound();
+        });
   }
 
   void FinishRound() {

@@ -40,6 +40,7 @@ struct HopliteServing {
   ServingOptions options;
   Rng rng;
   core::HopliteCluster cluster;
+  core::HopliteCluster::MembershipSubscription membership;
   ServingResult result;
 
   int query = 0;
@@ -50,7 +51,7 @@ struct HopliteServing {
   void Run() {
     replica_alive.assign(static_cast<std::size_t>(options.num_nodes), true);
     auto* const self = this;
-    cluster.AddMembershipListener([self](NodeID node, bool alive) {
+    membership = cluster.AddMembershipListener([self](NodeID node, bool alive) {
       self->replica_alive[static_cast<std::size_t>(node)] = alive;
       if (!alive && self->awaiting_votes.erase(static_cast<std::uint64_t>(node)) > 0) {
         self->MaybeFinishQuery();
@@ -83,10 +84,11 @@ struct HopliteServing {
     for (NodeID replica = 1; replica < options.num_nodes; ++replica) {
       if (!replica_alive[static_cast<std::size_t>(replica)]) continue;
       awaiting_votes.insert(static_cast<std::uint64_t>(replica));
-      // The replica fetches the batch (broadcast tree), infers, and votes.
-      cluster.client(replica).Get(
-          QueryId(q), core::GetOptions{.read_only = true},
-          [self, replica, q](const store::Buffer&) {
+      // The replica fetches the batch (broadcast tree), infers for the
+      // sampled duration, and votes — one Then chain per replica.
+      cluster.client(replica)
+          .Get(QueryId(q), core::GetOptions{.read_only = true})
+          .Then([self, replica, q] {
             const SimDuration infer = self->options.inference_compute.Sample(self->rng);
             self->cluster.simulator().ScheduleAfter(infer, [self, replica, q] {
               if (!self->replica_alive[static_cast<std::size_t>(replica)]) return;
@@ -95,12 +97,12 @@ struct HopliteServing {
             });
           });
       // The frontend tallies the replica's vote.
-      cluster.client(0).Get(VoteId(replica, q), core::GetOptions{.read_only = true},
-                            [self, replica](const store::Buffer&) {
-                              self->awaiting_votes.erase(
-                                  static_cast<std::uint64_t>(replica));
-                              self->MaybeFinishQuery();
-                            });
+      cluster.client(0)
+          .Get(VoteId(replica, q), core::GetOptions{.read_only = true})
+          .Then([self, replica] {
+            self->awaiting_votes.erase(static_cast<std::uint64_t>(replica));
+            self->MaybeFinishQuery();
+          });
     }
     if (awaiting_votes.empty()) MaybeFinishQuery();
   }
@@ -177,13 +179,13 @@ struct RayServing {
     query_start = sim.Now();
     const int q = query;
     auto* const self = this;
-    transport.Put(0, QueryId(q), options.query_bytes, [self, q] {
+    transport.Put(0, QueryId(q), options.query_bytes).Then([self, q] {
       self->awaiting_votes.clear();
       for (NodeID replica = 1; replica < self->options.num_nodes; ++replica) {
         if (!self->replica_known_alive[static_cast<std::size_t>(replica)]) continue;
         self->awaiting_votes.insert(static_cast<std::uint64_t>(replica));
         // Unicast fetch of the batch by each replica (no broadcast tree).
-        self->transport.Get(replica, QueryId(q), [self, replica, q] {
+        self->transport.Get(replica, QueryId(q)).Then([self, replica, q] {
           if (!self->replica_alive[static_cast<std::size_t>(replica)]) return;
           const SimDuration infer = self->options.inference_compute.Sample(self->rng);
           self->sim.ScheduleAfter(infer, [self, replica, q] {
@@ -192,7 +194,7 @@ struct RayServing {
                                 self->options.vote_bytes);
           });
         });
-        self->transport.Get(0, VoteId(replica, q), [self, replica] {
+        self->transport.Get(0, VoteId(replica, q)).Then([self, replica] {
           self->awaiting_votes.erase(static_cast<std::uint64_t>(replica));
           self->MaybeFinishQuery();
         });

@@ -43,7 +43,6 @@ struct HopliteSync {
   core::HopliteCluster cluster;
   SyncTrainingResult result;
   int round = 0;
-  int pending = 0;
 
   void Run() {
     StartRound();
@@ -65,18 +64,18 @@ struct HopliteSync {
       });
     }
     // Allreduce = Reduce into node 0's sink + everyone Gets the result,
-    // pipelined against the reduce (§3.4.3).
+    // pipelined against the reduce (§3.4.3). The round barrier is a WhenAll
+    // over the per-node result futures.
     core::ReduceSpec spec;
     spec.target = SumId(round);
     spec.sources = std::move(sources);
     cluster.client(0).Reduce(std::move(spec));
-    pending = options.num_nodes;
+    std::vector<Ref<store::Buffer>> delivered;
     for (NodeID w = 0; w < options.num_nodes; ++w) {
-      cluster.client(w).Get(SumId(round), core::GetOptions{.read_only = true},
-                            [self](const store::Buffer&) {
-                              if (--self->pending == 0) self->FinishRound();
-                            });
+      delivered.push_back(
+          cluster.client(w).Get(SumId(round), core::GetOptions{.read_only = true}));
     }
+    WhenAll(delivered).Then([self] { self->FinishRound(); });
   }
 
   void FinishRound() {
@@ -131,14 +130,14 @@ struct StaticSync {
           w, sim.Now() + options.gradient_compute.Sample(rng)});
     }
     auto* const self = this;
-    auto done = [self] {
+    const auto done = [self] {
       ++self->round;
       self->StartRound();
     };
     if (options.backend == Backend::kMpi) {
-      mpi.Allreduce(std::move(parts), options.model_bytes, done);
+      mpi.Allreduce(std::move(parts), options.model_bytes).Then(done);
     } else {
-      gloo.RingChunkedAllreduce(std::move(parts), options.model_bytes, done);
+      gloo.RingChunkedAllreduce(std::move(parts), options.model_bytes).Then(done);
     }
   }
 };
@@ -182,14 +181,14 @@ struct RaySync {
     }
     std::vector<NodeID> receivers;
     for (NodeID w = 1; w < options.num_nodes; ++w) receivers.push_back(w);
-    transport.Allreduce(0, sources, SumId(round), options.model_bytes, receivers,
-                        [self] {
-                          for (NodeID w = 0; w < self->options.num_nodes; ++w) {
-                            self->transport.Delete(GradId(w, self->round));
-                          }
-                          ++self->round;
-                          self->StartRound();
-                        });
+    transport.Allreduce(0, sources, SumId(round), options.model_bytes, receivers)
+        .Then([self] {
+          for (NodeID w = 0; w < self->options.num_nodes; ++w) {
+            self->transport.Delete(GradId(w, self->round));
+          }
+          ++self->round;
+          self->StartRound();
+        });
   }
 };
 

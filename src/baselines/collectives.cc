@@ -410,13 +410,42 @@ MpiLikeCollectives::MpiLikeCollectives(sim::Simulator& simulator,
                                        net::Fabric& network, MpiConfig config)
     : sim_(simulator), net_(network), config_(config) {}
 
-void MpiLikeCollectives::Send(NodeID src, NodeID dst, std::int64_t bytes,
-                              DoneCallback done) {
-  net_.Send(src, dst, bytes, std::move(done));
+Ref<SimTime> MpiLikeCollectives::Send(NodeID src, NodeID dst, std::int64_t bytes) {
+  return TimedRef(sim_, [&](DoneCallback done) {
+    net_.Send(src, dst, bytes, std::move(done));
+  });
 }
 
-void MpiLikeCollectives::Broadcast(std::vector<Participant> participants,
-                                   std::int64_t bytes, DoneCallback done) {
+Ref<SimTime> MpiLikeCollectives::Broadcast(std::vector<Participant> participants,
+                                           std::int64_t bytes) {
+  return TimedRef(sim_, [&](DoneCallback done) {
+    BroadcastInternal(std::move(participants), bytes, std::move(done));
+  });
+}
+
+Ref<SimTime> MpiLikeCollectives::Reduce(std::vector<Participant> participants,
+                                        std::int64_t bytes) {
+  return TimedRef(sim_, [&](DoneCallback done) {
+    ReduceInternal(std::move(participants), bytes, std::move(done));
+  });
+}
+
+Ref<SimTime> MpiLikeCollectives::Gather(std::vector<Participant> participants,
+                                        std::int64_t bytes) {
+  return TimedRef(sim_, [&](DoneCallback done) {
+    GatherInternal(std::move(participants), bytes, std::move(done));
+  });
+}
+
+Ref<SimTime> MpiLikeCollectives::Allreduce(std::vector<Participant> participants,
+                                           std::int64_t bytes) {
+  return TimedRef(sim_, [&](DoneCallback done) {
+    AllreduceInternal(std::move(participants), bytes, std::move(done));
+  });
+}
+
+void MpiLikeCollectives::BroadcastInternal(std::vector<Participant> participants,
+                                           std::int64_t bytes, DoneCallback done) {
   HOPLITE_CHECK(!participants.empty());
   auto op = std::make_shared<TreeBroadcastOp>(sim_, net_);
   op->layout = ChunkLayout{bytes, config_.segment_bytes};
@@ -428,8 +457,8 @@ void MpiLikeCollectives::Broadcast(std::vector<Participant> participants,
   op->Start();
 }
 
-void MpiLikeCollectives::Reduce(std::vector<Participant> participants,
-                                std::int64_t bytes, DoneCallback done) {
+void MpiLikeCollectives::ReduceInternal(std::vector<Participant> participants,
+                                        std::int64_t bytes, DoneCallback done) {
   HOPLITE_CHECK(!participants.empty());
   auto op = std::make_shared<TreeReduceOp>(sim_, net_);
   op->layout = ChunkLayout{bytes, config_.segment_bytes};
@@ -445,8 +474,8 @@ void MpiLikeCollectives::Reduce(std::vector<Participant> participants,
   op->Start(gate);
 }
 
-void MpiLikeCollectives::Gather(std::vector<Participant> participants,
-                                std::int64_t bytes, DoneCallback done) {
+void MpiLikeCollectives::GatherInternal(std::vector<Participant> participants,
+                                        std::int64_t bytes, DoneCallback done) {
   HOPLITE_CHECK_GE(participants.size(), 2u);
   const NodeID root = participants[0].node;
   auto remaining = std::make_shared<int>(static_cast<int>(participants.size()) - 1);
@@ -462,8 +491,8 @@ void MpiLikeCollectives::Gather(std::vector<Participant> participants,
   }
 }
 
-void MpiLikeCollectives::Allreduce(std::vector<Participant> participants,
-                                   std::int64_t bytes, DoneCallback done) {
+void MpiLikeCollectives::AllreduceInternal(std::vector<Participant> participants,
+                                           std::int64_t bytes, DoneCallback done) {
   HOPLITE_CHECK_GE(participants.size(), 2u);
   const SimTime gate = MaxReady(participants);
   std::vector<NodeID> nodes;
@@ -495,9 +524,36 @@ GlooLikeCollectives::GlooLikeCollectives(sim::Simulator& simulator,
                                          net::Fabric& network, GlooConfig config)
     : sim_(simulator), net_(network), config_(config) {}
 
-void GlooLikeCollectives::Broadcast(std::vector<Participant> participants,
-                                    std::int64_t bytes, DoneCallback done) {
+Ref<SimTime> GlooLikeCollectives::Broadcast(std::vector<Participant> participants,
+                                            std::int64_t bytes) {
   HOPLITE_CHECK_GE(participants.size(), 2u);
+  return TimedRef(sim_, [&](DoneCallback done) {
+    BroadcastImpl(std::move(participants), bytes, std::move(done));
+  });
+}
+
+Ref<SimTime> GlooLikeCollectives::RingChunkedAllreduce(
+    std::vector<Participant> participants, std::int64_t bytes) {
+  HOPLITE_CHECK_GE(participants.size(), 2u);
+  return TimedRef(sim_, [&](DoneCallback done) {
+    const SimTime gate = MaxReady(participants);
+    std::vector<NodeID> nodes;
+    nodes.reserve(participants.size());
+    for (const Participant& p : participants) nodes.push_back(p.node);
+    RunRingAllreduce(sim_, net_, std::move(nodes), bytes, config_.segment_bytes, gate,
+                     std::move(done));
+  });
+}
+
+Ref<SimTime> GlooLikeCollectives::HalvingDoublingAllreduce(
+    std::vector<Participant> participants, std::int64_t bytes) {
+  return TimedRef(sim_, [&](DoneCallback done) {
+    HalvingDoublingInternal(std::move(participants), bytes, std::move(done));
+  });
+}
+
+void GlooLikeCollectives::BroadcastImpl(std::vector<Participant> participants,
+                                        std::int64_t bytes, DoneCallback done) {
   // Unoptimized: the root unicasts the full object to every receiver; its
   // egress queue serializes the copies.
   const SimTime gate = std::max(sim_.Now(), participants[0].ready_at);
@@ -517,19 +573,8 @@ void GlooLikeCollectives::Broadcast(std::vector<Participant> participants,
   }
 }
 
-void GlooLikeCollectives::RingChunkedAllreduce(std::vector<Participant> participants,
-                                               std::int64_t bytes, DoneCallback done) {
-  HOPLITE_CHECK_GE(participants.size(), 2u);
-  const SimTime gate = MaxReady(participants);
-  std::vector<NodeID> nodes;
-  nodes.reserve(participants.size());
-  for (const Participant& p : participants) nodes.push_back(p.node);
-  RunRingAllreduce(sim_, net_, std::move(nodes), bytes, config_.segment_bytes, gate,
-                   std::move(done));
-}
-
-void GlooLikeCollectives::HalvingDoublingAllreduce(std::vector<Participant> participants,
-                                                   std::int64_t bytes, DoneCallback done) {
+void GlooLikeCollectives::HalvingDoublingInternal(std::vector<Participant> participants,
+                                                  std::int64_t bytes, DoneCallback done) {
   HOPLITE_CHECK_GE(participants.size(), 2u);
   const SimTime gate = MaxReady(participants);
   std::vector<NodeID> nodes;

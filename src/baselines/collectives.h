@@ -25,6 +25,7 @@
 
 #include "common/ids.h"
 #include "common/units.h"
+#include "core/ref.h"
 #include "net/fabric.h"
 #include "sim/simulator.h"
 
@@ -63,30 +64,38 @@ class MpiLikeCollectives {
   MpiLikeCollectives(sim::Simulator& simulator, net::Fabric& network,
                      MpiConfig config);
 
+  // Every collective returns a Ref immediately, ready (with the simulated
+  // completion time) when the last participant finishes.
+
   /// One-directional eager/rendezvous send (Figure 6 builds RTTs from two).
-  void Send(NodeID src, NodeID dst, std::int64_t bytes, DoneCallback done);
+  Ref<SimTime> Send(NodeID src, NodeID dst, std::int64_t bytes);
 
   /// Segmented binomial-tree broadcast rooted at participants[0]. An edge
   /// activates once both of its endpoints are ready, so progress before the
   /// last arrival exists only along rank order (§7).
-  void Broadcast(std::vector<Participant> participants, std::int64_t bytes,
-                 DoneCallback done);
+  Ref<SimTime> Broadcast(std::vector<Participant> participants, std::int64_t bytes);
 
   /// Segmented binary-tree reduce towards participants[0]. Starts only when
   /// every participant is ready (§5.1.3).
-  void Reduce(std::vector<Participant> participants, std::int64_t bytes,
-              DoneCallback done);
+  Ref<SimTime> Reduce(std::vector<Participant> participants, std::int64_t bytes);
 
   /// Linear gather: every rank sends its object to the root directly.
-  void Gather(std::vector<Participant> participants, std::int64_t bytes,
-              DoneCallback done);
+  Ref<SimTime> Gather(std::vector<Participant> participants, std::int64_t bytes);
 
   /// Ring allreduce for large payloads, recursive doubling for small ones.
   /// Starts only when every participant is ready.
-  void Allreduce(std::vector<Participant> participants, std::int64_t bytes,
-                 DoneCallback done);
+  Ref<SimTime> Allreduce(std::vector<Participant> participants, std::int64_t bytes);
 
  private:
+  void BroadcastInternal(std::vector<Participant> participants, std::int64_t bytes,
+                         DoneCallback done);
+  void ReduceInternal(std::vector<Participant> participants, std::int64_t bytes,
+                      DoneCallback done);
+  void GatherInternal(std::vector<Participant> participants, std::int64_t bytes,
+                      DoneCallback done);
+  void AllreduceInternal(std::vector<Participant> participants, std::int64_t bytes,
+                         DoneCallback done);
+
   sim::Simulator& sim_;
   net::Fabric& net_;
   MpiConfig config_;
@@ -103,23 +112,30 @@ class GlooLikeCollectives {
   GlooLikeCollectives(sim::Simulator& simulator, net::Fabric& network,
                       GlooConfig config);
 
+  // Every collective returns a Ref immediately, ready (with the simulated
+  // completion time) when the last participant finishes.
+
   /// Gloo does not optimize broadcast (§5.1.2): the root sends the full
   /// object to every receiver, serialized by its NIC.
-  void Broadcast(std::vector<Participant> participants, std::int64_t bytes,
-                 DoneCallback done);
+  Ref<SimTime> Broadcast(std::vector<Participant> participants, std::int64_t bytes);
 
   /// Ring-chunked allreduce: reduce-scatter + allgather around the ring,
   /// 2(n-1) pipelined block steps. Starts when all are ready.
-  void RingChunkedAllreduce(std::vector<Participant> participants, std::int64_t bytes,
-                            DoneCallback done);
+  Ref<SimTime> RingChunkedAllreduce(std::vector<Participant> participants,
+                                    std::int64_t bytes);
 
   /// Halving-doubling allreduce (recursive halving reduce-scatter, then
   /// recursive doubling allgather). Non-power-of-two participant counts pay
   /// a fold-in/fold-out round, like the real implementation.
-  void HalvingDoublingAllreduce(std::vector<Participant> participants,
-                                std::int64_t bytes, DoneCallback done);
+  Ref<SimTime> HalvingDoublingAllreduce(std::vector<Participant> participants,
+                                        std::int64_t bytes);
 
  private:
+  void BroadcastImpl(std::vector<Participant> participants, std::int64_t bytes,
+                     DoneCallback done);
+  void HalvingDoublingInternal(std::vector<Participant> participants, std::int64_t bytes,
+                               DoneCallback done);
+
   sim::Simulator& sim_;
   net::Fabric& net_;
   GlooConfig config_;

@@ -11,8 +11,58 @@ RayLikeTransport::RayLikeTransport(sim::Simulator& simulator, net::Fabric& netwo
                                    RayLikeConfig config)
     : sim_(simulator), net_(network), config_(config) {}
 
-void RayLikeTransport::Put(NodeID node, ObjectID object, std::int64_t size,
-                           DoneCallback done) {
+Ref<ObjectID> RayLikeTransport::Put(NodeID node, ObjectID object, std::int64_t size) {
+  RefPromise<ObjectID> promise(&sim_, object);
+  PutInternal(node, object, size, [promise, object] { promise.Resolve(object); });
+  return promise.ref();
+}
+
+Ref<ObjectID> RayLikeTransport::Get(NodeID node, ObjectID object) {
+  RefPromise<ObjectID> promise(&sim_, object);
+  GetInternal(node, object, [promise, object] { promise.Resolve(object); });
+  return promise.ref();
+}
+
+Ref<SimTime> RayLikeTransport::Broadcast(ObjectID object,
+                                         const std::vector<NodeID>& receivers) {
+  return TimedRef(sim_, [&](DoneCallback done) {
+    BroadcastInternal(object, receivers, std::move(done));
+  });
+}
+
+Ref<SimTime> RayLikeTransport::Reduce(NodeID root, const std::vector<ObjectID>& sources,
+                                      ObjectID target, std::int64_t size) {
+  return TimedRef(sim_, [&](DoneCallback done) {
+    ReduceInternal(root, sources, target, size, std::move(done));
+  });
+}
+
+Ref<SimTime> RayLikeTransport::Gather(NodeID root, const std::vector<ObjectID>& sources) {
+  HOPLITE_CHECK(!sources.empty());
+  return TimedRef(sim_, [&](DoneCallback done) {
+    auto remaining = std::make_shared<int>(static_cast<int>(sources.size()));
+    auto shared_done = std::make_shared<DoneCallback>(std::move(done));
+    for (const ObjectID source : sources) {
+      GetInternal(root, source, [remaining, shared_done] {
+        if (--*remaining == 0 && *shared_done) (*shared_done)();
+      });
+    }
+  });
+}
+
+Ref<SimTime> RayLikeTransport::Allreduce(NodeID root, const std::vector<ObjectID>& sources,
+                                         ObjectID target, std::int64_t size,
+                                         const std::vector<NodeID>& receivers) {
+  return TimedRef(sim_, [&](DoneCallback done) {
+    ReduceInternal(root, sources, target, size,
+                   [this, target, receivers, done = std::move(done)]() mutable {
+                     BroadcastInternal(target, receivers, std::move(done));
+                   });
+  });
+}
+
+void RayLikeTransport::PutInternal(NodeID node, ObjectID object, std::int64_t size,
+                                   DoneCallback done) {
   HOPLITE_CHECK_GE(size, 0);
   // Blocking worker->store copy; the location is published only afterwards
   // (no pipelining, §3.3).
@@ -34,7 +84,7 @@ void RayLikeTransport::Put(NodeID node, ObjectID object, std::int64_t size,
   });
 }
 
-void RayLikeTransport::Get(NodeID node, ObjectID object, DoneCallback done) {
+void RayLikeTransport::GetInternal(NodeID node, ObjectID object, DoneCallback done) {
   // Location lookup (+ scheduler hop for Dask), then fetch.
   sim_.ScheduleAfter(config_.per_op_overhead + config_.scheduler_hop,
                      [this, node, object, done = std::move(done)]() mutable {
@@ -66,8 +116,9 @@ void RayLikeTransport::StartFetch(NodeID node, ObjectID object, DoneCallback don
 
 void RayLikeTransport::Delete(ObjectID object) { objects_.erase(object); }
 
-void RayLikeTransport::Broadcast(ObjectID object, const std::vector<NodeID>& receivers,
-                                 DoneCallback done) {
+void RayLikeTransport::BroadcastInternal(ObjectID object,
+                                         const std::vector<NodeID>& receivers,
+                                         DoneCallback done) {
   if (receivers.empty()) {
     if (done) done();
     return;
@@ -75,50 +126,29 @@ void RayLikeTransport::Broadcast(ObjectID object, const std::vector<NodeID>& rec
   auto remaining = std::make_shared<int>(static_cast<int>(receivers.size()));
   auto shared_done = std::make_shared<DoneCallback>(std::move(done));
   for (const NodeID receiver : receivers) {
-    Get(receiver, object, [remaining, shared_done] {
+    GetInternal(receiver, object, [remaining, shared_done] {
       if (--*remaining == 0 && *shared_done) (*shared_done)();
     });
   }
 }
 
-void RayLikeTransport::Reduce(NodeID root, const std::vector<ObjectID>& sources,
-                              ObjectID target, std::int64_t size, DoneCallback done) {
+void RayLikeTransport::ReduceInternal(NodeID root, const std::vector<ObjectID>& sources,
+                                      ObjectID target, std::int64_t size,
+                                      DoneCallback done) {
   HOPLITE_CHECK(!sources.empty());
   auto remaining = std::make_shared<int>(static_cast<int>(sources.size()));
   auto shared_done = std::make_shared<DoneCallback>(std::move(done));
   for (const ObjectID source : sources) {
-    Get(root, source, [this, root, target, size, remaining, shared_done] {
+    GetInternal(root, source, [this, root, target, size, remaining, shared_done] {
       // Accumulate into the running sum at memcpy speed.
       net_.Memcpy(root, size, [this, root, target, size, remaining, shared_done] {
         if (--*remaining > 0) return;
-        Put(root, target, size, [shared_done] {
+        PutInternal(root, target, size, [shared_done] {
           if (*shared_done) (*shared_done)();
         });
       });
     });
   }
-}
-
-void RayLikeTransport::Gather(NodeID root, const std::vector<ObjectID>& sources,
-                              DoneCallback done) {
-  HOPLITE_CHECK(!sources.empty());
-  auto remaining = std::make_shared<int>(static_cast<int>(sources.size()));
-  auto shared_done = std::make_shared<DoneCallback>(std::move(done));
-  for (const ObjectID source : sources) {
-    Get(root, source, [remaining, shared_done] {
-      if (--*remaining == 0 && *shared_done) (*shared_done)();
-    });
-  }
-}
-
-void RayLikeTransport::Allreduce(NodeID root, const std::vector<ObjectID>& sources,
-                                 ObjectID target, std::int64_t size,
-                                 const std::vector<NodeID>& receivers,
-                                 DoneCallback done) {
-  Reduce(root, sources, target, size,
-         [this, target, receivers, done = std::move(done)]() mutable {
-           Broadcast(target, receivers, std::move(done));
-         });
 }
 
 }  // namespace hoplite::baselines

@@ -27,6 +27,7 @@
 
 #include "common/ids.h"
 #include "common/units.h"
+#include "core/ref.h"
 #include "net/fabric.h"
 #include "sim/simulator.h"
 
@@ -58,47 +59,56 @@ struct RayLikeConfig {
 /// An object transport with the Put/Get surface of a task framework's store
 /// but none of Hoplite's optimizations. All collective patterns are built
 /// from point-to-point fetches, exactly like the baselines in the paper.
+/// Every operation returns a Ref immediately (see core/ref.h); collectives
+/// resolve with the simulated completion time of the last participant.
 class RayLikeTransport {
  public:
-  using DoneCallback = std::function<void()>;
-
   RayLikeTransport(sim::Simulator& simulator, net::Fabric& network,
                    RayLikeConfig config);
 
   /// Stores an object of `size` bytes on `node` (blocking worker->store
-  /// copy, then location publish).
-  void Put(NodeID node, ObjectID object, std::int64_t size, DoneCallback done = nullptr);
+  /// copy, then location publish). Ready (with the id) once published.
+  Ref<ObjectID> Put(NodeID node, ObjectID object, std::int64_t size);
 
   /// Fetches an object into a worker on `node`: location lookup, full
   /// transfer from the first registered location, blocking store->worker
   /// copy. Parks until the object is Put if necessary.
-  void Get(NodeID node, ObjectID object, DoneCallback done);
+  Ref<ObjectID> Get(NodeID node, ObjectID object);
 
   /// Drops the object's metadata (and nothing else; baselines don't model
   /// distributed eviction).
   void Delete(ObjectID object);
 
-  /// Broadcast = every receiver Gets from the owner. `done` fires when the
-  /// last receiver finished.
-  void Broadcast(ObjectID object, const std::vector<NodeID>& receivers,
-                 DoneCallback done);
+  /// Broadcast = every receiver Gets from the owner. Ready when the last
+  /// receiver finished.
+  Ref<SimTime> Broadcast(ObjectID object, const std::vector<NodeID>& receivers);
 
   /// Reduce = fetch every source into `root`, add locally (memcpy-speed
   /// accumulation), store the result object.
-  void Reduce(NodeID root, const std::vector<ObjectID>& sources, ObjectID target,
-              std::int64_t size, DoneCallback done);
+  Ref<SimTime> Reduce(NodeID root, const std::vector<ObjectID>& sources, ObjectID target,
+                      std::int64_t size);
 
   /// Gather = fetch every source into `root`, no accumulation.
-  void Gather(NodeID root, const std::vector<ObjectID>& sources, DoneCallback done);
+  Ref<SimTime> Gather(NodeID root, const std::vector<ObjectID>& sources);
 
   /// Allreduce = Reduce at `root`, then Broadcast of the result.
-  void Allreduce(NodeID root, const std::vector<ObjectID>& sources, ObjectID target,
-                 std::int64_t size, const std::vector<NodeID>& receivers,
-                 DoneCallback done);
+  Ref<SimTime> Allreduce(NodeID root, const std::vector<ObjectID>& sources,
+                         ObjectID target, std::int64_t size,
+                         const std::vector<NodeID>& receivers);
 
   [[nodiscard]] bool Has(ObjectID object) const { return objects_.count(object) > 0; }
 
  private:
+  using DoneCallback = std::function<void()>;
+
+  // Raw callback plumbing under the ref surface.
+  void PutInternal(NodeID node, ObjectID object, std::int64_t size, DoneCallback done);
+  void GetInternal(NodeID node, ObjectID object, DoneCallback done);
+  void BroadcastInternal(ObjectID object, const std::vector<NodeID>& receivers,
+                         DoneCallback done);
+  void ReduceInternal(NodeID root, const std::vector<ObjectID>& sources, ObjectID target,
+                      std::int64_t size, DoneCallback done);
+
   struct Meta {
     std::int64_t size = 0;
     std::vector<NodeID> locations;

@@ -1,6 +1,8 @@
 #include "core/client.h"
 
 #include <algorithm>
+#include <iterator>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -17,10 +19,87 @@ HopliteClient::~HopliteClient() = default;
 store::LocalStore& HopliteClient::local_store() { return cluster_.store(node_); }
 
 // ======================================================================
+// Ref adapters: the public Table 1 surface. Each wraps the private callback
+// plumbing with a promise that settles inline when the callback fires, so
+// the future layer adds no events and no latency.
+// ======================================================================
+
+Ref<ObjectID> HopliteClient::Put(ObjectID object, store::Buffer payload) {
+  RefPromise<ObjectID> promise(&cluster_.simulator(), object);
+  TrackPromise(promise);
+  PutInternal(object, std::move(payload), [promise, object] { promise.Resolve(object); });
+  return promise.ref();
+}
+
+Ref<store::Buffer> HopliteClient::Get(ObjectID object, GetOptions options) {
+  RefPromise<store::Buffer> promise(&cluster_.simulator(), object);
+  TrackGetPromise(object, promise);
+  GetInternal(object, options,
+              [promise](const store::Buffer& payload) { promise.Resolve(payload); });
+  Ref<store::Buffer> ref = promise.ref();
+  if (options.timeout > 0 && !ref.settled()) {
+    // Reject the tracked promise itself (not a mirror) so the entry settles
+    // and gets pruned; the underlying fetch keeps running — late data can
+    // still complete the local copy, only the future gives up. Settling
+    // first cancels the timer so a drained run is not held open.
+    sim::Simulator* sim = &cluster_.simulator();
+    const sim::EventId timer = sim->ScheduleAfter(options.timeout, [promise, options] {
+      promise.Reject(RefError{RefErrorCode::kTimeout,
+                              "Get unsettled after " + std::to_string(options.timeout) +
+                                  " ns"});
+    });
+    ref.OnSettled([sim, timer](const Ref<store::Buffer>&) { sim->Cancel(timer); });
+  }
+  return ref;
+}
+
+Ref<ObjectID> HopliteClient::Delete(ObjectID object) {
+  RefPromise<ObjectID> promise(&cluster_.simulator(), object);
+  TrackPromise(promise);
+  DeleteInternal(object, [promise, object] { promise.Resolve(object); });
+  return promise.ref();
+}
+
+Ref<ReduceResult> HopliteClient::Reduce(ReduceSpec spec) {
+  RefPromise<ReduceResult> promise(&cluster_.simulator(), spec.target);
+  TrackPromise(promise);
+  ReduceInternal(std::move(spec),
+                 [promise](const ReduceResult& result) { promise.Resolve(result); });
+  return promise.ref();
+}
+
+void HopliteClient::TrackGetPromise(ObjectID object,
+                                    const RefPromise<store::Buffer>& promise) {
+  PrunePromises();
+  get_promises_[object].push_back(promise);
+}
+
+void HopliteClient::PrunePromises() {
+  // Amortized: called on every registration, so neither table accumulates
+  // settled entries across long runs.
+  if (++prune_countdown_ < 64) return;
+  prune_countdown_ = 0;
+  for (auto it = get_promises_.begin(); it != get_promises_.end();) {
+    auto& vec = it->second;
+    std::erase_if(vec, [](const RefPromise<store::Buffer>& p) { return p.settled(); });
+    it = vec.empty() ? get_promises_.erase(it) : std::next(it);
+  }
+  std::erase_if(misc_promises_, [](const TrackedPromise& p) { return p.settled(); });
+}
+
+void HopliteClient::RejectGetPromises(ObjectID object, const RefError& error) {
+  auto it = get_promises_.find(object);
+  if (it == get_promises_.end()) return;
+  auto promises = std::move(it->second);
+  get_promises_.erase(it);
+  for (const auto& promise : promises) promise.Reject(error);
+}
+
+// ======================================================================
 // Put
 // ======================================================================
 
-void HopliteClient::Put(ObjectID object, store::Buffer payload, PutCallback done) {
+void HopliteClient::PutInternal(ObjectID object, store::Buffer payload, PutCallback done) {
   auto& dir = cluster_.directory();
   if (payload.size() < dir.config().inline_threshold) {
     // Small-object fast path: the payload lives in the directory (§3.2).
@@ -75,7 +154,7 @@ void HopliteClient::Put(ObjectID object, store::Buffer payload, PutCallback done
 // Get (fetch side of broadcast)
 // ======================================================================
 
-void HopliteClient::Get(ObjectID object, GetOptions options, GetCallback callback) {
+void HopliteClient::GetInternal(ObjectID object, GetOptions options, GetCallback callback) {
   HOPLITE_CHECK(callback != nullptr);
   if (local_store().Contains(object)) {
     DeliverLocal(object, options, std::move(callback));
@@ -469,7 +548,7 @@ void HopliteClient::CascadeObjectReset(ObjectID object) {
 // Delete
 // ======================================================================
 
-void HopliteClient::Delete(ObjectID object, DeleteCallback done) {
+void HopliteClient::DeleteInternal(ObjectID object, DeleteCallback done) {
   const std::uint64_t inc = incarnation_;
   cluster_.directory().DeleteObject(
       object, [this, inc, object, done = std::move(done)](std::vector<NodeID> holders) {
@@ -491,6 +570,14 @@ void HopliteClient::Delete(ObjectID object, DeleteCallback done) {
 void HopliteClient::HandleDeleteLocal(ObjectID object) { PurgeObject(object); }
 
 void HopliteClient::PurgeObject(ObjectID object) {
+  // A future chained off a Delete'd object must observe the deletion, not
+  // silently never fire (§6: the framework guarantees no task references the
+  // id, so a pending Get here is a programming error worth surfacing). This
+  // reaches every node the purge fan-out reaches — holders and in-flight
+  // fetchers; a claim parked before the object existed stays pending by
+  // design (it resolves on re-create; see Delete's doc).
+  RejectGetPromises(object, RefError{RefErrorCode::kDeleted,
+                                     "object was Delete'd while the Get was pending"});
   fetches_.erase(object);
   std::vector<PushKey> keys;
   for (const auto& [key, push] : pushes_) {
@@ -508,7 +595,7 @@ void HopliteClient::PurgeObject(ObjectID object) {
 // Reduce
 // ======================================================================
 
-void HopliteClient::Reduce(ReduceSpec spec, ReduceCallback callback) {
+void HopliteClient::ReduceInternal(ReduceSpec spec, ReduceCallback callback) {
   HOPLITE_CHECK(!spec.sources.empty()) << "Reduce needs at least one source";
   if (spec.num_objects == 0 || spec.num_objects > spec.sources.size()) {
     spec.num_objects = spec.sources.size();
@@ -641,6 +728,23 @@ void HopliteClient::OnPeerFailed(NodeID failed) {
 
 void HopliteClient::OnKilled() {
   ++incarnation_;
+  // Park the pending refs for OnDeathObserved: they reject only once the
+  // failure-detection delay elapsed (when the death becomes observable),
+  // and a recovered incarnation's fresh promises must not be swept up. Each
+  // death gets its own batch so back-to-back deaths reject independently.
+  std::vector<TrackedPromise> batch;
+  for (auto& [object, promises] : get_promises_) {
+    for (auto& promise : promises) {
+      batch.push_back(TrackedPromise{
+          [promise] { return promise.settled(); },
+          [promise](const RefError& error) { promise.Reject(error); }});
+    }
+  }
+  get_promises_.clear();
+  batch.insert(batch.end(), std::make_move_iterator(misc_promises_.begin()),
+               std::make_move_iterator(misc_promises_.end()));
+  misc_promises_.clear();
+  doomed_batches_.push_back(std::move(batch));
   fetches_.clear();
   pushes_.clear();  // store is wiped below; no need to unsubscribe
   for (auto& [object, vec] : deliveries_) {
@@ -652,6 +756,17 @@ void HopliteClient::OnKilled() {
   pending_reduce_chunks_.clear();
   auto& st = local_store();
   for (const ObjectID object : st.ListObjects()) st.Remove(object);
+}
+
+void HopliteClient::OnDeathObserved() {
+  // One batch per death, in kill order: KillNode schedules exactly one
+  // observation event per kill, so the front batch is this death's.
+  HOPLITE_CHECK(!doomed_batches_.empty());
+  auto doomed = std::move(doomed_batches_.front());
+  doomed_batches_.pop_front();
+  const RefError error{RefErrorCode::kProducerLost,
+                       "node " + std::to_string(node_) + " died with the ref pending"};
+  for (const auto& promise : doomed) promise.reject(error);
 }
 
 void HopliteClient::OnRecovered() {

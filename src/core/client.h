@@ -3,24 +3,42 @@
 // (§3.4) runs between nodes.
 //
 // One HopliteClient runs on every node of the cluster. The public surface is
-// exactly the paper's core interface:
+// exactly the paper's core interface (Table 1), every call returning an
+// object future immediately (§2.1):
 //
-//   Put(id, buffer)        store an immutable object, publish immediately
-//   Get(id [, options])    fetch an object into worker memory (broadcast is
-//                          implicit: many concurrent Gets of one object form
-//                          a dynamic distribution tree via the directory)
-//   Delete(id)             drop all copies cluster-wide
-//   Reduce(spec)           build a new object by reducing a set of objects
-//                          over a dynamically constructed d-ary tree
+//   Put(id, buffer)  -> Ref<ObjectID>      store an immutable object, publish
+//                                          immediately; ready when the local
+//                                          copy is complete
+//   Get(id [, opts]) -> Ref<Buffer>        fetch an object into worker memory
+//                                          (broadcast is implicit: concurrent
+//                                          Gets form a dynamic distribution
+//                                          tree via the directory); with
+//                                          opts.timeout set, fails instead of
+//                                          parking forever
+//   Delete(id)       -> Ref<ObjectID>      drop all copies cluster-wide;
+//                                          pending Gets of the object fail
+//                                          with kDeleted
+//   Reduce(spec)     -> Ref<ReduceResult>  build a new object by reducing a
+//                                          set of objects over a dynamically
+//                                          constructed d-ary tree
+//
+// Refs settle inline at the simulated instant the underlying operation
+// completes (see core/ref.h), so the future surface adds no events and no
+// latency over the raw callbacks it wraps. When this node is killed, its
+// still-pending refs fail with kProducerLost at the instant the rest of the
+// cluster observes the death (the failure-detection delay of §5.5).
 //
 // Everything else on this class is protocol machinery: push/fetch sessions
 // for chunk-pipelined object transfer, reduce session routing, and failure
 // notifications. Those methods are public because in the real system they
 // are RPC endpoints; they are invoked through HopliteCluster::SendControl /
-// SendData, never called directly by applications.
+// SendData, never called directly by applications. The raw callback layer
+// (GetCallback & friends) is private plumbing shared with the reduce
+// protocol.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -30,6 +48,7 @@
 
 #include "common/ids.h"
 #include "common/units.h"
+#include "core/ref.h"
 #include "core/types.h"
 #include "directory/object_directory.h"
 #include "store/buffer.h"
@@ -49,33 +68,39 @@ class HopliteClient {
   HopliteClient& operator=(const HopliteClient&) = delete;
 
   // ------------------------------------------------------------------
-  // Public API (Table 1).
+  // Public API (Table 1). Every call returns an object future immediately.
   // ------------------------------------------------------------------
 
   /// Stores `payload` under `object`. The location is published to the
   /// directory immediately (before the worker->store copy finishes) so
   /// receivers can start pipelined fetches (§3.3). Small objects take the
-  /// directory inline fast path instead (§3.2). `done` fires when the local
-  /// copy is complete.
-  void Put(ObjectID object, store::Buffer payload, PutCallback done = nullptr);
+  /// directory inline fast path instead (§3.2). The ref becomes ready (with
+  /// the object id) when the local copy is complete.
+  Ref<ObjectID> Put(ObjectID object, store::Buffer payload);
 
-  /// Fetches `object` into worker memory; `callback` receives the payload.
-  /// With read_only set, the copy out of the local store is skipped
-  /// ("immutable get", §3.3).
-  void Get(ObjectID object, GetOptions options, GetCallback callback);
-  void Get(ObjectID object, GetCallback callback) {
-    Get(object, GetOptions{}, std::move(callback));
-  }
+  /// Fetches `object` into worker memory; the ref becomes ready with the
+  /// payload. With options.read_only, the copy out of the local store is
+  /// skipped ("immutable get", §3.3). With options.timeout > 0, the ref
+  /// fails with kTimeout after that much simulated time instead of parking
+  /// forever when no producer exists.
+  [[nodiscard]] Ref<store::Buffer> Get(ObjectID object, GetOptions options = {});
 
   /// Deletes all copies of `object` across the cluster (Table 1; §6). Must
   /// only be called once the framework knows no task references the id.
-  void Delete(ObjectID object, DeleteCallback done = nullptr);
+  /// Gets pending on any node that holds (or is fetching) a copy fail with
+  /// kDeleted when the purge reaches them. A Get whose claim was parked
+  /// before the object was ever produced deliberately stays pending — a
+  /// parked claim is proof the id is still referenced, and it resolves if
+  /// the object is re-created (see ObjectDirectory::DeleteObject); pair
+  /// such Gets with GetOptions::timeout. The ref becomes ready once the
+  /// cluster-wide purge has been issued.
+  Ref<ObjectID> Delete(ObjectID object);
 
   /// Reduces `spec.num_objects` of `spec.sources` into `spec.target` over a
   /// dynamically built tree (§3.4.2). The result object materializes in this
   /// node's local store (and the directory), so a subsequent Get — from this
   /// node or any other — streams it out, possibly before it is complete.
-  void Reduce(ReduceSpec spec, ReduceCallback callback = nullptr);
+  Ref<ReduceResult> Reduce(ReduceSpec spec);
 
   [[nodiscard]] NodeID node() const noexcept { return node_; }
   [[nodiscard]] const HopliteConfig& config() const noexcept { return config_; }
@@ -122,8 +147,14 @@ class HopliteClient {
 
   /// A peer died (socket liveness noticed after the detection delay).
   void OnPeerFailed(NodeID failed);
-  /// This node died: wipe all volatile state.
+  /// This node died: wipe all volatile state. Pending refs are parked until
+  /// OnDeathObserved (failure is only *observable* after the detection
+  /// delay, so rejecting earlier would leak information the system cannot
+  /// have yet).
   void OnKilled();
+  /// The failure-detection delay for this node's death elapsed: fail every
+  /// ref that was pending when it died with kProducerLost.
+  void OnDeathObserved();
   /// This node rejoined with a fresh, empty store.
   void OnRecovered();
 
@@ -145,6 +176,37 @@ class HopliteClient {
  private:
   friend class ReduceCoordinator;
   friend class ReduceSession;
+
+  // ------------------------------------------------------------------
+  // Raw callback layer (private plumbing under the Ref surface; the reduce
+  // protocol and the ref adapters are the only callers).
+  // ------------------------------------------------------------------
+
+  void PutInternal(ObjectID object, store::Buffer payload, PutCallback done);
+  void GetInternal(ObjectID object, GetOptions options, GetCallback callback);
+  void DeleteInternal(ObjectID object, DeleteCallback done);
+  void ReduceInternal(ReduceSpec spec, ReduceCallback callback);
+
+  /// A type-erased pending promise, registered so node death can fail it.
+  struct TrackedPromise {
+    std::function<bool()> settled;
+    std::function<void(const RefError&)> reject;
+  };
+
+  /// Registers a pending Get promise (also failed by a Delete of `object`).
+  void TrackGetPromise(ObjectID object, const RefPromise<store::Buffer>& promise);
+  /// Registers any other pending promise (failed only by node death).
+  template <typename T>
+  void TrackPromise(const RefPromise<T>& promise) {
+    PrunePromises();
+    misc_promises_.push_back(TrackedPromise{
+        [promise] { return promise.settled(); },
+        [promise](const RefError& error) { promise.Reject(error); }});
+  }
+  /// Drops settled entries (amortized cleanup, called on registration).
+  void PrunePromises();
+  /// Fails every pending get promise of `object` (Delete observed locally).
+  void RejectGetPromises(ObjectID object, const RefError& error);
 
   /// One worker-side delivery of an object (the store->worker copy of a Get),
   /// chunk-pipelined against the object's network arrival.
@@ -234,6 +296,17 @@ class HopliteClient {
   std::unordered_map<ObjectID, FetchSession> fetches_;
   std::map<PushKey, PushSession> pushes_;
   std::unordered_map<ObjectID, std::vector<std::shared_ptr<Delivery>>> deliveries_;
+
+  /// Pending Get promises by object (failed by Delete or node death) and
+  /// all other pending promises (failed by node death). OnKilled moves both
+  /// into a fresh doomed batch; the matching OnDeathObserved (one detection
+  /// delay later) rejects exactly that batch. Batches are FIFO per death, so
+  /// a kill/recover/kill sequence inside one detection window fails each
+  /// incarnation's refs at its own death's observation instant.
+  std::unordered_map<ObjectID, std::vector<RefPromise<store::Buffer>>> get_promises_;
+  std::vector<TrackedPromise> misc_promises_;
+  std::deque<std::vector<TrackedPromise>> doomed_batches_;
+  int prune_countdown_ = 0;
 
   ReduceId next_reduce_id_seed_ = 1;
   std::unordered_map<ReduceId, std::unique_ptr<ReduceCoordinator>> coordinators_;

@@ -1,5 +1,6 @@
 #include "core/cluster.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -58,7 +59,9 @@ void HopliteCluster::KillNode(NodeID node) {
     for (NodeID peer = 0; peer < num_nodes(); ++peer) {
       if (peer != node && IsAlive(peer)) client(peer).OnPeerFailed(node);
     }
-    for (const auto& listener : membership_listeners_) listener(node, /*alive=*/false);
+    // The death is observable now: fail the refs that died with the node.
+    client(node).OnDeathObserved();
+    NotifyMembership(node, /*alive=*/false);
   });
 }
 
@@ -66,7 +69,24 @@ void HopliteCluster::RecoverNode(NodeID node) {
   HOPLITE_CHECK(!IsAlive(node)) << "node " << node << " is not dead";
   network_->RecoverNode(node);
   client(node).OnRecovered();
-  for (const auto& listener : membership_listeners_) listener(node, /*alive=*/true);
+  NotifyMembership(node, /*alive=*/true);
+}
+
+void HopliteCluster::NotifyMembership(NodeID node, bool alive) {
+  // Snapshot: a listener may add or remove subscriptions while running.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(membership_listeners_.size());
+  for (const auto& [id, listener] : membership_listeners_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    const auto it =
+        std::find_if(membership_listeners_.begin(), membership_listeners_.end(),
+                     [id](const auto& entry) { return entry.first == id; });
+    if (it != membership_listeners_.end()) it->second(node, alive);
+  }
+}
+
+void HopliteCluster::RemoveMembershipListener(std::uint64_t id) {
+  std::erase_if(membership_listeners_, [id](const auto& entry) { return entry.first == id; });
 }
 
 bool HopliteCluster::IsAlive(NodeID node) const { return !network_->IsFailed(node); }

@@ -4,8 +4,10 @@
 // RecoverNode) that the fault-tolerance evaluation uses.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -70,22 +72,68 @@ class HopliteCluster {
   /// Registers an observer of membership changes. Kill notifications arrive
   /// after the failure-detection delay (like every other observer of a
   /// death); recovery notifications arrive immediately.
+  ///
+  /// Returns a scoped subscription: the listener is removed when the handle
+  /// is destroyed (or reset), so a stack-owned observer that dies before the
+  /// cluster cannot leave a dangling std::function behind. The handle must
+  /// not outlive the cluster.
   using MembershipListener = std::function<void(NodeID, bool alive)>;
-  void AddMembershipListener(MembershipListener listener) {
-    membership_listeners_.push_back(std::move(listener));
+
+  class [[nodiscard]] MembershipSubscription {
+   public:
+    MembershipSubscription() = default;
+    MembershipSubscription(MembershipSubscription&& other) noexcept
+        : cluster_(std::exchange(other.cluster_, nullptr)),
+          id_(std::exchange(other.id_, 0)) {}
+    MembershipSubscription& operator=(MembershipSubscription&& other) noexcept {
+      if (this != &other) {
+        Reset();
+        cluster_ = std::exchange(other.cluster_, nullptr);
+        id_ = std::exchange(other.id_, 0);
+      }
+      return *this;
+    }
+    MembershipSubscription(const MembershipSubscription&) = delete;
+    MembershipSubscription& operator=(const MembershipSubscription&) = delete;
+    ~MembershipSubscription() { Reset(); }
+
+    /// Unsubscribes now (idempotent).
+    void Reset() {
+      if (cluster_ != nullptr) cluster_->RemoveMembershipListener(id_);
+      cluster_ = nullptr;
+      id_ = 0;
+    }
+    [[nodiscard]] bool active() const noexcept { return cluster_ != nullptr; }
+
+   private:
+    friend class HopliteCluster;
+    MembershipSubscription(HopliteCluster* cluster, std::uint64_t id)
+        : cluster_(cluster), id_(id) {}
+    HopliteCluster* cluster_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  MembershipSubscription AddMembershipListener(MembershipListener listener) {
+    const std::uint64_t id = next_listener_id_++;
+    membership_listeners_.emplace_back(id, std::move(listener));
+    return MembershipSubscription(this, id);
   }
 
   /// Runs the simulation until the event queue drains.
   void RunAll() { sim_.Run(); }
 
  private:
+  void RemoveMembershipListener(std::uint64_t id);
+  void NotifyMembership(NodeID node, bool alive);
+
   Options options_;
   sim::Simulator sim_;
   std::unique_ptr<net::Fabric> network_;
   std::unique_ptr<directory::ObjectDirectory> directory_;
   std::vector<std::unique_ptr<store::LocalStore>> stores_;
   std::vector<std::unique_ptr<HopliteClient>> clients_;
-  std::vector<MembershipListener> membership_listeners_;
+  std::vector<std::pair<std::uint64_t, MembershipListener>> membership_listeners_;
+  std::uint64_t next_listener_id_ = 1;
 };
 
 }  // namespace hoplite::core

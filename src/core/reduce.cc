@@ -112,7 +112,7 @@ void ReduceCoordinator::InitializeTree(std::int64_t object_size) {
                                         static_cast<double>(client_.config().chunk_size));
   }
   shape_.emplace(n, chosen_degree_);
-  fill_sequence_ = shape_->FillSequence();
+  fill_cursor_.emplace(*shape_);
   position_source_.assign(static_cast<std::size_t>(n), kNoSource);
   position_epoch_.assign(static_cast<std::size_t>(n), 0);
   total_chunks_ =
@@ -139,8 +139,8 @@ void ReduceCoordinator::ProcessArrival(std::size_t source_index) {
     return;
   }
   if (filled_ < TreeSize()) {
-    const int position = fill_sequence_[filled_++];
-    AssignPosition(position, source_index);
+    ++filled_;
+    AssignPosition(fill_cursor_->Next(), source_index);
     return;
   }
   pending_arrivals_.push_back(source_index);
@@ -372,8 +372,8 @@ void ReduceCoordinator::SmallPathFetch(std::size_t source_index) {
   if (source.fetched) return;
   source.fetched = true;
   ++small_fetched_;
-  client_.Get(source.id, GetOptions{.read_only = true},
-              [client = &client_, id = id_, source_index](const store::Buffer& payload) {
+  client_.GetInternal(source.id, GetOptions{.read_only = true},
+                      [client = &client_, id = id_, source_index](const store::Buffer& payload) {
                 auto it = client->coordinators_.find(id);
                 if (it == client->coordinators_.end() || it->second->done()) return;
                 it->second->OnSmallPayload(source_index, payload);
@@ -395,8 +395,8 @@ void ReduceCoordinator::MaybeFinishSmallPath() {
   for (std::size_t i = 1; i < small_payloads_.size(); ++i) {
     result = store::Buffer::Reduce(result, small_payloads_[i].second, spec_.op);
   }
-  client_.Put(spec_.target, std::move(result),
-              [client = &client_, id = id_] {
+  client_.PutInternal(spec_.target, std::move(result),
+                      [client = &client_, id = id_] {
                 auto it = client->coordinators_.find(id);
                 if (it == client->coordinators_.end() || it->second->done()) return;
                 it->second->Finish();

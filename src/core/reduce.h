@@ -103,7 +103,9 @@ class ReduceCoordinator {
   std::int64_t object_size_ = -1;
   std::int64_t total_chunks_ = 0;
   int chosen_degree_ = 0;
-  std::vector<int> fill_sequence_;
+  /// Streams the fill order lazily: a reduce draws at most num_objects_
+  /// positions, so the full O(n) FillSequence is never materialized.
+  std::optional<ReduceTreeShape::FillCursor> fill_cursor_;
   std::size_t filled_ = 0;
   std::vector<std::size_t> position_source_;  ///< position -> source index
   std::vector<ReduceEpoch> position_epoch_;

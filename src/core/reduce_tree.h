@@ -15,6 +15,7 @@
 // messaging and failures on top.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -62,13 +63,74 @@ class ReduceTreeShape {
     return chain;
   }
 
+  /// Streams the fill order position by position without materializing it:
+  /// the k-th call to Next() returns the position the k-th ready object
+  /// occupies. Memory is O(tree depth) — the explicit traversal stack —
+  /// instead of the O(n) vector FillSequence() builds, which is what the
+  /// reduce coordinator wants: a reduce over n sources only ever draws
+  /// `num_objects` positions, and usually far fewer before completing.
+  class FillCursor {
+   public:
+    /// `shape` is captured by value (two ints).
+    explicit FillCursor(const ReduceTreeShape& shape)
+        : n_(shape.size()), degree_(shape.degree()) {
+      stack_.push_back(Frame{0, 0, false});
+    }
+
+    [[nodiscard]] bool Done() const noexcept { return stack_.empty(); }
+
+    /// The next position in generalized in-order. CHECKs when exhausted.
+    int Next() {
+      HOPLITE_CHECK(!Done()) << "FillCursor exhausted after " << n_ << " positions";
+      while (true) {
+        Frame& f = stack_.back();
+        const std::int64_t first = static_cast<std::int64_t>(f.pos) * degree_ + 1;
+        const int num_kids = static_cast<int>(std::min<std::int64_t>(
+            degree_, std::max<std::int64_t>(0, n_ - first)));
+        if (!f.emitted) {
+          if (f.next_child == 0) {
+            f.next_child = 1;
+            if (num_kids > 0) {  // first child subtree precedes the node
+              stack_.push_back(Frame{static_cast<int>(first), 0, false});
+              continue;
+            }
+          }
+          f.emitted = true;
+          const int pos = f.pos;
+          if (num_kids <= 1) stack_.pop_back();  // no remaining child subtrees
+          return pos;
+        }
+        if (f.next_child < num_kids) {  // remaining child subtrees follow
+          const int child = static_cast<int>(first + f.next_child++);
+          const bool last = f.next_child >= num_kids;
+          if (last) stack_.pop_back();  // tail call: nothing left in this frame
+          stack_.push_back(Frame{child, 0, false});
+          continue;
+        }
+        stack_.pop_back();
+      }
+    }
+
+   private:
+    struct Frame {
+      int pos = 0;
+      int next_child = 0;  ///< children descended into so far
+      bool emitted = false;
+    };
+    int n_ = 1;
+    int degree_ = 1;
+    std::vector<Frame> stack_;
+  };
+
   /// The order in which positions are filled by arriving objects: the k-th
   /// ready object occupies FillSequence()[k]. Generalized in-order: first
   /// child subtree, then the node, then the remaining child subtrees.
+  /// Materializes the whole O(n) sequence; protocol code streams it from a
+  /// FillCursor instead.
   [[nodiscard]] std::vector<int> FillSequence() const {
     std::vector<int> seq;
     seq.reserve(static_cast<std::size_t>(n_));
-    VisitInOrder(0, seq);
+    for (FillCursor cursor(*this); !cursor.Done();) seq.push_back(cursor.Next());
     HOPLITE_CHECK_EQ(static_cast<int>(seq.size()), n_);
     return seq;
   }
@@ -91,13 +153,6 @@ class ReduceTreeShape {
   void CheckPos(int pos) const {
     HOPLITE_CHECK_GE(pos, 0);
     HOPLITE_CHECK_LT(pos, n_);
-  }
-
-  void VisitInOrder(int pos, std::vector<int>& out) const {
-    const std::vector<int> kids = Children(pos);
-    if (!kids.empty()) VisitInOrder(kids[0], out);
-    out.push_back(pos);
-    for (std::size_t i = 1; i < kids.size(); ++i) VisitInOrder(kids[i], out);
   }
 
   int n_;

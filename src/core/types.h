@@ -38,6 +38,11 @@ struct GetOptions {
   /// Immutable get (§3.3): return a pointer into the local store and skip
   /// the store->worker copy.
   bool read_only = false;
+  /// Table 1's `Get(ObjectID, timeout)`: when > 0, the returned ref fails
+  /// with RefErrorCode::kTimeout after this much simulated time instead of
+  /// parking forever (e.g. every producer of the object is dead). 0 = wait
+  /// indefinitely.
+  SimDuration timeout = 0;
 };
 
 using GetCallback = std::function<void(const store::Buffer&)>;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
 #include "common/logging.h"
 
@@ -12,11 +13,11 @@ TaskSystem::TaskSystem(core::HopliteCluster& cluster, Options options)
   HOPLITE_CHECK_GT(options_.workers_per_node, 0);
   busy_workers_.assign(static_cast<std::size_t>(cluster_.num_nodes()), 0);
   node_queues_.resize(static_cast<std::size_t>(cluster_.num_nodes()));
-  cluster_.AddMembershipListener(
+  membership_ = cluster_.AddMembershipListener(
       [this](NodeID node, bool alive) { OnMembershipChange(node, alive); });
 }
 
-ObjectID TaskSystem::Submit(TaskSpec spec) {
+Ref<ObjectID> TaskSystem::Submit(TaskSpec spec) {
   HOPLITE_CHECK(spec.body != nullptr) << "task '" << spec.name << "' has no body";
   if (spec.output.IsNil()) {
     spec.output = ObjectID::FromName("task-output").WithIndex(
@@ -26,11 +27,25 @@ ObjectID TaskSystem::Submit(TaskSpec spec) {
   HOPLITE_CHECK(lineage_.count(output) == 0)
       << "output " << output << " already produced by task '"
       << lineage_[output].name << "'";
+  for (const ObjectID arg : spec.args) dependents_[arg].push_back(output);
   lineage_.emplace(output, std::move(spec));
   attempt_[output] = 0;
   pending_.push_back(output);
+  RefPromise<ObjectID> promise(&cluster_.simulator(), output);
+  ref_promises_.emplace(output, promise);
+  // A task submitted after one of its producers was permanently lost can
+  // never run; fail its ref now rather than letting the arg fetch park.
+  // FailLineage also removes it from pending_, so it is never dispatched.
+  for (const ObjectID arg : lineage_.at(output).args) {
+    if (lost_outputs_.count(arg) > 0) {
+      FailLineage(output, RefError{RefErrorCode::kProducerLost,
+                                   "argument lost before submission (lineage "
+                                   "reconstruction off)"});
+      break;
+    }
+  }
   SchedulePending();
-  return output;
+  return promise.ref();
 }
 
 bool TaskSystem::Reconstruct(ObjectID object) {
@@ -44,41 +59,6 @@ bool TaskSystem::Reconstruct(ObjectID object) {
   pending_.push_back(object);
   SchedulePending();
   return true;
-}
-
-void TaskSystem::Wait(std::vector<ObjectID> ids, std::size_t num_ready,
-                      std::function<void(std::vector<ObjectID>)> callback) {
-  HOPLITE_CHECK_LE(num_ready, ids.size());
-  struct WaitState {
-    std::vector<ObjectID> ready;
-    std::unordered_set<ObjectID> seen;
-    std::size_t want = 0;
-    bool fired = false;
-    std::vector<std::pair<ObjectID, directory::ObjectDirectory::SubscriptionId>> subs;
-  };
-  auto state = std::make_shared<WaitState>();
-  state->want = num_ready;
-  auto& dir = cluster_.directory();
-  if (num_ready == 0) {
-    callback({});
-    return;
-  }
-  for (const ObjectID id : ids) {
-    const auto sub = dir.Subscribe(
-        id, [this, state, callback, id](const directory::LocationEvent& event) {
-          if (state->fired || event.removed || !event.complete) return;
-          if (!state->seen.insert(id).second) return;
-          state->ready.push_back(id);
-          if (state->ready.size() < state->want) return;
-          state->fired = true;
-          auto& dir2 = cluster_.directory();
-          for (const auto& [obj, token] : state->subs) dir2.Unsubscribe(obj, token);
-          state->subs.clear();
-          callback(state->ready);
-        });
-    if (state->fired) break;  // satisfied synchronously? (never: async snapshot)
-    state->subs.emplace_back(id, sub);
-  }
 }
 
 NodeID TaskSystem::PickNode(const TaskSpec& spec) const {
@@ -116,14 +96,17 @@ void TaskSystem::SchedulePending() {
 
 void TaskSystem::Dispatch(ObjectID output, NodeID node) {
   placed_[output] = node;
+  node_queues_[static_cast<std::size_t>(node)].push_back(output);
+  DrainQueue(node);
+}
+
+void TaskSystem::DrainQueue(NodeID node) {
   auto& queue = node_queues_[static_cast<std::size_t>(node)];
-  queue.push_back(output);
-  // Drain the queue into free worker slots.
-  while (!queue.empty() &&
-         busy_workers_[static_cast<std::size_t>(node)] < options_.workers_per_node) {
+  auto& busy = busy_workers_[static_cast<std::size_t>(node)];
+  while (!queue.empty() && busy < options_.workers_per_node) {
     const ObjectID next = queue.front();
     queue.pop_front();
-    busy_workers_[static_cast<std::size_t>(node)] += 1;
+    busy += 1;
     RunOnWorker(next, node, attempt_.at(next));
   }
 }
@@ -142,10 +125,10 @@ void TaskSystem::RunOnWorker(ObjectID output, NodeID node, std::uint64_t attempt
       if (!cluster_.IsAlive(node)) return;  // died mid-compute
       const TaskSpec& spec2 = lineage_.at(output);
       store::Buffer result = spec2.body(*args);
-      cluster_.client(node).Put(output, std::move(result),
-                                [this, output, node, attempt] {
-                                  FinishTask(output, node, attempt);
-                                });
+      cluster_.client(node).Put(output, std::move(result)).Then([this, output, node,
+                                                                 attempt] {
+        FinishTask(output, node, attempt);
+      });
     });
   };
 
@@ -154,9 +137,10 @@ void TaskSystem::RunOnWorker(ObjectID output, NodeID node, std::uint64_t attempt
     return;
   }
   for (std::size_t i = 0; i < spec.args.size(); ++i) {
-    cluster_.client(node).Get(
-        spec.args[i], core::GetOptions{.read_only = spec.read_only_args},
-        [this, output, attempt, args, remaining, i, proceed](const store::Buffer& value) {
+    cluster_.client(node)
+        .Get(spec.args[i], core::GetOptions{.read_only = spec.read_only_args})
+        .Then([this, output, attempt, args, remaining, i,
+               proceed](const store::Buffer& value) {
           if (attempt_.at(output) != attempt) return;
           (*args)[i] = value;
           if (--*remaining == 0) proceed();
@@ -174,13 +158,62 @@ void TaskSystem::FinishTask(ObjectID output, NodeID node, std::uint64_t attempt)
   busy -= 1;
   // A freed worker slot may unblock the local queue; a finished task may
   // also have been the last obstacle for pending placement decisions.
-  auto& queue = node_queues_[static_cast<std::size_t>(node)];
-  while (!queue.empty() && busy < options_.workers_per_node) {
-    const ObjectID next = queue.front();
-    queue.pop_front();
-    busy += 1;
-    RunOnWorker(next, node, attempt_.at(next));
+  DrainQueue(node);
+  SchedulePending();
+  // Settle the output future last, so continuations observe a consistent
+  // scheduler (IsDone true, freed slots already re-filled). Settling is
+  // idempotent across re-executions of the same task.
+  if (const auto it = ref_promises_.find(output); it != ref_promises_.end()) {
+    it->second.Resolve(output);
   }
+}
+
+void TaskSystem::FailLineage(ObjectID output, const RefError& error) {
+  // Callers invoke this only for outputs whose data is unobtainable: the
+  // producing task was lost before completing, or the sole copy of its
+  // finished output died. Either way, future consumers must fail fast.
+  if (!lost_outputs_.insert(output).second) return;  // already cascaded
+  const auto it = ref_promises_.find(output);
+  const bool produced = it != ref_promises_.end() && it->second.ref().ready();
+  if (it != ref_promises_.end() && !it->second.settled()) it->second.Reject(error);
+  // A lost *task* may still be queued or wedged on a worker slot fetching a
+  // lost argument; release that state. A produced-then-data-lost task holds
+  // no scheduler state.
+  if (!produced) PurgeFailedTask(output);
+  const auto deps = dependents_.find(output);
+  if (deps == dependents_.end()) return;
+  for (const ObjectID dependent : deps->second) {
+    // A dependent that already ran to completion fetched the argument while
+    // it existed; its own output is intact (or is detected as data-lost
+    // separately). Unsettled dependents can never obtain the argument: the
+    // directory holds no live copy.
+    const auto dep_it = ref_promises_.find(dependent);
+    if (dep_it != ref_promises_.end() && dep_it->second.ref().ready()) continue;
+    FailLineage(dependent, RefError{error.code, "argument lost: " + error.message});
+  }
+}
+
+void TaskSystem::PurgeFailedTask(ObjectID output) {
+  attempt_[output] += 1;  // in-flight arg/output continuations bail out
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), output), pending_.end());
+  const auto it = placed_.find(output);
+  if (it == placed_.end()) return;
+  const NodeID node = it->second;
+  placed_.erase(it);
+  auto& queue = node_queues_[static_cast<std::size_t>(node)];
+  const auto queued = std::find(queue.begin(), queue.end(), output);
+  if (queued != queue.end()) {
+    queue.erase(queued);  // never took a worker slot
+    return;
+  }
+  // The dead node's counters are reset wholesale on its membership events.
+  if (!cluster_.IsAlive(node)) return;
+  // The task occupied a live worker (parked on a lost argument): free the
+  // slot and let the node's queue advance, exactly like a finished task.
+  auto& busy = busy_workers_[static_cast<std::size_t>(node)];
+  HOPLITE_CHECK_GT(busy, 0);
+  busy -= 1;
+  DrainQueue(node);
   SchedulePending();
 }
 
@@ -192,7 +225,37 @@ void TaskSystem::OnMembershipChange(NodeID node, bool alive) {
     SchedulePending();
     return;
   }
-  if (!options_.lineage_reconstruction) return;
+  if (!options_.lineage_reconstruction) {
+    // No replay is coming: every task queued or running on the dead node is
+    // lost for good — and so is every finished output whose only copy lived
+    // there (the directory was cleaned before this notification, so an empty
+    // location list is authoritative). Surface both on the refs and cascade
+    // downstream instead of leaving consumers silently unsettled.
+    std::vector<ObjectID> lost;
+    for (const auto& [output, where] : placed_) {
+      if (where == node) lost.push_back(output);
+    }
+    auto& dir = cluster_.directory();
+    std::vector<ObjectID> data_lost;
+    for (const ObjectID output : done_) {
+      if (dir.IsInline(output)) continue;  // inline payloads survive (§6)
+      if (dir.LocationsOf(output).empty()) data_lost.push_back(output);
+    }
+    for (const ObjectID output : lost) {
+      FailLineage(output, RefError{RefErrorCode::kProducerLost,
+                                   "task '" + lineage_.at(output).name +
+                                       "' lost with node " + std::to_string(node) +
+                                       " (lineage reconstruction off)"});
+    }
+    for (const ObjectID output : data_lost) {
+      FailLineage(output, RefError{RefErrorCode::kProducerLost,
+                                   "sole copy of '" + lineage_.at(output).name +
+                                       "' output died with node " +
+                                       std::to_string(node) +
+                                       " (lineage reconstruction off)"});
+    }
+    return;
+  }
   busy_workers_[static_cast<std::size_t>(node)] = 0;
   node_queues_[static_cast<std::size_t>(node)].clear();
   // Resubmit everything that was queued or running there.

@@ -34,6 +34,7 @@
 #include "common/units.h"
 #include "core/client.h"
 #include "core/cluster.h"
+#include "core/ref.h"
 #include "store/buffer.h"
 
 namespace hoplite::task {
@@ -67,14 +68,15 @@ class TaskSystem {
   TaskSystem(const TaskSystem&) = delete;
   TaskSystem& operator=(const TaskSystem&) = delete;
 
-  /// Submits a task; returns the output future immediately (it may equal
-  /// spec.output, or a generated id when spec.output is nil).
-  ObjectID Submit(TaskSpec spec);
-
-  /// ray.wait-style primitive: invokes `callback` with the ids of the first
-  /// `num_ready` objects of `ids` to become available (in readiness order).
-  void Wait(std::vector<ObjectID> ids, std::size_t num_ready,
-            std::function<void(std::vector<ObjectID>)> callback);
+  /// Submits a task; returns the output future immediately (§2.1). The ref
+  /// is bound to the output id (spec.output, or a generated id when that is
+  /// nil) and becomes ready with it when the task's output object is stored.
+  /// With lineage reconstruction off, the ref fails with kProducerLost when
+  /// the task's node dies — and the failure cascades to the refs of every
+  /// submitted task that (transitively) consumes the lost output, instead of
+  /// leaving them silently unsettled. The ray.wait-style primitive is
+  /// `WhenAny({Submit(...), ...}, k)` (core/ref.h).
+  Ref<ObjectID> Submit(TaskSpec spec);
 
   /// Re-executes the lineage producer of `object` (no-op if unknown or
   /// already queued). Returns true if a reconstruction was scheduled.
@@ -92,15 +94,31 @@ class TaskSystem {
   };
 
   void OnMembershipChange(NodeID node, bool alive);
+  /// Marks `output` permanently lost: fails its ref (if still pending),
+  /// releases its scheduler state, and cascades to every dependent that has
+  /// not already completed.
+  void FailLineage(ObjectID output, const RefError& error);
+  /// Drops a failed task from pending_/queues and frees its worker slot.
+  void PurgeFailedTask(ObjectID output);
   void SchedulePending();
   [[nodiscard]] NodeID PickNode(const TaskSpec& spec) const;
   void Dispatch(ObjectID output, NodeID node);
+  /// Pops queued tasks into free worker slots on `node`.
+  void DrainQueue(NodeID node);
   void RunOnWorker(ObjectID output, NodeID node, std::uint64_t attempt);
   void FinishTask(ObjectID output, NodeID node, std::uint64_t attempt);
 
   core::HopliteCluster& cluster_;
   Options options_;
+  core::HopliteCluster::MembershipSubscription membership_;
 
+  std::unordered_map<ObjectID, RefPromise<ObjectID>> ref_promises_;
+  /// arg object -> submitted outputs consuming it (for failure cascades).
+  std::unordered_map<ObjectID, std::vector<ObjectID>> dependents_;
+  /// Outputs whose producer is permanently lost (reconstruction off), so a
+  /// task submitted *after* the death that consumes one fails immediately
+  /// instead of parking forever on its argument fetch.
+  std::unordered_set<ObjectID> lost_outputs_;
   std::unordered_map<ObjectID, TaskSpec> lineage_;
   std::unordered_map<ObjectID, std::uint64_t> attempt_;  ///< re-execution epoch
   std::deque<ObjectID> pending_;

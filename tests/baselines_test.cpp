@@ -60,7 +60,7 @@ TEST(MpiBroadcastTest, CompletesAndBeatsLinear) {
   MpiLikeCollectives mpi(sim, net, MpiConfig{});
   bool done = false;
   SimTime done_at = 0;
-  mpi.Broadcast(AllReadyAtZero(16), GB(1), [&] {
+  mpi.Broadcast(AllReadyAtZero(16), GB(1)).Then([&] {
     done = true;
     done_at = sim.Now();
   });
@@ -86,7 +86,7 @@ TEST(MpiBroadcastTest, InOrderArrivalsMakePartialProgress) {
     parts.push_back(Participant{static_cast<NodeID>(i), stagger * i});
   }
   SimTime done_at = 0;
-  mpi.Broadcast(parts, size, [&] { done_at = sim.Now(); });
+  mpi.Broadcast(parts, size).Then([&] { done_at = sim.Now(); });
   sim.Run();
   const SimTime last_arrival = stagger * 15;
   EXPECT_GT(done_at, last_arrival);
@@ -103,7 +103,7 @@ TEST(MpiReduceTest, GatesOnLastArrival) {
   auto parts = AllReadyAtZero(8);
   parts[5].ready_at = Seconds(3);  // straggler
   SimTime done_at = 0;
-  mpi.Reduce(parts, size, [&] { done_at = sim.Now(); });
+  mpi.Reduce(parts, size).Then([&] { done_at = sim.Now(); });
   sim.Run();
   EXPECT_GT(done_at, Seconds(3)) << "MPI reduce cannot start before all arrive (§5.1.3)";
 }
@@ -113,7 +113,7 @@ TEST(MpiReduceTest, TreeReduceNearBandwidthBound) {
   net::NetworkModel net(sim, NetConfig(16));
   MpiLikeCollectives mpi(sim, net, MpiConfig{});
   SimTime done_at = 0;
-  mpi.Reduce(AllReadyAtZero(16), GB(1), [&] { done_at = sim.Now(); });
+  mpi.Reduce(AllReadyAtZero(16), GB(1)).Then([&] { done_at = sim.Now(); });
   sim.Run();
   const double object_time = ToSeconds(TransferTime(GB(1), Gbps(10)));
   // Binary-tree ingress: each internal node receives from <=2 children
@@ -127,7 +127,7 @@ TEST(MpiGatherTest, RootIngressSerializes) {
   net::NetworkModel net(sim, NetConfig(8));
   MpiLikeCollectives mpi(sim, net, MpiConfig{});
   SimTime done_at = 0;
-  mpi.Gather(AllReadyAtZero(8), MB(64), [&] { done_at = sim.Now(); });
+  mpi.Gather(AllReadyAtZero(8), MB(64)).Then([&] { done_at = sim.Now(); });
   sim.Run();
   const double expected = 7 * ToSeconds(TransferTime(MB(64), Gbps(10)));
   EXPECT_NEAR(ToSeconds(done_at), expected, expected * 0.05);
@@ -138,7 +138,7 @@ TEST(MpiAllreduceTest, RingWithinTenPercentOfOptimal) {
   net::NetworkModel net(sim, NetConfig(16));
   MpiLikeCollectives mpi(sim, net, MpiConfig{});
   SimTime done_at = 0;
-  mpi.Allreduce(AllReadyAtZero(16), GB(1), [&] { done_at = sim.Now(); });
+  mpi.Allreduce(AllReadyAtZero(16), GB(1)).Then([&] { done_at = sim.Now(); });
   sim.Run();
   const double optimal = 2.0 * 15 / 16 * ToSeconds(TransferTime(GB(1), Gbps(10)));
   EXPECT_GT(ToSeconds(done_at), optimal * 0.99);
@@ -150,7 +150,7 @@ TEST(MpiAllreduceTest, SmallSizesUseLatencyBoundAlgorithm) {
   net::NetworkModel net(sim, NetConfig(16));
   MpiLikeCollectives mpi(sim, net, MpiConfig{});
   SimTime done_at = 0;
-  mpi.Allreduce(AllReadyAtZero(16), KB(1), [&] { done_at = sim.Now(); });
+  mpi.Allreduce(AllReadyAtZero(16), KB(1)).Then([&] { done_at = sim.Now(); });
   sim.Run();
   // Recursive doubling: 4 rounds of ~latency each, well under 1 ms.
   EXPECT_LT(done_at, Milliseconds(1));
@@ -161,7 +161,7 @@ TEST(GlooTest, BroadcastIsLinearInReceivers) {
   net::NetworkModel net(sim, NetConfig(8));
   GlooLikeCollectives gloo(sim, net, GlooConfig{});
   SimTime done_at = 0;
-  gloo.Broadcast(AllReadyAtZero(8), MB(64), [&] { done_at = sim.Now(); });
+  gloo.Broadcast(AllReadyAtZero(8), MB(64)).Then([&] { done_at = sim.Now(); });
   sim.Run();
   const double expected = 7 * ToSeconds(TransferTime(MB(64), Gbps(10)));
   EXPECT_NEAR(ToSeconds(done_at), expected, expected * 0.05);
@@ -172,7 +172,7 @@ TEST(GlooTest, RingChunkedAllreduceNearOptimal) {
   net::NetworkModel net(sim, NetConfig(16));
   GlooLikeCollectives gloo(sim, net, GlooConfig{});
   SimTime done_at = 0;
-  gloo.RingChunkedAllreduce(AllReadyAtZero(16), GB(1), [&] { done_at = sim.Now(); });
+  gloo.RingChunkedAllreduce(AllReadyAtZero(16), GB(1)).Then([&] { done_at = sim.Now(); });
   sim.Run();
   const double optimal = 2.0 * 15 / 16 * ToSeconds(TransferTime(GB(1), Gbps(10)));
   EXPECT_NEAR(ToSeconds(done_at), optimal, optimal * 0.1);
@@ -184,7 +184,7 @@ TEST(GlooTest, HalvingDoublingCompletes) {
     net::NetworkModel net(sim, NetConfig(n));
     GlooLikeCollectives gloo(sim, net, GlooConfig{});
     bool done = false;
-    gloo.HalvingDoublingAllreduce(AllReadyAtZero(n), MB(32), [&] { done = true; });
+    gloo.HalvingDoublingAllreduce(AllReadyAtZero(n), MB(32)).Then([&] { done = true; });
     sim.Run();
     EXPECT_TRUE(done) << "n=" << n;
   }
@@ -198,14 +198,14 @@ TEST(GlooTest, HalvingDoublingBeatsRingOnLatencyBoundSizes) {
     sim::Simulator sim;
     net::NetworkModel net(sim, NetConfig(16));
     GlooLikeCollectives gloo(sim, net, GlooConfig{});
-    gloo.RingChunkedAllreduce(AllReadyAtZero(16), size, [&] { ring = sim.Now(); });
+    gloo.RingChunkedAllreduce(AllReadyAtZero(16), size).Then([&] { ring = sim.Now(); });
     sim.Run();
   }
   {
     sim::Simulator sim;
     net::NetworkModel net(sim, NetConfig(16));
     GlooLikeCollectives gloo(sim, net, GlooConfig{});
-    gloo.HalvingDoublingAllreduce(AllReadyAtZero(16), size, [&] { hd = sim.Now(); });
+    gloo.HalvingDoublingAllreduce(AllReadyAtZero(16), size).Then([&] { hd = sim.Now(); });
     sim.Run();
   }
   // 30 latency-bound ring steps vs 8 halving-doubling rounds.
@@ -218,8 +218,8 @@ TEST(RayLikeTest, PutGetRoundTrip) {
   RayLikeTransport ray(sim, net, RayLikeConfig::Ray());
   const ObjectID id = ObjectID::FromName("x");
   bool got = false;
-  ray.Put(0, id, MB(64), nullptr);
-  ray.Get(1, id, [&] { got = true; });
+  ray.Put(0, id, MB(64));
+  ray.Get(1, id).Then([&] { got = true; });
   sim.Run();
   EXPECT_TRUE(got);
 }
@@ -230,7 +230,7 @@ TEST(RayLikeTest, GetParksUntilPut) {
   RayLikeTransport ray(sim, net, RayLikeConfig::Ray());
   const ObjectID id = ObjectID::FromName("x");
   SimTime got_at = 0;
-  ray.Get(1, id, [&] { got_at = sim.Now(); });
+  ray.Get(1, id).Then([&] { got_at = sim.Now(); });
   sim.ScheduleAt(Milliseconds(100), [&] { ray.Put(0, id, MB(1)); });
   sim.Run();
   EXPECT_GT(got_at, Milliseconds(100));
@@ -245,7 +245,7 @@ TEST(RayLikeTest, TransferSlowerThanRawNetwork) {
   const ObjectID id = ObjectID::FromName("x");
   SimTime got_at = 0;
   ray.Put(0, id, GB(1));
-  ray.Get(1, id, [&] { got_at = sim.Now(); });
+  ray.Get(1, id).Then([&] { got_at = sim.Now(); });
   sim.Run();
   const double wire = ToSeconds(TransferTime(GB(1), Gbps(10)));
   EXPECT_GT(ToSeconds(got_at), wire * 1.5);
@@ -258,7 +258,7 @@ TEST(RayLikeTest, BroadcastSerializesAtOwner) {
   const ObjectID id = ObjectID::FromName("model");
   SimTime done_at = 0;
   ray.Put(0, id, MB(64));
-  ray.Broadcast(id, {1, 2, 3, 4, 5, 6, 7}, [&] { done_at = sim.Now(); });
+  ray.Broadcast(id, {1, 2, 3, 4, 5, 6, 7}).Then([&] { done_at = sim.Now(); });
   sim.Run();
   // 7 full copies leave node 0's NIC back to back.
   const double lower = 7 * ToSeconds(TransferTime(MB(64), Gbps(10)));
@@ -276,7 +276,7 @@ TEST(RayLikeTest, ReduceFetchesEverythingToRoot) {
     ray.Put(static_cast<NodeID>(i), id, MB(64));
   }
   SimTime done_at = 0;
-  ray.Reduce(0, sources, ObjectID::FromName("sum"), MB(64), [&] { done_at = sim.Now(); });
+  ray.Reduce(0, sources, ObjectID::FromName("sum"), MB(64)).Then([&] { done_at = sim.Now(); });
   sim.Run();
   EXPECT_TRUE(ray.Has(ObjectID::FromName("sum")));
   // 7 remote objects through one ingress at effective bandwidth.
@@ -292,7 +292,7 @@ TEST(RayLikeTest, DaskIsSlowerThanRay) {
     RayLikeTransport transport(sim, net, cfg);
     SimTime got_at = 0;
     transport.Put(0, id, MB(64));
-    transport.Get(1, id, [&] { got_at = sim.Now(); });
+    transport.Get(1, id).Then([&] { got_at = sim.Now(); });
     sim.Run();
     return got_at;
   };

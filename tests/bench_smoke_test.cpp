@@ -24,12 +24,12 @@ RunOptions SmokeScale() {
   return options;
 }
 
-TEST(BenchRegistryTest, AllFifteenFiguresRegistered) {
+TEST(BenchRegistryTest, AllSixteenFiguresRegistered) {
   const std::set<std::string> expected{
       "fig6",  "fig7",  "fig8",  "fig9",       "fig10",
       "fig11", "fig12", "fig13", "fig14",      "fig15",
       "adaptive-d", "directory-latency", "engine-micro",
-      "topo_oversubscription", "scale_nodes"};
+      "topo_oversubscription", "scale_nodes", "pipeline_dag"};
   std::set<std::string> registered;
   for (const Figure& figure : Registry::Instance().figures()) {
     EXPECT_NE(figure.fn, nullptr) << figure.name;
@@ -48,7 +48,7 @@ TEST(BenchRegistryTest, FindIsExactAndMissesUnknown) {
 
 TEST(BenchSmokeTest, EveryFigureProducesFiniteRowsAtTinyScale) {
   const RunOptions opt = SmokeScale();
-  EXPECT_EQ(Registry::Instance().figures().size(), 15u);
+  EXPECT_EQ(Registry::Instance().figures().size(), 16u);
   for (const Figure& figure : Registry::Instance().figures()) {
     SCOPED_TRACE(figure.name);
     const std::vector<Row> rows = figure.fn(opt);
@@ -126,6 +126,41 @@ TEST(BenchSmokeTest, TopoOversubscriptionHopliteBeatsRayAndDegradesGracefully) {
     const double congested = value_of("Hoplite", op, 8.0);
     EXPECT_GT(congested, flat) << op << " ignored the oversubscribed uplink";
     EXPECT_LT(congested, 8 * flat) << op << " collapsed instead of degrading";
+  }
+}
+
+// The pipeline figure is this repo's gate for the Ref combinator DAG: at
+// paper scale Hoplite's pipelined activations must beat the Ray-like
+// baseline at every cell, and adding microbatches at fixed size must not
+// shrink the end-to-end time (the pipeline only gets longer). Event-level
+// cheap, so the gate runs at paper scale.
+TEST(BenchSmokeTest, PipelineDagHopliteBeatsRayAndScalesWithMicrobatches) {
+  const Figure* figure = Registry::Instance().Find("pipeline_dag");
+  ASSERT_NE(figure, nullptr);
+  const std::vector<Row> rows = figure->fn(RunOptions{});
+  ASSERT_FALSE(rows.empty());
+
+  const auto value_of = [&rows](const std::string& series, double bytes, double micro) {
+    for (const Row& row : rows) {
+      if (row.series != series || row.coords.size() != 2) continue;
+      if (row.coords[0].second != bytes || row.coords[1].second != micro) continue;
+      return row.value;
+    }
+    ADD_FAILURE() << "missing row: " << series << " " << bytes << " " << micro;
+    return 0.0;
+  };
+
+  for (const double bytes : {double(MB(4)), double(MB(16)), double(MB(64))}) {
+    double previous = 0;
+    for (const double micro : {4.0, 8.0, 16.0}) {
+      const double hoplite = value_of("Hoplite", bytes, micro);
+      const double ray = value_of("Ray", bytes, micro);
+      const double dask = value_of("Dask", bytes, micro);
+      EXPECT_LT(hoplite, ray) << bytes << " bytes, " << micro << " microbatches";
+      EXPECT_LT(ray, dask) << bytes << " bytes, " << micro << " microbatches";
+      EXPECT_GT(hoplite, previous) << "pipeline shrank with more microbatches";
+      previous = hoplite;
+    }
   }
 }
 

@@ -35,8 +35,8 @@ TEST(PutGetTest, LocalPutThenLocalGet) {
   const auto values = Pattern(64 * 1024, 1.0f);  // 256 KB: store path
   bool put_done = false;
   std::optional<store::Buffer> got;
-  cluster.client(0).Put(id, store::Buffer::FromValues(values), [&] { put_done = true; });
-  cluster.client(0).Get(id, [&](const store::Buffer& b) { got = b; });
+  cluster.client(0).Put(id, store::Buffer::FromValues(values)).Then([&] { put_done = true; });
+  cluster.client(0).Get(id).Then([&](const store::Buffer& b) { got = b; });
   cluster.RunAll();
   EXPECT_TRUE(put_done);
   ASSERT_TRUE(got.has_value());
@@ -49,7 +49,7 @@ TEST(PutGetTest, RemoteGetTransfersObject) {
   const auto values = Pattern(256 * 1024, 2.0f);  // 1 MB
   std::optional<store::Buffer> got;
   cluster.client(0).Put(id, store::Buffer::FromValues(values));
-  cluster.client(1).Get(id, [&](const store::Buffer& b) { got = b; });
+  cluster.client(1).Get(id).Then([&](const store::Buffer& b) { got = b; });
   cluster.RunAll();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->values(), values);
@@ -64,7 +64,7 @@ TEST(PutGetTest, GetBeforePutParksAndCompletes) {
   HopliteCluster cluster(TestOptions(2));
   const ObjectID id = ObjectID::FromName("x");
   std::optional<store::Buffer> got;
-  cluster.client(1).Get(id, [&](const store::Buffer& b) { got = b; });
+  cluster.client(1).Get(id).Then([&](const store::Buffer& b) { got = b; });
   // Put happens much later; the parked claim must be served then.
   cluster.simulator().ScheduleAt(Milliseconds(50), [&] {
     cluster.client(0).Put(id, store::Buffer::OfSize(MB(1)));
@@ -80,7 +80,7 @@ TEST(PutGetTest, SmallObjectUsesInlineFastPath) {
   const auto values = Pattern(256, 1.0f);  // 1 KB < 64 KB threshold
   std::optional<store::Buffer> got;
   cluster.client(0).Put(id, store::Buffer::FromValues(values));
-  cluster.client(3).Get(id, [&](const store::Buffer& b) { got = b; });
+  cluster.client(3).Get(id).Then([&](const store::Buffer& b) { got = b; });
   cluster.RunAll();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->values(), values);
@@ -100,8 +100,7 @@ TEST(PutGetTest, ReadOnlyGetSkipsWorkerCopy) {
     HopliteCluster cluster(TestOptions(2));
     SimTime done = 0;
     cluster.client(0).Put(id, store::Buffer::OfSize(MB(64)));
-    cluster.client(1).Get(id, GetOptions{.read_only = read_only},
-                          [&](const store::Buffer&) { done = cluster.Now(); });
+    cluster.client(1).Get(id, GetOptions{.read_only = read_only}).Then([&](const store::Buffer&) { done = cluster.Now(); });
     cluster.RunAll();
     (read_only ? t_ro : t_rw) = done;
   }
@@ -123,7 +122,7 @@ TEST(PutGetTest, PipeliningBeatsSequentialTransfers) {
     HopliteCluster cluster(options);
     SimTime done = 0;
     cluster.client(0).Put(id, store::Buffer::OfSize(GB(1)));
-    cluster.client(1).Get(id, [&](const store::Buffer&) { done = cluster.Now(); });
+    cluster.client(1).Get(id).Then([&](const store::Buffer&) { done = cluster.Now(); });
     cluster.RunAll();
     return done;
   };
@@ -139,8 +138,8 @@ TEST(PutGetTest, ConcurrentGettersOfSameObjectShareOneFetch) {
   const ObjectID id = ObjectID::FromName("x");
   int arrived = 0;
   cluster.client(0).Put(id, store::Buffer::OfSize(MB(8)));
-  cluster.client(1).Get(id, [&](const store::Buffer&) { ++arrived; });
-  cluster.client(1).Get(id, [&](const store::Buffer&) { ++arrived; });
+  cluster.client(1).Get(id).Then([&](const store::Buffer&) { ++arrived; });
+  cluster.client(1).Get(id).Then([&](const store::Buffer&) { ++arrived; });
   cluster.RunAll();
   EXPECT_EQ(arrived, 2);
   // Only one network copy was made.
@@ -158,7 +157,7 @@ TEST(BroadcastTest, ManyReceiversFormDistributionTree) {
   int arrived = 0;
   cluster.client(0).Put(id, store::Buffer::OfSize(MB(64)));
   for (NodeID r = 1; r < 8; ++r) {
-    cluster.client(r).Get(id, [&](const store::Buffer&) { ++arrived; });
+    cluster.client(r).Get(id).Then([&](const store::Buffer&) { ++arrived; });
   }
   cluster.RunAll();
   EXPECT_EQ(arrived, 7);
@@ -181,7 +180,7 @@ TEST(BroadcastTest, TreeBroadcastBeatsSenderSerialization) {
   SimTime last = 0;
   cluster.client(0).Put(id, store::Buffer::OfSize(size));
   for (NodeID r = 1; r < 16; ++r) {
-    cluster.client(r).Get(id, [&](const store::Buffer&) {
+    cluster.client(r).Get(id).Then([&](const store::Buffer&) {
       ++arrived;
       last = cluster.Now();
     });
@@ -197,11 +196,11 @@ TEST(BroadcastTest, LateReceiverFetchesFromAnyCompleteCopy) {
   const ObjectID id = ObjectID::FromName("x");
   cluster.client(0).Put(id, store::Buffer::OfSize(MB(8)));
   int early = 0;
-  cluster.client(1).Get(id, [&](const store::Buffer&) { ++early; });
+  cluster.client(1).Get(id).Then([&](const store::Buffer&) { ++early; });
   cluster.RunAll();
   // Much later, a new receiver arrives; both 0 and 1 hold complete copies.
   int late = 0;
-  cluster.client(2).Get(id, [&](const store::Buffer&) { ++late; });
+  cluster.client(2).Get(id).Then([&](const store::Buffer&) { ++late; });
   cluster.RunAll();
   EXPECT_EQ(early, 1);
   EXPECT_EQ(late, 1);
@@ -211,12 +210,12 @@ TEST(DeleteTest, DeleteRemovesAllCopies) {
   HopliteCluster cluster(TestOptions(3));
   const ObjectID id = ObjectID::FromName("x");
   cluster.client(0).Put(id, store::Buffer::OfSize(MB(4)));
-  cluster.client(1).Get(id, [](const store::Buffer&) {});
-  cluster.client(2).Get(id, [](const store::Buffer&) {});
+  cluster.client(1).Get(id).Then([](const store::Buffer&) {});
+  cluster.client(2).Get(id).Then([](const store::Buffer&) {});
   cluster.RunAll();
   EXPECT_TRUE(cluster.store(1).Contains(id));
   bool deleted = false;
-  cluster.client(0).Delete(id, [&] { deleted = true; });
+  cluster.client(0).Delete(id).Then([&] { deleted = true; });
   cluster.RunAll();
   EXPECT_TRUE(deleted);
   EXPECT_FALSE(cluster.store(0).Contains(id));
@@ -241,7 +240,7 @@ TEST(PutGetTest, EmptyObjectRoundTrip) {
   const ObjectID id = ObjectID::FromName("empty");
   std::optional<store::Buffer> got;
   cluster.client(0).Put(id, store::Buffer::OfSize(0));
-  cluster.client(1).Get(id, [&](const store::Buffer& b) { got = b; });
+  cluster.client(1).Get(id).Then([&](const store::Buffer& b) { got = b; });
   cluster.RunAll();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->size(), 0);
@@ -256,7 +255,7 @@ TEST(PutGetTest, ManyDistinctObjectsInParallel) {
     const NodeID src = static_cast<NodeID>(i % 4);
     const NodeID dst = static_cast<NodeID>((i + 1) % 4);
     cluster.client(src).Put(id, store::Buffer::OfSize(MB(1)));
-    cluster.client(dst).Get(id, [&](const store::Buffer&) { ++arrived; });
+    cluster.client(dst).Get(id).Then([&](const store::Buffer&) { ++arrived; });
   }
   cluster.RunAll();
   EXPECT_EQ(arrived, kObjects);

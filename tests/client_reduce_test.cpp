@@ -63,9 +63,8 @@ TEST_P(ReduceDegreeTest, FullReduceSumsAllSources) {
   const ObjectID target = ObjectID::FromName("sum");
   std::optional<ReduceResult> result;
   std::optional<store::Buffer> value;
-  cluster.client(0).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum},
-                           [&](const ReduceResult& r) { result = r; });
-  cluster.client(0).Get(target, [&](const store::Buffer& b) { value = b; });
+  cluster.client(0).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { result = r; });
+  cluster.client(0).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.RunAll();
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->reduced.size(), 8u);
@@ -92,9 +91,8 @@ TEST(ReduceTest, SubsetReduceTakesEarliestArrivals) {
   const ObjectID target = ObjectID::FromName("sum4");
   std::optional<ReduceResult> result;
   std::optional<store::Buffer> value;
-  cluster.client(0).Reduce(ReduceSpec{target, sources, 4, store::ReduceOp::kSum},
-                           [&](const ReduceResult& r) { result = r; });
-  cluster.client(0).Get(target, [&](const store::Buffer& b) { value = b; });
+  cluster.client(0).Reduce(ReduceSpec{target, sources, 4, store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { result = r; });
+  cluster.client(0).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.RunAll();
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->reduced.size(), 4u);
@@ -115,7 +113,7 @@ TEST(ReduceTest, ArrivalOrderDoesNotAffectFullSum) {
     const ObjectID target = ObjectID::FromName("t").WithIndex(trial);
     std::optional<store::Buffer> value;
     cluster.client(3).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum});
-    cluster.client(3).Get(target, [&](const store::Buffer& b) { value = b; });
+    cluster.client(3).Get(target).Then([&](const store::Buffer& b) { value = b; });
     cluster.RunAll();
     ASSERT_TRUE(value.has_value()) << "trial " << trial;
     EXPECT_EQ(value->values()[0], SumTo(kNodes)) << "trial " << trial;
@@ -132,10 +130,8 @@ TEST(ReduceTest, MinAndMaxOperations) {
       ReduceSpec{ObjectID::FromName("min"), sources, 0, store::ReduceOp::kMin});
   cluster.client(1).Reduce(
       ReduceSpec{ObjectID::FromName("max"), sources, 0, store::ReduceOp::kMax});
-  cluster.client(0).Get(ObjectID::FromName("min"),
-                        [&](const store::Buffer& b) { min_value = b; });
-  cluster.client(1).Get(ObjectID::FromName("max"),
-                        [&](const store::Buffer& b) { max_value = b; });
+  cluster.client(0).Get(ObjectID::FromName("min")).Then([&](const store::Buffer& b) { min_value = b; });
+  cluster.client(1).Get(ObjectID::FromName("max")).Then([&](const store::Buffer& b) { max_value = b; });
   cluster.RunAll();
   ASSERT_TRUE(min_value.has_value());
   ASSERT_TRUE(max_value.has_value());
@@ -150,7 +146,7 @@ TEST(ReduceTest, SingleSourceReduceIsACopy) {
   const ObjectID target = ObjectID::FromName("copy");
   std::optional<store::Buffer> value;
   cluster.client(0).Reduce(ReduceSpec{target, {src}, 0, store::ReduceOp::kSum});
-  cluster.client(0).Get(target, [&](const store::Buffer& b) { value = b; });
+  cluster.client(0).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.RunAll();
   ASSERT_TRUE(value.has_value());
   EXPECT_EQ(value->values()[0], 7.0f);
@@ -163,9 +159,8 @@ TEST(ReduceTest, SmallObjectsUseInlineFastPath) {
   const ObjectID target = ObjectID::FromName("tinysum");
   std::optional<ReduceResult> result;
   std::optional<store::Buffer> value;
-  cluster.client(2).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum},
-                           [&](const ReduceResult& r) { result = r; });
-  cluster.client(2).Get(target, [&](const store::Buffer& b) { value = b; });
+  cluster.client(2).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { result = r; });
+  cluster.client(2).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.RunAll();
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->reduced.size(), 6u);
@@ -188,7 +183,7 @@ TEST(ReduceTest, ChainedReducePipelinesThroughIntermediateTarget) {
   std::optional<store::Buffer> value;
   cluster.client(0).Reduce(ReduceSpec{partial, first, 0, store::ReduceOp::kSum});
   cluster.client(0).Reduce(ReduceSpec{total, second, 0, store::ReduceOp::kSum});
-  cluster.client(0).Get(total, [&](const store::Buffer& b) { value = b; });
+  cluster.client(0).Get(total).Then([&](const store::Buffer& b) { value = b; });
   cluster.RunAll();
   ASSERT_TRUE(value.has_value());
   EXPECT_EQ(value->values()[0], SumTo(kNodes));
@@ -202,7 +197,7 @@ TEST(ReduceTest, AllReduceViaReduceThenBroadcast) {
   int got = 0;
   cluster.client(0).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum});
   for (NodeID n = 0; n < kNodes; ++n) {
-    cluster.client(n).Get(target, [&, n](const store::Buffer& b) {
+    cluster.client(n).Get(target).Then([&, n](const store::Buffer& b) {
       EXPECT_EQ(b.values()[0], SumTo(kNodes)) << "node " << n;
       ++got;
     });
@@ -219,7 +214,7 @@ TEST(ReduceTest, AdaptiveDegreePicksStarForSmallStoreObjects) {
   const ObjectID target = ObjectID::FromName("sum");
   std::optional<store::Buffer> value;
   cluster.client(0).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum});
-  cluster.client(0).Get(target, [&](const store::Buffer& b) { value = b; });
+  cluster.client(0).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.RunAll();
   ASSERT_TRUE(value.has_value());
   EXPECT_EQ(value->values()[0], SumTo(kNodes));
@@ -242,8 +237,7 @@ TEST(ReduceTest, ChainReduceLatencyNearBandwidthBound) {
   start = cluster.Now();
   std::optional<store::Buffer> value;
   cluster.client(0).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum});
-  cluster.client(0).Get(target, GetOptions{.read_only = true},
-                        [&](const store::Buffer& b) {
+  cluster.client(0).Get(target, GetOptions{.read_only = true}).Then([&](const store::Buffer& b) {
                           value = b;
                           done = cluster.Now();
                         });
@@ -272,9 +266,8 @@ TEST(ReduceFaultTest, FailedLeafIsReplacedByNextReadyObject) {
   std::optional<ReduceResult> result;
   std::optional<store::Buffer> value;
   // Start the reduce at t=0; first 6 arrivals are nodes 0..5.
-  cluster.client(0).Reduce(ReduceSpec{target, sources, 6, store::ReduceOp::kSum},
-                           [&](const ReduceResult& r) { result = r; });
-  cluster.client(0).Get(target, [&](const store::Buffer& b) { value = b; });
+  cluster.client(0).Reduce(ReduceSpec{target, sources, 6, store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { result = r; });
+  cluster.client(0).Get(target).Then([&](const store::Buffer& b) { value = b; });
   // Kill node 3 after its object arrived but before the reduce can finish
   // (node 9 only puts at 180 ms, so the tree is still waiting).
   cluster.simulator().ScheduleAt(Milliseconds(70), [&] { cluster.KillNode(3); });
@@ -308,7 +301,7 @@ TEST(ReduceFaultTest, FailureWaitsForRejoinWhenNoSpareExists) {
   const ObjectID target = ObjectID::FromName("sum");
   std::optional<store::Buffer> value;
   cluster.client(0).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum});
-  cluster.client(0).Get(target, [&](const store::Buffer& b) { value = b; });
+  cluster.client(0).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.simulator().ScheduleAt(Milliseconds(1), [&] { cluster.KillNode(2); });
   cluster.simulator().ScheduleAt(Seconds(2), [&] {
     cluster.RecoverNode(2);
@@ -335,9 +328,8 @@ TEST(ReduceFaultTest, FailedInternalNodeClearsAncestorsOnly) {
   const ObjectID target = ObjectID::FromName("sum");
   std::optional<ReduceResult> result;
   std::optional<store::Buffer> value;
-  cluster.client(7).Reduce(ReduceSpec{target, sources, 6, store::ReduceOp::kSum},
-                           [&](const ReduceResult& r) { result = r; });
-  cluster.client(7).Get(target, [&](const store::Buffer& b) { value = b; });
+  cluster.client(7).Reduce(ReduceSpec{target, sources, 6, store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { result = r; });
+  cluster.client(7).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.simulator().ScheduleAt(Milliseconds(35), [&] { cluster.KillNode(1); });
   cluster.RunAll();
   ASSERT_TRUE(result.has_value());
@@ -362,9 +354,8 @@ TEST(ReduceFaultTest, MultipleFailuresDuringOneReduce) {
   const ObjectID target = ObjectID::FromName("sum");
   std::optional<ReduceResult> result;
   std::optional<store::Buffer> value;
-  cluster.client(0).Reduce(ReduceSpec{target, sources, 8, store::ReduceOp::kSum},
-                           [&](const ReduceResult& r) { result = r; });
-  cluster.client(0).Get(target, [&](const store::Buffer& b) { value = b; });
+  cluster.client(0).Reduce(ReduceSpec{target, sources, 8, store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { result = r; });
+  cluster.client(0).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.simulator().ScheduleAt(Milliseconds(40), [&] { cluster.KillNode(2); });
   cluster.simulator().ScheduleAt(Milliseconds(90), [&] { cluster.KillNode(5); });
   cluster.RunAll();

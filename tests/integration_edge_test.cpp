@@ -30,7 +30,7 @@ TEST(EvictionTest, ReceiverReclaimsWhenGrantedSenderWasEvicted) {
   const ObjectID hot = ObjectID::FromName("hot");
   const ObjectID filler = ObjectID::FromName("filler");
   cluster.client(0).Put(hot, store::Buffer::OfSize(MB(6)));
-  cluster.client(1).Get(hot, [](const store::Buffer&) {});
+  cluster.client(1).Get(hot).Then([](const store::Buffer&) {});
   cluster.RunAll();
   ASSERT_TRUE(cluster.store(1).Contains(hot));
   // Evict node 1's replica by filling its store with its own primary.
@@ -39,7 +39,7 @@ TEST(EvictionTest, ReceiverReclaimsWhenGrantedSenderWasEvicted) {
   EXPECT_FALSE(cluster.store(1).Contains(hot)) << "replica should be evicted";
   // The directory may still grant node 1; the receiver must recover.
   std::optional<store::Buffer> got;
-  cluster.client(2).Get(hot, [&](const store::Buffer& b) { got = b; });
+  cluster.client(2).Get(hot).Then([&](const store::Buffer& b) { got = b; });
   cluster.RunAll();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->size(), MB(6));
@@ -56,14 +56,14 @@ TEST(EvictionTest, PinnedPrimarySurvivesPressure) {
   for (int i = 0; i < 3; ++i) {
     const ObjectID other = ObjectID::FromName("other").WithIndex(i);
     cluster.client(1).Put(other, store::Buffer::OfSize(MB(5)));
-    cluster.client(0).Get(other, [](const store::Buffer&) {});
+    cluster.client(0).Get(other).Then([](const store::Buffer&) {});
     cluster.RunAll();
   }
   // The primary is pinned (§6 guarantees one fetchable copy) even though the
   // store is over-committed.
   EXPECT_TRUE(cluster.store(0).Contains(primary));
   std::optional<store::Buffer> got;
-  cluster.client(1).Get(primary, [&](const store::Buffer& b) { got = b; });
+  cluster.client(1).Get(primary).Then([&](const store::Buffer& b) { got = b; });
   cluster.RunAll();
   EXPECT_TRUE(got.has_value());
 }
@@ -74,7 +74,7 @@ TEST(DeleteTest, DeleteDuringActiveBroadcastDropsEverything) {
   cluster.client(0).Put(object, store::Buffer::OfSize(MB(64)));
   int delivered = 0;
   for (NodeID r = 1; r < 4; ++r) {
-    cluster.client(r).Get(object, [&](const store::Buffer&) { ++delivered; });
+    cluster.client(r).Get(object).Then([&](const store::Buffer&) { ++delivered; });
   }
   // Delete fires while transfers are mid-flight (64 MB takes ~55 ms).
   cluster.simulator().ScheduleAt(Milliseconds(10), [&] { cluster.client(0).Delete(object); });
@@ -110,12 +110,11 @@ TEST(ChainedReduceTest, FailureInUpstreamReducePropagatesCorrectly) {
   const ObjectID total = ObjectID::FromName("total");
   std::optional<ReduceResult> first;
   std::vector<ObjectID> first_sources(grads.begin(), grads.begin() + 6);
-  cluster.client(0).Reduce(ReduceSpec{partial, first_sources, 4, store::ReduceOp::kSum},
-                           [&](const ReduceResult& r) { first = r; });
+  cluster.client(0).Reduce(ReduceSpec{partial, first_sources, 4, store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { first = r; });
   std::vector<ObjectID> second_sources{partial, grads[6], grads[7]};
   std::optional<store::Buffer> value;
   cluster.client(0).Reduce(ReduceSpec{total, second_sources, 0, store::ReduceOp::kSum});
-  cluster.client(0).Get(total, [&](const store::Buffer& b) { value = b; });
+  cluster.client(0).Get(total).Then([&](const store::Buffer& b) { value = b; });
   // Kill node 2 while its 16 MB gradient is still being Put (the worker->
   // store copy started at 20 ms and needs ~1.7 ms): its contribution cannot
   // have reached the tree, so a spare must replace it.
@@ -153,7 +152,7 @@ TEST(InlineShardTest, SmallObjectsSurviveShardNodeFailure) {
   cluster.KillNode(3);
   cluster.simulator().RunUntil(cluster.Now() + Milliseconds(200));
   std::optional<store::Buffer> got;
-  cluster.client(1).Get(victim_homed, [&](const store::Buffer& b) { got = b; });
+  cluster.client(1).Get(victim_homed).Then([&](const store::Buffer& b) { got = b; });
   cluster.RunAll();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->values(), (std::vector<float>{1, 2, 3}));
@@ -169,7 +168,7 @@ TEST(InlineShardTest, SmallObjectsSurviveShardNodeFailure) {
   ASSERT_FALSE(fresh.IsNil());
   std::optional<store::Buffer> got2;
   cluster.client(2).Put(fresh, store::Buffer::FromValues({9}));
-  cluster.client(4).Get(fresh, [&](const store::Buffer& b) { got2 = b; });
+  cluster.client(4).Get(fresh).Then([&](const store::Buffer& b) { got2 = b; });
   cluster.RunAll();
   ASSERT_TRUE(got2.has_value());
   EXPECT_EQ(got2->values(), (std::vector<float>{9}));
@@ -185,9 +184,9 @@ TEST(HeterogeneityTest, SlowNodeDoesNotThrottleDisjointTransfers) {
   SimTime fast_done = 0;
   SimTime slow_done = 0;
   cluster.client(0).Put(fast_obj, store::Buffer::OfSize(MB(64)));
-  cluster.client(1).Get(fast_obj, [&](const store::Buffer&) { fast_done = cluster.Now(); });
+  cluster.client(1).Get(fast_obj).Then([&](const store::Buffer&) { fast_done = cluster.Now(); });
   cluster.client(2).Put(slow_obj, store::Buffer::OfSize(MB(64)));
-  cluster.client(3).Get(slow_obj, [&](const store::Buffer&) { slow_done = cluster.Now(); });
+  cluster.client(3).Get(slow_obj).Then([&](const store::Buffer&) { slow_done = cluster.Now(); });
   cluster.RunAll();
   EXPECT_GT(fast_done, 0);
   EXPECT_GT(slow_done, 0);
@@ -205,7 +204,7 @@ TEST(HeterogeneityTest, BroadcastCompletesOnHeterogeneousFabric) {
   cluster.client(0).Put(object, store::Buffer::OfSize(MB(32)));
   int got = 0;
   for (NodeID r = 1; r < 6; ++r) {
-    cluster.client(r).Get(object, [&](const store::Buffer&) { ++got; });
+    cluster.client(r).Get(object).Then([&](const store::Buffer&) { ++got; });
   }
   cluster.RunAll();
   EXPECT_EQ(got, 5);
@@ -227,10 +226,8 @@ TEST(ConcurrentReduceTest, TwoReducesShareTheSameSources) {
       ReduceSpec{ObjectID::FromName("sum"), sources, 0, store::ReduceOp::kSum});
   cluster.client(1).Reduce(
       ReduceSpec{ObjectID::FromName("max"), sources, 0, store::ReduceOp::kMax});
-  cluster.client(0).Get(ObjectID::FromName("sum"),
-                        [&](const store::Buffer& b) { sum = b; });
-  cluster.client(1).Get(ObjectID::FromName("max"),
-                        [&](const store::Buffer& b) { maxv = b; });
+  cluster.client(0).Get(ObjectID::FromName("sum")).Then([&](const store::Buffer& b) { sum = b; });
+  cluster.client(1).Get(ObjectID::FromName("max")).Then([&](const store::Buffer& b) { maxv = b; });
   cluster.RunAll();
   ASSERT_TRUE(sum.has_value());
   ASSERT_TRUE(maxv.has_value());
@@ -242,16 +239,16 @@ TEST(RejoinTest, RecoveredNodeServesAsBroadcastIntermediate) {
   HopliteCluster cluster(Opts(4));
   const ObjectID object = ObjectID::FromName("x");
   cluster.client(0).Put(object, store::Buffer::OfSize(MB(16)));
-  cluster.client(1).Get(object, [](const store::Buffer&) {});
+  cluster.client(1).Get(object).Then([](const store::Buffer&) {});
   cluster.RunAll();
   cluster.KillNode(1);
   cluster.simulator().RunUntil(cluster.Now() + Milliseconds(200));
   cluster.RecoverNode(1);
   // The recovered node fetches again (fresh store) and then serves node 2.
   int got = 0;
-  cluster.client(1).Get(object, [&](const store::Buffer&) { ++got; });
-  cluster.client(2).Get(object, [&](const store::Buffer&) { ++got; });
-  cluster.client(3).Get(object, [&](const store::Buffer&) { ++got; });
+  cluster.client(1).Get(object).Then([&](const store::Buffer&) { ++got; });
+  cluster.client(2).Get(object).Then([&](const store::Buffer&) { ++got; });
+  cluster.client(3).Get(object).Then([&](const store::Buffer&) { ++got; });
   cluster.RunAll();
   EXPECT_EQ(got, 3);
 }
@@ -270,8 +267,7 @@ TEST(StressTest, ManyRoundsOfAllreduceStayLeakFree) {
     cluster.client(0).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum});
     int got = 0;
     for (NodeID n = 0; n < kNodes; ++n) {
-      cluster.client(n).Get(target, GetOptions{.read_only = true},
-                            [&](const store::Buffer&) { ++got; });
+      cluster.client(n).Get(target, GetOptions{.read_only = true}).Then([&](const store::Buffer&) { ++got; });
     }
     cluster.RunAll();
     ASSERT_EQ(got, kNodes) << "round " << round;

@@ -75,7 +75,7 @@ TEST_P(ReducePermutationProperty, SumCorrectUnderAnyArrivalOrder) {
   const ObjectID target = ObjectID::FromName("psum");
   std::optional<store::Buffer> value;
   cluster.client(caller).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum});
-  cluster.client(caller).Get(target, [&](const store::Buffer& b) { value = b; });
+  cluster.client(caller).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.RunAll();
   ASSERT_TRUE(value.has_value()) << "nodes=" << nodes << " d=" << degree;
   const float expected = static_cast<float>(nodes) * (nodes + 1) / 2.0f;
@@ -120,9 +120,8 @@ TEST_P(ReduceFailureProperty, FailedContributionNeverLeaks) {
   std::optional<store::Buffer> value;
   cluster.client(0).Reduce(
       ReduceSpec{target, sources, static_cast<std::size_t>(reduce_count),
-                 store::ReduceOp::kSum},
-      [&](const ReduceResult& r) { result = r; });
-  cluster.client(0).Get(target, [&](const store::Buffer& b) { value = b; });
+                 store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { result = r; });
+  cluster.client(0).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.RunAll();
 
   ASSERT_TRUE(result.has_value())
@@ -156,8 +155,7 @@ TEST_P(BroadcastFailureProperty, SurvivorsAllReceiveCorrectPayload) {
 
   std::vector<bool> received(static_cast<std::size_t>(nodes), false);
   for (NodeID r = 1; r < nodes; ++r) {
-    cluster.client(r).Get(object, GetOptions{.read_only = true},
-                          [&, r](const store::Buffer& b) {
+    cluster.client(r).Get(object, GetOptions{.read_only = true}).Then([&, r](const store::Buffer& b) {
                             EXPECT_EQ(b.values().front(), 42.5f);
                             EXPECT_EQ(b.size(), static_cast<std::int64_t>(kElems * 4));
                             received[static_cast<std::size_t>(r)] = true;
@@ -203,8 +201,7 @@ TEST_P(AllreduceGridProperty, EveryNodeGetsTheSameCorrectSum) {
   const float expected = static_cast<float>(nodes) * (nodes + 1) / 2.0f;
   int got = 0;
   for (NodeID n = 0; n < nodes; ++n) {
-    cluster.client(n).Get(target, GetOptions{.read_only = true},
-                          [&, n](const store::Buffer& b) {
+    cluster.client(n).Get(target, GetOptions{.read_only = true}).Then([&, n](const store::Buffer& b) {
                             EXPECT_EQ(b.values().front(), expected) << "node " << n;
                             ++got;
                           });
@@ -252,7 +249,7 @@ TraceFingerprint RunDeterministicWorkload(std::uint64_t seed) {
   TraceFingerprint fp;
   const ObjectID target = ObjectID::FromName("psum");
   cluster.client(0).Reduce(ReduceSpec{target, sources, 5, store::ReduceOp::kSum});
-  cluster.client(0).Get(target, [&](const store::Buffer& b) { fp.sum = b.values()[0]; });
+  cluster.client(0).Get(target).Then([&](const store::Buffer& b) { fp.sum = b.values()[0]; });
   cluster.RunAll();
   fp.events = cluster.simulator().executed_events();
   fp.end_time = cluster.Now();

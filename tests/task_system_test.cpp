@@ -1,5 +1,6 @@
-// Tests for the mini task framework: dynamic tasks, futures, ray.wait-style
-// readiness, scheduling, and lineage-based fault tolerance.
+// Tests for the mini task framework: dynamic tasks, object futures,
+// WhenAny-based readiness (the ray.wait replacement), scheduling, and
+// lineage-based fault tolerance.
 #include "task/task_system.h"
 
 #include <gtest/gtest.h>
@@ -25,30 +26,34 @@ store::Buffer MakeValue(float v) {
 TEST(TaskSystemTest, SingleTaskProducesOutput) {
   core::HopliteCluster cluster(TestOptions(2));
   TaskSystem tasks(cluster);
-  const ObjectID out = tasks.Submit(TaskSpec{
+  const Ref<ObjectID> out = tasks.Submit(TaskSpec{
       .name = "produce",
       .args = {},
       .compute_time = Milliseconds(5),
       .body = [](const auto&) { return MakeValue(42); },
   });
+  EXPECT_FALSE(out.settled()) << "Submit must return the future immediately";
   std::optional<store::Buffer> value;
-  cluster.client(1).Get(out, [&](const store::Buffer& b) { value = b; });
+  cluster.client(1).Get(out.id()).Then([&](const store::Buffer& b) { value = b; });
   cluster.RunAll();
   ASSERT_TRUE(value.has_value());
   EXPECT_EQ(value->values()[0], 42.0f);
-  EXPECT_TRUE(tasks.IsDone(out));
+  EXPECT_TRUE(out.ready());
+  EXPECT_EQ(out.value(), out.id());
+  EXPECT_TRUE(tasks.IsDone(out.id()));
   EXPECT_EQ(tasks.tasks_executed(), 1u);
 }
 
 TEST(TaskSystemTest, TaskChainsThroughFutures) {
   core::HopliteCluster cluster(TestOptions(4));
   TaskSystem tasks(cluster);
-  const ObjectID a = tasks.Submit(TaskSpec{
+  const Ref<ObjectID> a_ref = tasks.Submit(TaskSpec{
       .name = "a",
       .compute_time = Milliseconds(2),
       .body = [](const auto&) { return MakeValue(1); },
   });
-  const ObjectID b = tasks.Submit(TaskSpec{
+  const ObjectID a = a_ref.id();
+  const Ref<ObjectID> b_ref = tasks.Submit(TaskSpec{
       .name = "b",
       .args = {a},
       .compute_time = Milliseconds(2),
@@ -58,7 +63,8 @@ TEST(TaskSystemTest, TaskChainsThroughFutures) {
                 std::vector<float>(args[0].values().size(), args[0].values()[0] + 1));
           },
   });
-  const ObjectID c = tasks.Submit(TaskSpec{
+  const ObjectID b = b_ref.id();
+  const Ref<ObjectID> c = tasks.Submit(TaskSpec{
       .name = "c",
       .args = {b},
       .compute_time = Milliseconds(2),
@@ -68,17 +74,19 @@ TEST(TaskSystemTest, TaskChainsThroughFutures) {
                 std::vector<float>(args[0].values().size(), args[0].values()[0] * 10));
           },
   });
+  // Chain a Get straight off the output future.
   std::optional<store::Buffer> value;
-  cluster.client(0).Get(c, [&](const store::Buffer& buf) { value = buf; });
+  c.Then([&](const ObjectID& id) { return cluster.client(0).Get(id); })
+      .Then([&](const store::Buffer& buf) { value = buf; });
   cluster.RunAll();
   ASSERT_TRUE(value.has_value());
   EXPECT_EQ(value->values()[0], 20.0f);  // (1+1)*10
 }
 
-TEST(TaskSystemTest, WaitReturnsFirstFinishers) {
+TEST(TaskSystemTest, WhenAnyReturnsFirstFinishers) {
   core::HopliteCluster cluster(TestOptions(4));
   TaskSystem tasks(cluster, TaskSystemOptions{.workers_per_node = 8});
-  std::vector<ObjectID> futures;
+  std::vector<Ref<ObjectID>> futures;
   // Tasks with staggered compute times; pinned round-robin so they overlap.
   for (int i = 0; i < 8; ++i) {
     futures.push_back(tasks.Submit(TaskSpec{
@@ -88,14 +96,13 @@ TEST(TaskSystemTest, WaitReturnsFirstFinishers) {
         .pinned_node = static_cast<NodeID>(i % 4),
     }));
   }
-  std::optional<std::vector<ObjectID>> ready;
-  tasks.Wait(futures, 3, [&](std::vector<ObjectID> r) { ready = std::move(r); });
+  const Ref<std::vector<ObjectID>> ready = WhenAny(futures, 3);
   cluster.RunAll();
-  ASSERT_TRUE(ready.has_value());
-  EXPECT_EQ(ready->size(), 3u);
+  ASSERT_TRUE(ready.ready());
+  EXPECT_EQ(ready.value().size(), 3u);
   // The three shortest compute times belong to the last three submissions.
-  for (const ObjectID id : *ready) {
-    EXPECT_TRUE(id == futures[5] || id == futures[6] || id == futures[7]);
+  for (const ObjectID id : ready.value()) {
+    EXPECT_TRUE(id == futures[5].id() || id == futures[6].id() || id == futures[7].id());
   }
 }
 
@@ -103,7 +110,7 @@ TEST(TaskSystemTest, WorkersLimitConcurrency) {
   core::HopliteCluster cluster(TestOptions(1));
   TaskSystem tasks(cluster, TaskSystemOptions{.workers_per_node = 2});
   int finished = 0;
-  std::vector<ObjectID> futures;
+  std::vector<Ref<ObjectID>> futures;
   for (int i = 0; i < 4; ++i) {
     futures.push_back(tasks.Submit(TaskSpec{
         .name = "busy",
@@ -111,7 +118,9 @@ TEST(TaskSystemTest, WorkersLimitConcurrency) {
         .body = [](const auto&) { return MakeValue(0); },
     }));
   }
-  tasks.Wait(futures, 4, [&](const std::vector<ObjectID>&) { finished = 4; });
+  WhenAll(futures).Then([&](const std::vector<ObjectID>& ids) {
+    finished = static_cast<int>(ids.size());
+  });
   cluster.RunAll();
   EXPECT_EQ(finished, 4);
   // 4 tasks, 2 workers, 10 ms each -> at least 2 serialized waves.
@@ -123,24 +132,25 @@ TEST(TaskSystemTest, PinnedTaskWaitsForRecovery) {
   TaskSystem tasks(cluster);
   cluster.KillNode(1);
   cluster.simulator().RunUntil(Milliseconds(200));
-  const ObjectID out = tasks.Submit(TaskSpec{
+  const Ref<ObjectID> out = tasks.Submit(TaskSpec{
       .name = "pinned",
       .compute_time = Milliseconds(1),
       .body = [](const auto&) { return MakeValue(9); },
       .pinned_node = 1,
   });
   cluster.simulator().RunUntil(Seconds(1));
-  EXPECT_FALSE(tasks.IsDone(out));  // node 1 is down
+  EXPECT_FALSE(out.settled());  // node 1 is down
   cluster.RecoverNode(1);
   cluster.RunAll();
-  EXPECT_TRUE(tasks.IsDone(out));
+  EXPECT_TRUE(out.ready());
+  EXPECT_TRUE(tasks.IsDone(out.id()));
 }
 
 TEST(TaskSystemTest, FailedTaskIsResubmittedElsewhere) {
   core::HopliteCluster cluster(TestOptions(2));
   TaskSystem tasks(cluster, TaskSystemOptions{.workers_per_node = 1});
   // A long task pinned to node 1; kill node 1 mid-compute.
-  const ObjectID out = tasks.Submit(TaskSpec{
+  const Ref<ObjectID> out = tasks.Submit(TaskSpec{
       .name = "long",
       .compute_time = Seconds(2),
       .body = [](const auto&) { return MakeValue(5); },
@@ -150,7 +160,7 @@ TEST(TaskSystemTest, FailedTaskIsResubmittedElsewhere) {
   cluster.simulator().ScheduleAt(Seconds(1), [&] { cluster.RecoverNode(1); });
   std::optional<store::Buffer> value;
   cluster.simulator().ScheduleAt(Milliseconds(1), [&] {
-    cluster.client(0).Get(out, [&](const store::Buffer& b) { value = b; });
+    cluster.client(0).Get(out.id()).Then([&](const store::Buffer& b) { value = b; });
   });
   cluster.RunAll();
   ASSERT_TRUE(value.has_value());
@@ -161,12 +171,14 @@ TEST(TaskSystemTest, FailedTaskIsResubmittedElsewhere) {
 TEST(TaskSystemTest, LostOutputIsReconstructedFromLineage) {
   core::HopliteCluster cluster(TestOptions(2));
   TaskSystem tasks(cluster);
-  const ObjectID out = tasks.Submit(TaskSpec{
-      .name = "produce",
-      .compute_time = Milliseconds(1),
-      .body = [](const auto&) { return MakeValue(7); },
-      .pinned_node = 1,
-  });
+  const ObjectID out = tasks
+                           .Submit(TaskSpec{
+                               .name = "produce",
+                               .compute_time = Milliseconds(1),
+                               .body = [](const auto&) { return MakeValue(7); },
+                               .pinned_node = 1,
+                           })
+                           .id();
   cluster.RunAll();
   EXPECT_TRUE(tasks.IsDone(out));
   // The only copy lives on node 1; kill it. Lineage must re-execute the
@@ -176,7 +188,7 @@ TEST(TaskSystemTest, LostOutputIsReconstructedFromLineage) {
   cluster.simulator().ScheduleAt(Milliseconds(200), [&] { cluster.RecoverNode(1); });
   std::optional<store::Buffer> value;
   cluster.simulator().ScheduleAt(Milliseconds(300), [&] {
-    cluster.client(0).Get(out, [&](const store::Buffer& b) { value = b; });
+    cluster.client(0).Get(out).Then([&](const store::Buffer& b) { value = b; });
   });
   cluster.RunAll();
   ASSERT_TRUE(value.has_value());
@@ -188,15 +200,17 @@ TEST(TaskSystemTest, ManualReconstructReExecutesProducer) {
   core::HopliteCluster cluster(TestOptions(2));
   TaskSystem tasks(cluster);
   int executions = 0;
-  const ObjectID out = tasks.Submit(TaskSpec{
-      .name = "counted",
-      .compute_time = Milliseconds(1),
-      .body =
-          [&executions](const auto&) {
-            ++executions;
-            return MakeValue(1);
-          },
-  });
+  const ObjectID out = tasks
+                           .Submit(TaskSpec{
+                               .name = "counted",
+                               .compute_time = Milliseconds(1),
+                               .body =
+                                   [&executions](const auto&) {
+                                     ++executions;
+                                     return MakeValue(1);
+                                   },
+                           })
+                           .id();
   cluster.RunAll();
   EXPECT_EQ(executions, 1);
   // Simulate the object being dropped (e.g. evicted everywhere).
@@ -211,7 +225,7 @@ TEST(TaskSystemTest, ManualReconstructReExecutesProducer) {
 TEST(TaskSystemTest, LeastLoadedSchedulingSpreadsTasks) {
   core::HopliteCluster cluster(TestOptions(4));
   TaskSystem tasks(cluster, TaskSystemOptions{.workers_per_node = 1});
-  std::vector<ObjectID> futures;
+  std::vector<Ref<ObjectID>> futures;
   bool all_done = false;
   for (int i = 0; i < 4; ++i) {
     futures.push_back(tasks.Submit(TaskSpec{
@@ -220,7 +234,7 @@ TEST(TaskSystemTest, LeastLoadedSchedulingSpreadsTasks) {
         .body = [](const auto&) { return MakeValue(0); },
     }));
   }
-  tasks.Wait(futures, 4, [&](const auto&) { all_done = true; });
+  WhenAll(futures).Then([&] { all_done = true; });
   cluster.RunAll();
   EXPECT_TRUE(all_done);
   // With 4 nodes x 1 worker and spreading, all 4 run in parallel: finish
