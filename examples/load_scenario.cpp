@@ -1,0 +1,89 @@
+// Load scenario: driving the cluster with the open-loop workload engine.
+//
+// Where the other examples issue a handful of hand-written operations, this
+// one loads the whole system the way §5's experiments do — sustained,
+// mixed, multi-tenant traffic — using the workload subsystem:
+//
+//   ScenarioSpec   tenants x {arrival process, op mix, size distribution}
+//   BuildTrace     lowered to a deterministic arrival trace (seeded RNG)
+//   WorkloadBackend the same trace replayed on Hoplite AND the Ray-like
+//                  baseline: matched offered load by construction
+//   LoadReport     throughput, p50/p95/p99 tails, per-tenant fairness,
+//                  store eviction / memory high-water marks
+//
+// Defining a new scenario is a ~20-line ScenarioSpec; registering it
+// (HOPLITE_REGISTER_SCENARIO) makes it runnable from tests and from
+// `bench_all --figure load_sweep`-style sweeps.
+//
+//   $ ./examples/load_scenario
+#include <cstdio>
+
+#include "common/units.h"
+#include "workload/driver.h"
+#include "workload/scenarios.h"
+
+using namespace hoplite;
+
+namespace {
+
+void PrintReport(const workload::LoadReport& report) {
+  std::printf("%-8s offered %4zu ops @ %6.0f ops/s | done %4zu failed %zu | "
+              "p50 %7.3f ms  p99 %7.3f ms | fairness %.3f\n",
+              report.backend.c_str(), report.total.offered,
+              report.total.offered_ops_per_s, report.total.completed,
+              report.total.failed, report.total.latency.p50 * 1e3,
+              report.total.latency.p99 * 1e3, report.fairness);
+  for (const auto& tenant : report.tenants) {
+    std::printf("  tenant %-10s %4zu ops  p99 %7.3f ms\n", tenant.name.c_str(),
+                tenant.completed, tenant.latency.p99 * 1e3);
+  }
+  if (report.store.evictions > 0) {
+    std::printf("  store: %llu evictions, peak %.1f MB/node\n",
+                static_cast<unsigned long long>(report.store.evictions),
+                static_cast<double>(report.store.peak_used_bytes) / (1024.0 * 1024.0));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== 1. The canonical 'mixed' scenario at two offered loads ==\n");
+  for (const double load_scale : {1.0, 8.0}) {
+    workload::ScenarioTuning tuning;
+    tuning.num_nodes = 16;
+    tuning.load_scale = load_scale;
+    tuning.horizon = Milliseconds(500);
+    const workload::ScenarioSpec spec = workload::BuildScenario("mixed", tuning);
+    // One trace, two backends: the comparison is at matched offered load.
+    const workload::WorkloadTrace trace = workload::BuildTrace(spec);
+    std::printf("-- load x%.0f --\n", load_scale);
+    for (const auto kind : {workload::BackendKind::kHoplite, workload::BackendKind::kRay}) {
+      const auto backend = workload::MakeBackend(kind, spec);
+      PrintReport(workload::RunTrace(trace, *backend));
+    }
+  }
+
+  std::printf("\n== 2. Memory pressure: tiny stores under no-GC churn ==\n");
+  workload::ScenarioTuning tuning;
+  tuning.num_nodes = 8;
+  tuning.load_scale = 4.0;
+  tuning.horizon = Milliseconds(500);
+  workload::ScenarioSpec spec = workload::BuildScenario("memory-pressure", tuning);
+  spec.store_capacity_bytes = MB(8);
+  PrintReport(workload::RunScenario(spec, workload::BackendKind::kHoplite));
+
+  std::printf("\n== 3. A custom scenario is just a spec ==\n");
+  workload::ScenarioSpec custom;
+  custom.name = "bursty-broadcasts";
+  custom.num_nodes = 12;
+  custom.horizon = Milliseconds(500);
+  workload::TenantSpec tenant;
+  tenant.name = "bursts";
+  tenant.arrivals = {workload::ArrivalProcess::Kind::kPoisson, 50.0};
+  tenant.mix = workload::OpMix{0.0, 0.0, 1.0, 0.0};  // broadcast-only
+  tenant.sizes = workload::SizeDistribution::LogUniform(KB(64), MB(4));
+  tenant.fanout = 6;
+  custom.tenants.push_back(tenant);
+  PrintReport(workload::RunScenario(custom, workload::BackendKind::kHoplite));
+  return 0;
+}

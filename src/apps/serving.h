@@ -21,11 +21,15 @@
 
 namespace hoplite::apps {
 
+/// Query payload: 64 images x 256 x 256 x 3 bytes (§5.4). Shared with the
+/// open-loop `serving` workload scenario (src/workload/scenarios.cc), which
+/// re-expresses this request loop under sustained offered load.
+inline constexpr std::int64_t kServingQueryBatchBytes = 64LL * 256 * 256 * 3;
+
 struct ServingOptions {
   Backend backend = Backend::kHoplite;
   int num_nodes = 9;  ///< 1 frontend + (n-1) model replicas
-  /// Query payload: 64 images x 256 x 256 x 3 bytes (§5.4).
-  std::int64_t query_bytes = 64LL * 256 * 256 * 3;
+  std::int64_t query_bytes = kServingQueryBatchBytes;
   std::int64_t vote_bytes = 1024;
   ComputeModel inference_compute;
   int num_queries = 40;

@@ -74,9 +74,13 @@ void RayLikeTransport::PutInternal(NodeID node, ObjectID object, std::int64_t si
       meta.size = size;
       meta.locations.push_back(node);
       if (done) done();
-      // Serve parked fetches.
-      auto waiters = std::move(meta.waiters);
-      meta.waiters.clear();
+      // Serve parked fetches. The completion callback may have Delete'd the
+      // object inline (a workload GC'ing an op the instant it settles), so
+      // the entry must be re-looked-up — `meta` may dangle here.
+      auto it = objects_.find(object);
+      if (it == objects_.end()) return;
+      auto waiters = std::move(it->second.waiters);
+      it->second.waiters.clear();
       for (auto& [waiter_node, waiter_done] : waiters) {
         StartFetch(waiter_node, object, std::move(waiter_done));
       }

@@ -44,15 +44,67 @@ class RunStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Linear-interpolation percentile over an already-sorted, non-empty sample
+/// vector (p in [0, 100]). The single home of the rank/interpolation rule —
+/// Percentile and Summarize must agree on it.
+[[nodiscard]] inline double PercentileSorted(const std::vector<double>& sorted, double p) {
+  HOPLITE_CHECK(!sorted.empty());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
 /// Percentile over a copy of the samples (p in [0, 100]).
 [[nodiscard]] inline double Percentile(std::vector<double> samples, double p) {
-  HOPLITE_CHECK(!samples.empty());
   std::sort(samples.begin(), samples.end());
-  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const auto hi = std::min(lo + 1, samples.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  return PercentileSorted(samples, p);
+}
+
+/// The tail summary a load report carries per tenant and per op kind: the
+/// paper's serving/SGD workloads are all judged on p50/p95/p99 under load.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes a sample vector (one sort, all percentiles off the same copy).
+/// An empty input yields an all-zero summary rather than asserting, since a
+/// tenant can legitimately complete zero ops in a window.
+[[nodiscard]] inline LatencySummary Summarize(std::vector<double> samples) {
+  LatencySummary summary;
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  summary.count = samples.size();
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  summary.mean = sum / static_cast<double>(samples.size());
+  summary.p50 = PercentileSorted(samples, 50.0);
+  summary.p95 = PercentileSorted(samples, 95.0);
+  summary.p99 = PercentileSorted(samples, 99.0);
+  summary.max = samples.back();
+  return summary;
+}
+
+/// Jain's fairness index over per-tenant allocations: (sum x)^2 / (n sum x^2),
+/// 1.0 when all tenants receive equal service, 1/n when one tenant starves
+/// all others. Zero-allocation inputs are well-defined (index of the rest);
+/// an all-zero or empty vector reports 1.0 (nobody is being treated unfairly).
+[[nodiscard]] inline double JainFairnessIndex(const std::vector<double>& allocations) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : allocations) {
+    HOPLITE_CHECK_GE(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(allocations.size()) * sum_sq);
 }
 
 }  // namespace hoplite

@@ -200,15 +200,22 @@ void HopliteClient::OnClaimReply(const directory::ClaimReply& reply) {
 
   if (reply.local_copy) {
     // The object is materializing in our own store (e.g. a Reduce sink).
-    auto waiters = std::move(session.early_waiters);
-    fetches_.erase(it);
     if (local_store().Contains(reply.object)) {
+      auto waiters = std::move(session.early_waiters);
+      fetches_.erase(it);
       for (auto& [options, callback] : waiters) {
         DeliverLocal(reply.object, options, std::move(callback));
       }
     } else {
-      // Raced with a Delete; drop the waiters (framework contract, §6).
-      HOPLITE_LOG(Warning) << "local-copy claim for missing object " << reply.object;
+      // Stale self-location: our replica was LRU-evicted (or purged in a
+      // Delete race) after the directory recorded it. Retract the stale
+      // location and re-claim — an evicted object is re-fetched from a
+      // surviving holder; a truly deleted one leaves the claim parked on
+      // the id (the documented Delete contract; pair with a Get timeout).
+      HOPLITE_LOG(Debug) << "stale local-copy claim for " << reply.object << " on node "
+                         << node_ << "; retracting and re-claiming";
+      cluster_.directory().RemoveLocation(reply.object, node_);
+      StartFetch(reply.object);
     }
     return;
   }
@@ -256,13 +263,15 @@ void HopliteClient::OnClaimReply(const directory::ClaimReply& reply) {
   });
 }
 
-void HopliteClient::AbortFetchAndReclaim(ObjectID object, bool sender_alive) {
+void HopliteClient::AbortFetchAndReclaim(ObjectID object, bool sender_alive,
+                                         bool sender_holds_copy) {
   auto it = fetches_.find(object);
   if (it == fetches_.end() || it->second.claiming) return;
   const NodeID old_sender = it->second.sender;
   it->second.sender = kInvalidNode;
   it->second.claiming = true;
-  cluster_.directory().TransferAborted(object, old_sender, node_, sender_alive);
+  cluster_.directory().TransferAborted(object, old_sender, node_, sender_alive,
+                                       sender_holds_copy);
   if (sender_alive) {
     const NodeID receiver = node_;
     cluster_.SendControl(node_, old_sender, [this, object, old_sender, receiver] {
@@ -487,7 +496,7 @@ void HopliteClient::HandleStopPush(ObjectID object, NodeID receiver) {
 void HopliteClient::HandleSenderGone(ObjectID object, NodeID sender) {
   auto it = fetches_.find(object);
   if (it == fetches_.end() || it->second.sender != sender) return;
-  AbortFetchAndReclaim(object, /*sender_alive=*/true);
+  AbortFetchAndReclaim(object, /*sender_alive=*/true, /*sender_holds_copy=*/false);
 }
 
 void HopliteClient::HandleObjectChunk(ObjectID object, NodeID sender, std::uint32_t epoch,

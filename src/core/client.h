@@ -255,7 +255,10 @@ class HopliteClient {
 
   void StartFetch(ObjectID object);
   void OnClaimReply(const directory::ClaimReply& reply);
-  void AbortFetchAndReclaim(ObjectID object, bool sender_alive);
+  /// `sender_holds_copy` is false when the (alive) sender told us it no
+  /// longer has the object — its directory location is stale and must go.
+  void AbortFetchAndReclaim(ObjectID object, bool sender_alive,
+                            bool sender_holds_copy = true);
   void FinishFetch(ObjectID object, store::Buffer payload);
 
   /// Attaches a worker delivery to an existing local store entry.

@@ -24,6 +24,9 @@
 //   ref.WithTimeout(d)    mirror that fails with kTimeout after `d` if the
 //                         source has not settled (Table 1's Get timeout)
 //   WhenAll(refs)         all values, in input order; first error rejects
+//   WhenAllSettled(refs)  per-ref outcomes, in input order; never rejects
+//                         (the error-tolerant variant a workload driver uses
+//                         to keep counting after one tenant's op fails)
 //   WhenAny(refs, k)      ids of the first k to become ready, in readiness
 //                         order (subsumes the task framework's Wait)
 //   After(sim, d)         a ref that becomes ready `d` from now
@@ -361,6 +364,52 @@ template <typename T>
       }
       (*values)[i] = settled.value();
       if (--*remaining == 0) promise.Resolve(std::move(*values));
+    });
+  }
+  return promise.ref();
+}
+
+/// Outcome of one ref inside a WhenAllSettled result: either the value or
+/// the error, plus the id the ref was bound to.
+template <typename T>
+struct Settled {
+  ObjectID id{};
+  bool ok = false;
+  T value{};       ///< meaningful iff ok
+  RefError error{};  ///< meaningful iff !ok
+};
+
+/// The outcome of every ref of `refs`, in input order, once all of them have
+/// settled — success or failure. Unlike WhenAll, a failed input does not
+/// reject the result: its slot records the error and the combinator keeps
+/// waiting for the rest. The returned ref always resolves, never fails. An
+/// empty input resolves immediately.
+template <typename T>
+[[nodiscard]] Ref<std::vector<Settled<T>>> WhenAllSettled(const std::vector<Ref<T>>& refs) {
+  sim::Simulator* sim = nullptr;
+  for (const Ref<T>& ref : refs) {
+    HOPLITE_CHECK(ref.valid()) << "WhenAllSettled over an invalid ref";
+    if (ref.simulator() != nullptr) sim = ref.simulator();
+  }
+  RefPromise<std::vector<Settled<T>>> promise(sim, ObjectID{});
+  if (refs.empty()) {
+    promise.Resolve({});
+    return promise.ref();
+  }
+  auto outcomes = std::make_shared<std::vector<Settled<T>>>(refs.size());
+  auto remaining = std::make_shared<std::size_t>(refs.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    refs[i].OnSettled([promise, outcomes, remaining, i](const Ref<T>& settled) {
+      Settled<T>& slot = (*outcomes)[i];
+      slot.id = settled.id();
+      if (settled.failed()) {
+        slot.ok = false;
+        slot.error = settled.error();
+      } else {
+        slot.ok = true;
+        slot.value = settled.value();
+      }
+      if (--*remaining == 0) promise.Resolve(std::move(*outcomes));
     });
   }
   return promise.ref();

@@ -98,21 +98,21 @@ void ObjectDirectory::PutInline(ObjectID object, NodeID creator, store::Buffer p
   const std::int64_t bytes = payload.size();
   ++ops_served_;
   // The payload rides along with the location write to the shard node.
-  network_.Send(creator, shard, bytes,
-                [this, object, payload = std::move(payload), on_stored = std::move(on_stored)] {
-                  sim_.ScheduleAfter(config_.write_latency, [this, object, payload,
-                                                             on_stored] {
-                    ObjectEntry& entry = EntryOf(object);
-                    entry.size = payload.size();
-                    entry.is_inline = true;
-                    entry.inline_payload = payload;
-                    Publish(object, entry,
-                            LocationEvent{object, ShardOf(object), entry.size, true, false,
-                                          /*is_inline=*/true});
-                    ServeParked(object);
-                    if (on_stored) on_stored();
-                  });
-                });
+  network_.Send(
+      creator, shard, bytes,
+      [this, object, payload = std::move(payload), on_stored = std::move(on_stored)] {
+        sim_.ScheduleAfter(config_.write_latency, [this, object, payload, on_stored] {
+          ObjectEntry& entry = EntryOf(object);
+          entry.size = payload.size();
+          entry.is_inline = true;
+          entry.inline_payload = payload;
+          Publish(object, entry,
+                  LocationEvent{object, ShardOf(object), entry.size, true, false,
+                                /*is_inline=*/true});
+          ServeParked(object);
+          if (on_stored) on_stored();
+        });
+      });
 }
 
 void ObjectDirectory::DeleteObject(ObjectID object,
@@ -315,17 +315,19 @@ void ObjectDirectory::TransferFinished(ObjectID object, NodeID sender, NodeID re
 }
 
 void ObjectDirectory::TransferAborted(ObjectID object, NodeID sender, NodeID receiver,
-                                      bool sender_alive) {
-  ApplyWrite([this, object, sender, receiver, sender_alive] {
+                                      bool sender_alive, bool sender_holds_copy) {
+  ApplyWrite([this, object, sender, receiver, sender_alive, sender_holds_copy] {
     auto obj_it = objects_.find(object);
     if (obj_it == objects_.end()) return;
     ObjectEntry& entry = obj_it->second;
-    if (sender_alive) {
+    if (sender_alive && sender_holds_copy) {
       if (Location* loc = entry.FindLocation(sender); loc != nullptr) {
         loc->state = loc->AvailableState();
         loc->serving = kInvalidNode;
       }
     } else {
+      // Dead, or alive with the copy evicted/deleted since the grant: the
+      // location is stale either way.
       entry.RemoveLocation(sender);
     }
     if (Location* loc = entry.FindLocation(receiver); loc != nullptr) {
@@ -445,7 +447,8 @@ bool ObjectDirectory::IsInline(ObjectID object) const {
 }
 
 NodeID ObjectDirectory::ShardOf(ObjectID object) const {
-  return static_cast<NodeID>(object.value() % static_cast<std::uint64_t>(network_.num_nodes()));
+  return static_cast<NodeID>(object.value() %
+                             static_cast<std::uint64_t>(network_.num_nodes()));
 }
 
 NodeID ObjectDirectory::LiveShardOf(ObjectID object) const {

@@ -157,8 +157,13 @@ class ObjectDirectory {
 
   /// After a failed transfer: the receiver keeps its partial location (its
   /// received prefix remains valid data) but its chain is cleared pending a
-  /// re-claim; the sender is only re-added if `sender_alive`.
-  void TransferAborted(ObjectID object, NodeID sender, NodeID receiver, bool sender_alive);
+  /// re-claim; the sender is only re-added if it is alive AND still holds
+  /// the copy. An alive sender that reported the copy gone (LRU-evicted or
+  /// locally deleted since the grant) must be *removed* instead — returning
+  /// its stale location to the pool would let the deterministic claim scan
+  /// grant the same empty sender forever.
+  void TransferAborted(ObjectID object, NodeID sender, NodeID receiver, bool sender_alive,
+                       bool sender_holds_copy = true);
 
   /// Asynchronous location query: immediately publishes the current
   /// locations, then every future update, until Unsubscribe.

@@ -17,6 +17,7 @@ void LocalStore::CreatePartial(ObjectID object, std::int64_t size, CopyKind kind
   lru_.push_front(object);
   entry.lru_pos = lru_.begin();
   used_bytes_ += size;
+  peak_used_bytes_ = std::max(peak_used_bytes_, used_bytes_);
   entries_.emplace(object, std::move(entry));
   MaybeEvict();
 }

@@ -101,6 +101,10 @@ class LocalStore {
 
   /// Bytes currently held (partial copies count their full reserved size).
   [[nodiscard]] std::int64_t used_bytes() const noexcept { return used_bytes_; }
+  /// High-water mark of used_bytes over the store's lifetime. Can exceed
+  /// capacity_bytes: pinned primaries and transfer-reffed copies are not
+  /// evictable, so a burst of Puts overshoots before LRU relief arrives.
+  [[nodiscard]] std::int64_t peak_used_bytes() const noexcept { return peak_used_bytes_; }
   [[nodiscard]] std::int64_t capacity_bytes() const noexcept { return capacity_bytes_; }
   [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
 
@@ -128,6 +132,7 @@ class LocalStore {
   NodeID node_;
   std::int64_t capacity_bytes_;  ///< 0 = unlimited
   std::int64_t used_bytes_ = 0;
+  std::int64_t peak_used_bytes_ = 0;
   std::uint64_t evictions_ = 0;
   std::unordered_map<ObjectID, Entry> entries_;
   std::list<ObjectID> lru_;  ///< front = most recently used

@@ -1,0 +1,132 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace hoplite::workload {
+
+LoadReport RunTrace(const WorkloadTrace& trace, WorkloadBackend& backend) {
+  auto& sim = backend.simulator();
+  HOPLITE_CHECK_EQ(sim.Now(), 0) << "RunTrace needs a fresh backend";
+  const ScenarioSpec& spec = trace.spec;
+
+  LoadReport report;
+  report.scenario = spec.name;
+  report.backend = backend.name();
+  report.horizon = spec.horizon;
+
+  // Fill the outcome table before attaching any continuation: the settle
+  // observers capture &report.ops[i], which must never reallocate.
+  report.ops.reserve(trace.ops.size());
+  for (const WorkloadOp& op : trace.ops) {
+    OpOutcome outcome;
+    outcome.tenant = op.tenant;
+    outcome.kind = op.kind;
+    outcome.bytes = op.bytes;
+    outcome.issued_at = op.at;
+    report.ops.push_back(outcome);
+  }
+
+  std::vector<Ref<Unit>> completions;
+  completions.reserve(trace.ops.size());
+  for (std::size_t i = 0; i < trace.ops.size(); ++i) {
+    const WorkloadOp& op = trace.ops[i];
+    OpOutcome& outcome = report.ops[i];
+    Ref<Unit> done =
+        At(sim, op.at).Then([&backend, &op] { return backend.Issue(op); });
+    done.OnSettled([&outcome, &sim](const Ref<Unit>& settled) {
+      outcome.settled_at = sim.Now();
+      outcome.ok = settled.ready();
+      if (!outcome.ok) outcome.error = settled.error().code;
+    });
+    completions.push_back(std::move(done));
+  }
+
+  // Error-tolerant completion barrier: a failed op records its outcome and
+  // the driver keeps counting — WhenAll would reject wholesale instead.
+  bool all_settled = false;
+  WhenAllSettled(completions).Then(
+      [&all_settled](const std::vector<Settled<Unit>>&) { all_settled = true; });
+
+  sim.Run();
+
+  report.all_settled = all_settled;
+  report.store = backend.store_high_water();
+
+  // ------------------------------------------------------------------
+  // Aggregation.
+  // ------------------------------------------------------------------
+  const double horizon_s = ToSeconds(spec.horizon);
+  report.end_time = 0;
+  std::vector<std::vector<double>> tenant_latencies(spec.tenants.size());
+  std::vector<double> all_latencies;
+  std::vector<std::vector<double>> kind_latencies(kNumOpKinds);
+
+  report.tenants.resize(spec.tenants.size());
+  for (std::size_t t = 0; t < spec.tenants.size(); ++t) {
+    report.tenants[t].name = spec.tenants[t].name;
+  }
+  report.total.name = "total";
+
+  for (const OpOutcome& outcome : report.ops) {
+    TenantLoad& tenant = report.tenants[static_cast<std::size_t>(outcome.tenant)];
+    ++tenant.offered;
+    ++report.total.offered;
+    if (!outcome.settled()) {
+      ++tenant.unsettled;
+      ++report.total.unsettled;
+      continue;
+    }
+    report.end_time = std::max(report.end_time, outcome.settled_at);
+    if (!outcome.ok) {
+      ++tenant.failed;
+      ++report.total.failed;
+      continue;
+    }
+    ++tenant.completed;
+    ++report.total.completed;
+    const double latency = outcome.latency_s();
+    tenant_latencies[static_cast<std::size_t>(outcome.tenant)].push_back(latency);
+    all_latencies.push_back(latency);
+    kind_latencies[static_cast<int>(outcome.kind)].push_back(latency);
+  }
+
+  // Rate denominators: offered load is defined over the horizon; achieved
+  // throughput over the full (drained) run.
+  const double run_s = std::max(horizon_s, ToSeconds(report.end_time));
+  std::vector<double> shares;
+  for (std::size_t t = 0; t < report.tenants.size(); ++t) {
+    TenantLoad& tenant = report.tenants[t];
+    tenant.offered_ops_per_s = static_cast<double>(tenant.offered) / horizon_s;
+    tenant.completed_ops_per_s = static_cast<double>(tenant.completed) / run_s;
+    tenant.latency = Summarize(std::move(tenant_latencies[t]));
+    if (tenant.offered > 0) {
+      shares.push_back(static_cast<double>(tenant.completed) /
+                       static_cast<double>(tenant.offered));
+    }
+  }
+  report.total.offered_ops_per_s = static_cast<double>(report.total.offered) / horizon_s;
+  report.total.completed_ops_per_s = static_cast<double>(report.total.completed) / run_s;
+  report.total.latency = Summarize(std::move(all_latencies));
+  report.fairness = JainFairnessIndex(shares);
+
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    if (kind_latencies[k].empty()) continue;
+    KindLoad kind;
+    kind.kind = static_cast<OpKind>(k);
+    kind.completed = kind_latencies[k].size();
+    kind.latency = Summarize(std::move(kind_latencies[k]));
+    report.kinds.push_back(std::move(kind));
+  }
+  return report;
+}
+
+LoadReport RunScenario(const ScenarioSpec& spec, BackendKind kind) {
+  const WorkloadTrace trace = BuildTrace(spec);
+  const std::unique_ptr<WorkloadBackend> backend = MakeBackend(kind, spec);
+  return RunTrace(trace, *backend);
+}
+
+}  // namespace hoplite::workload

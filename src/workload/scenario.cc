@@ -1,0 +1,170 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hoplite::workload {
+
+SimDuration ArrivalProcess::Next(Rng& rng) const {
+  HOPLITE_CHECK_GT(rate_per_s, 0.0);
+  const double mean_ns = 1e9 / rate_per_s;
+  const double gap =
+      kind == Kind::kPeriodic ? mean_ns : rng.NextExponential(mean_ns);
+  return std::max<SimDuration>(1, static_cast<SimDuration>(gap + 0.5));
+}
+
+OpKind OpMix::Sample(Rng& rng) const {
+  const double weights[kNumOpKinds] = {put, get, broadcast, reduce};
+  double total = 0.0;
+  for (const double w : weights) {
+    HOPLITE_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  HOPLITE_CHECK_GT(total, 0.0) << "op mix has no positive weight";
+  double pick = rng.NextDouble() * total;
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    pick -= weights[k];
+    if (pick < 0.0) return static_cast<OpKind>(k);
+  }
+  return OpKind::kReduce;  // rounding fell off the end
+}
+
+std::int64_t SizeDistribution::Sample(Rng& rng) const {
+  if (!choices.empty()) {
+    double total = 0.0;
+    for (const Choice& c : choices) {
+      HOPLITE_CHECK_GT(c.bytes, 0);
+      HOPLITE_CHECK_GE(c.weight, 0.0);
+      total += c.weight;
+    }
+    HOPLITE_CHECK_GT(total, 0.0) << "size distribution has no positive weight";
+    double pick = rng.NextDouble() * total;
+    for (const Choice& c : choices) {
+      pick -= c.weight;
+      if (pick < 0.0) return c.bytes;
+    }
+    return choices.back().bytes;
+  }
+  HOPLITE_CHECK_GT(log_lo, 0);
+  HOPLITE_CHECK_GE(log_hi, log_lo);
+  if (log_hi == log_lo) return log_lo;
+  const double exp = rng.NextDoubleInRange(std::log2(static_cast<double>(log_lo)),
+                                           std::log2(static_cast<double>(log_hi)));
+  return std::clamp(static_cast<std::int64_t>(std::exp2(exp) + 0.5), log_lo, log_hi);
+}
+
+namespace {
+
+/// Draws `count` distinct peers != home, in ascending node order (the
+/// order is part of the trace, so keep it canonical).
+std::vector<NodeID> DrawPeers(Rng& rng, int num_nodes, NodeID home, int count) {
+  std::vector<NodeID> pool;
+  pool.reserve(static_cast<std::size_t>(num_nodes) - 1);
+  for (NodeID n = 0; n < num_nodes; ++n) {
+    if (n != home) pool.push_back(n);
+  }
+  const auto want = std::min<std::size_t>(pool.size(), static_cast<std::size_t>(count));
+  // Partial Fisher-Yates: the first `want` slots become the sample.
+  for (std::size_t i = 0; i < want; ++i) {
+    const auto j = i + static_cast<std::size_t>(rng.NextBounded(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(want);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+}  // namespace
+
+WorkloadTrace BuildTrace(const ScenarioSpec& spec) {
+  HOPLITE_CHECK_GE(spec.num_nodes, 2) << "workloads need at least two nodes";
+  HOPLITE_CHECK_GT(spec.horizon, 0);
+  HOPLITE_CHECK(!spec.tenants.empty()) << "scenario " << spec.name << " has no tenants";
+
+  WorkloadTrace trace;
+  trace.spec = spec;
+
+  Rng master(spec.seed);
+  std::vector<std::vector<WorkloadOp>> per_tenant(spec.tenants.size());
+  for (std::size_t t = 0; t < spec.tenants.size(); ++t) {
+    const TenantSpec& tenant = spec.tenants[t];
+    // Every tenant draws from its own forked stream, so adding a tenant
+    // never perturbs another tenant's arrivals.
+    Rng rng = master.Fork();
+    const ObjectID ns =
+        ObjectID::FromName(spec.name).WithSuffix(tenant.name).WithIndex(
+            static_cast<std::int64_t>(t));
+    const int fanout = tenant.fanout > 0
+                           ? std::min(tenant.fanout, spec.num_nodes - 1)
+                           : spec.num_nodes - 1;
+    // Indices (into per_tenant[t]) of ops whose object survives the op:
+    // the reuse pool for re-reads.
+    std::vector<std::size_t> reusable;
+
+    auto& ops = per_tenant[t];
+    SimTime at = 0;
+    while (ops.size() < spec.max_ops_per_tenant) {
+      at += tenant.arrivals.Next(rng);
+      if (at > spec.horizon) break;
+
+      WorkloadOp op;
+      op.tenant = static_cast<int>(t);
+      op.at = at;
+      op.kind = tenant.mix.Sample(rng);
+      op.bytes = tenant.sizes.Sample(rng);
+      op.home = tenant.pinned_home != kInvalidNode
+                    ? tenant.pinned_home
+                    : static_cast<NodeID>(
+                          rng.NextBounded(static_cast<std::uint64_t>(spec.num_nodes)));
+      op.delete_after = tenant.delete_after;
+      op.get_timeout = tenant.get_timeout;
+      op.id = ns.WithIndex(static_cast<std::int64_t>(ops.size()));
+
+      const bool reuse = op.kind == OpKind::kGet && !tenant.delete_after &&
+                         !reusable.empty() &&
+                         rng.NextDouble() < tenant.reuse_fraction;
+      if (reuse) {
+        const WorkloadOp& earlier =
+            ops[reusable[static_cast<std::size_t>(rng.NextBounded(reusable.size()))]];
+        op.fresh = false;
+        op.id = earlier.id;
+        op.bytes = earlier.bytes;
+        op.peers.clear();  // nothing to produce; fetch wherever it lives
+      } else {
+        switch (op.kind) {
+          case OpKind::kPut:
+            break;  // no peers
+          case OpKind::kGet:
+            op.peers = DrawPeers(rng, spec.num_nodes, op.home, 1);
+            break;
+          case OpKind::kBroadcast:
+          case OpKind::kReduce:
+            op.peers = DrawPeers(rng, spec.num_nodes, op.home, fanout);
+            break;
+        }
+        // Reduce targets stay out of the pool: re-reading one is fine on
+        // Hoplite but the Ray-like baseline only registers Put locations.
+        if (!tenant.delete_after && op.kind != OpKind::kReduce) {
+          reusable.push_back(ops.size());
+        }
+      }
+      ops.push_back(std::move(op));
+    }
+  }
+
+  std::size_t total = 0;
+  for (const auto& ops : per_tenant) total += ops.size();
+  trace.ops.reserve(total);
+  for (auto& ops : per_tenant) {
+    trace.ops.insert(trace.ops.end(), ops.begin(), ops.end());
+  }
+  // Arrival order; ties resolve by tenant then per-tenant issue order,
+  // which stable_sort preserves from the concatenation above.
+  std::stable_sort(trace.ops.begin(), trace.ops.end(),
+                   [](const WorkloadOp& a, const WorkloadOp& b) { return a.at < b.at; });
+  return trace;
+}
+
+}  // namespace hoplite::workload

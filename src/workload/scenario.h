@@ -1,0 +1,169 @@
+// Scenario vocabulary of the open-loop workload engine (hoplite::workload).
+//
+// A `ScenarioSpec` describes a multi-tenant workload the way §5's
+// experiments describe theirs: every tenant has an arrival process (open
+// loop — arrivals keep coming whether or not earlier requests finished, the
+// regime where latency distributions and fairness actually emerge), an
+// operation mix over the Table 1 surface (Put / point-to-point Get /
+// broadcast / Reduce), and an object-size distribution spanning the
+// paper's Figure 6 / Figure 14 range (1 KB inline objects up to the 1 GB
+// band).
+//
+// `BuildTrace` lowers a spec into a concrete `WorkloadTrace`: every arrival
+// instant, op kind, size, and placement is drawn from `common/rng.h` ahead
+// of simulation, so (a) a trace is bit-reproducible from its seed and (b)
+// two backends replaying the same trace face *exactly* the same offered
+// load — the matched-load comparison the load_sweep figure plots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/fabric.h"
+
+namespace hoplite::workload {
+
+/// The Table 1 surface as workload primitives. Every op is self-contained
+/// (it produces the objects it consumes), so an open-loop trace has no
+/// cross-op data dependencies and requests can overlap arbitrarily.
+enum class OpKind {
+  kPut,        ///< store an object on the issuing node
+  kGet,        ///< point-to-point transfer: produce on a peer, fetch at home
+  kBroadcast,  ///< produce at home, fetch on every peer (dynamic tree)
+  kReduce,     ///< produce on every peer, reduce at home, read the result
+};
+inline constexpr int kNumOpKinds = 4;
+
+[[nodiscard]] constexpr const char* OpKindName(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kPut: return "put";
+    case OpKind::kGet: return "get";
+    case OpKind::kBroadcast: return "broadcast";
+    case OpKind::kReduce: return "reduce";
+  }
+  return "?";
+}
+
+/// When the next request of a tenant arrives. Open loop: the gap depends
+/// only on the process, never on completions.
+struct ArrivalProcess {
+  enum class Kind {
+    kPoisson,   ///< exponential inter-arrival gaps (serving traffic)
+    kPeriodic,  ///< fixed gaps (training-style clocked issue)
+  };
+  Kind kind = Kind::kPoisson;
+  double rate_per_s = 100.0;
+
+  /// Draws the gap to the next arrival (>= 1 ns so time always advances).
+  [[nodiscard]] SimDuration Next(Rng& rng) const;
+};
+
+/// Relative weights of the op kinds in a tenant's traffic.
+struct OpMix {
+  double put = 1.0;
+  double get = 0.0;
+  double broadcast = 0.0;
+  double reduce = 0.0;
+
+  [[nodiscard]] OpKind Sample(Rng& rng) const;
+};
+
+/// Object sizes: a weighted choice over fixed points (bimodal serving
+/// payloads), or a log-uniform band (the Fig. 6 sweep regime) when no
+/// choices are given.
+struct SizeDistribution {
+  struct Choice {
+    std::int64_t bytes = 1024;
+    double weight = 1.0;
+  };
+  std::vector<Choice> choices;
+  std::int64_t log_lo = KB(1);
+  std::int64_t log_hi = KB(1);
+
+  [[nodiscard]] std::int64_t Sample(Rng& rng) const;
+
+  [[nodiscard]] static SizeDistribution Fixed(std::int64_t bytes) {
+    return SizeDistribution{{Choice{bytes, 1.0}}, 0, 0};
+  }
+  [[nodiscard]] static SizeDistribution Weighted(std::vector<Choice> choices) {
+    return SizeDistribution{std::move(choices), 0, 0};
+  }
+  [[nodiscard]] static SizeDistribution LogUniform(std::int64_t lo, std::int64_t hi) {
+    return SizeDistribution{{}, lo, hi};
+  }
+};
+
+/// One tenant of a scenario.
+struct TenantSpec {
+  std::string name = "tenant";
+  ArrivalProcess arrivals;
+  OpMix mix;
+  SizeDistribution sizes = SizeDistribution::Fixed(KB(1));
+  /// Peers per broadcast (receivers) / reduce (source hosts); <= 0 means
+  /// every other node.
+  int fanout = 3;
+  /// Fraction of kGet arrivals that re-fetch an object created by an
+  /// earlier op of this tenant instead of producing a new one — the
+  /// working-set re-reads that make eviction and stale directory locations
+  /// matter. Only meaningful with delete_after = false (a deleted object
+  /// would park the re-read forever).
+  double reuse_fraction = 0.0;
+  /// Garbage-collect an op's objects once the op settles (the serving
+  /// loop's Delete). false leaves garbage behind — the memory-pressure
+  /// regime.
+  bool delete_after = true;
+  /// Per-Get timeout (0 = wait indefinitely). Timed-out ops count as
+  /// failures in the report; the driver keeps going either way.
+  SimDuration get_timeout = 0;
+  /// Node issuing this tenant's ops; kInvalidNode = uniform per op.
+  NodeID pinned_home = kInvalidNode;
+};
+
+/// A whole multi-tenant workload.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  int num_nodes = 16;
+  /// Arrivals stop at the horizon; in-flight ops drain afterwards.
+  SimDuration horizon = Seconds(1);
+  std::uint64_t seed = 1;
+  /// Per-node store capacity (Hoplite backend only); 0 = unlimited.
+  std::int64_t store_capacity_bytes = 0;
+  net::FabricConfig fabric;
+  std::vector<TenantSpec> tenants;
+  /// Safety valve against runaway rate*horizon products.
+  std::size_t max_ops_per_tenant = 1u << 20;
+};
+
+/// One concrete operation of a lowered trace.
+struct WorkloadOp {
+  int tenant = 0;
+  SimTime at = 0;
+  OpKind kind = OpKind::kPut;
+  std::int64_t bytes = 0;
+  NodeID home = 0;
+  /// kGet: {producer}; kBroadcast: receivers; kReduce: source hosts.
+  std::vector<NodeID> peers;
+  ObjectID id;
+  /// false for reuse re-reads: the object already exists, nothing is
+  /// produced and nothing is deleted afterwards.
+  bool fresh = true;
+  bool delete_after = true;
+  SimDuration get_timeout = 0;
+};
+
+/// A fully materialized open-loop trace: ops sorted by arrival time (ties
+/// in tenant order), every random draw already taken.
+struct WorkloadTrace {
+  ScenarioSpec spec;
+  std::vector<WorkloadOp> ops;
+};
+
+/// Lowers `spec` to a trace. Deterministic: same spec (incl. seed) ->
+/// bit-identical trace, on any platform.
+[[nodiscard]] WorkloadTrace BuildTrace(const ScenarioSpec& spec);
+
+}  // namespace hoplite::workload

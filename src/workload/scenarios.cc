@@ -1,0 +1,173 @@
+#include "workload/scenarios.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "apps/serving.h"
+#include "common/logging.h"
+
+namespace hoplite::workload {
+
+ScenarioRegistry& ScenarioRegistry::Instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::Register(NamedScenario scenario) {
+  HOPLITE_CHECK(scenario.build != nullptr) << scenario.name;
+  HOPLITE_CHECK(Find(scenario.name) == nullptr)
+      << "duplicate scenario name: " << scenario.name;
+  scenarios_.push_back(std::move(scenario));
+}
+
+const NamedScenario* ScenarioRegistry::Find(const std::string& name) const {
+  for (const NamedScenario& scenario : scenarios_) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+ScenarioRegistrar::ScenarioRegistrar(const char* name, const char* description,
+                                     ScenarioBuilder build) {
+  ScenarioRegistry::Instance().Register(NamedScenario{name, description, build});
+}
+
+ScenarioSpec BuildScenario(const std::string& name, const ScenarioTuning& tuning) {
+  const NamedScenario* scenario = ScenarioRegistry::Instance().Find(name);
+  HOPLITE_CHECK(scenario != nullptr) << "unknown scenario: " << name;
+  return scenario->build(tuning);
+}
+
+// ----------------------------------------------------------------------
+// Canonical scenarios.
+// ----------------------------------------------------------------------
+
+namespace {
+
+/// Applies the tuning's object-size cap to a distribution.
+SizeDistribution Capped(SizeDistribution sizes, std::int64_t cap) {
+  if (cap <= 0) return sizes;
+  for (auto& choice : sizes.choices) choice.bytes = std::min(choice.bytes, cap);
+  sizes.log_lo = std::min(sizes.log_lo, cap);
+  sizes.log_hi = std::min(sizes.log_hi, cap);
+  return sizes;
+}
+
+/// The §5.4 serving loop, open-loop: the frontend (node 0) broadcasts one
+/// 64-image query batch per arrival to every replica, and a second tenant
+/// carries the replicas' small votes back to the frontend. The closed-loop
+/// app (src/apps/serving.cc) issues the next query only when the previous
+/// one finished; here arrivals keep coming, which is what exposes the
+/// latency-vs-load curve of a real frontend.
+ScenarioSpec BuildServing(const ScenarioTuning& tuning) {
+  ScenarioSpec spec;
+  spec.name = "serving";
+  spec.num_nodes = std::max(2, tuning.num_nodes);
+  spec.horizon = tuning.horizon;
+  spec.seed = tuning.seed;
+
+  const double qps = 8.0 * tuning.load_scale;
+  TenantSpec queries;
+  queries.name = "queries";
+  queries.arrivals = {ArrivalProcess::Kind::kPoisson, qps};
+  queries.mix = OpMix{0.0, 0.0, 1.0, 0.0};
+  // Exactly the app's 64-image query batch (apps/serving.h).
+  queries.sizes = Capped(SizeDistribution::Fixed(apps::kServingQueryBatchBytes),
+                         tuning.max_object_bytes);
+  queries.fanout = 0;  // every replica
+  queries.pinned_home = 0;
+  spec.tenants.push_back(std::move(queries));
+
+  TenantSpec votes;
+  votes.name = "votes";
+  // One vote per replica per query, fetched by the frontend.
+  votes.arrivals = {ArrivalProcess::Kind::kPoisson,
+                    qps * static_cast<double>(spec.num_nodes - 1)};
+  votes.mix = OpMix{0.0, 1.0, 0.0, 0.0};
+  votes.sizes = Capped(SizeDistribution::Fixed(KB(1)), tuning.max_object_bytes);
+  votes.pinned_home = 0;
+  spec.tenants.push_back(std::move(votes));
+  return spec;
+}
+
+/// Symmetric tenants over the full op mix and the Fig. 6 / Fig. 14 size
+/// band (1 KB inline objects through multi-MB broadcast payloads). The
+/// aggregate offered load is 120 ops/s * load_scale, split evenly, so the
+/// tenant count is a pure fairness axis.
+ScenarioSpec BuildMixed(const ScenarioTuning& tuning) {
+  ScenarioSpec spec;
+  spec.name = "mixed";
+  spec.num_nodes = std::max(2, tuning.num_nodes);
+  spec.horizon = tuning.horizon;
+  spec.seed = tuning.seed;
+  const int tenants = tuning.num_tenants > 0 ? tuning.num_tenants : 4;
+  const double aggregate = 120.0 * tuning.load_scale;
+  for (int t = 0; t < tenants; ++t) {
+    TenantSpec tenant;
+    tenant.name = "tenant-" + std::to_string(t);
+    tenant.arrivals = {ArrivalProcess::Kind::kPoisson,
+                       aggregate / static_cast<double>(tenants)};
+    tenant.mix = OpMix{0.30, 0.40, 0.20, 0.10};
+    tenant.sizes = Capped(
+        SizeDistribution::Weighted({{KB(1), 0.55}, {KB(32), 0.25}, {MB(1), 0.15},
+                                    {MB(16), 0.05}}),
+        tuning.max_object_bytes);
+    tenant.fanout = 3;
+    spec.tenants.push_back(std::move(tenant));
+  }
+  return spec;
+}
+
+/// No garbage collection, hot re-reads, small stores: primaries accumulate
+/// until replicas must be LRU-evicted, and re-reads of evicted replicas
+/// land on stale directory locations — the regime that finally drives
+/// `ClusterConfig::store_capacity_bytes` and the client's
+/// evicted-since-granted retry path under load. Callers sweep
+/// `store_capacity_bytes` (default 48 MB per node).
+ScenarioSpec BuildMemoryPressure(const ScenarioTuning& tuning) {
+  ScenarioSpec spec;
+  spec.name = "memory-pressure";
+  spec.num_nodes = std::max(2, tuning.num_nodes);
+  spec.horizon = tuning.horizon;
+  spec.seed = tuning.seed;
+  spec.store_capacity_bytes = MB(48);
+
+  TenantSpec churn;
+  churn.name = "churn";
+  churn.arrivals = {ArrivalProcess::Kind::kPoisson, 90.0 * tuning.load_scale};
+  churn.mix = OpMix{0.45, 0.30, 0.25, 0.0};
+  churn.sizes = Capped(
+      SizeDistribution::Weighted({{KB(256), 0.5}, {MB(1), 0.4}, {MB(4), 0.1}}),
+      tuning.max_object_bytes);
+  churn.fanout = 2;
+  churn.delete_after = false;
+  churn.reuse_fraction = 0.6;
+  spec.tenants.push_back(std::move(churn));
+
+  TenantSpec scan;
+  scan.name = "scan";
+  scan.arrivals = {ArrivalProcess::Kind::kPoisson, 40.0 * tuning.load_scale};
+  scan.mix = OpMix{0.0, 1.0, 0.0, 0.0};
+  scan.sizes = Capped(SizeDistribution::Fixed(MB(1)), tuning.max_object_bytes);
+  scan.delete_after = false;
+  scan.reuse_fraction = 0.8;
+  spec.tenants.push_back(std::move(scan));
+  return spec;
+}
+
+}  // namespace
+
+HOPLITE_REGISTER_SCENARIO(serving, "serving",
+                          "the §5.4 serving request loop, open-loop "
+                          "(frontend query broadcasts + vote collection)",
+                          BuildServing);
+HOPLITE_REGISTER_SCENARIO(mixed, "mixed",
+                          "symmetric multi-tenant mix over Put/Get/broadcast/"
+                          "Reduce, 1 KB - 16 MB objects",
+                          BuildMixed);
+HOPLITE_REGISTER_SCENARIO(memory_pressure, "memory-pressure",
+                          "no-GC churn + hot re-reads against small stores "
+                          "(eviction and stale-location retries under load)",
+                          BuildMemoryPressure);
+
+}  // namespace hoplite::workload

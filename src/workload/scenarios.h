@@ -1,0 +1,84 @@
+// Canonical scenario registry: the platform every workload registers into.
+//
+// A scenario is a named, parameterizable ScenarioSpec builder. Benches,
+// tests and future workloads look scenarios up by name instead of
+// hand-rolling their own driver loops — registering here is all it takes
+// for a new scenario to become runnable everywhere (mirrors
+// bench/registry.h for figures).
+//
+// Canonical scenarios (registered in scenarios.cc):
+//   serving          the §5.4 model-serving request loop, re-expressed
+//                    open-loop: a frontend tenant broadcasting query
+//                    batches plus a vote tenant streaming small replies
+//   mixed            symmetric tenants over the full op mix and the
+//                    Fig. 6 / Fig. 14 size band — the load_sweep workload
+//   memory-pressure  no garbage collection, hot re-reads, tiny stores:
+//                    drives eviction and the stale-location retry path
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "workload/scenario.h"
+
+namespace hoplite::workload {
+
+/// The knobs every canonical scenario accepts (benches thread their
+/// RunOptions scale caps through these).
+struct ScenarioTuning {
+  int num_nodes = 16;
+  /// Multiplies every tenant's arrival rate (the offered-load axis).
+  double load_scale = 1.0;
+  SimDuration horizon = Seconds(1);
+  std::uint64_t seed = 1;
+  /// Caps the largest object size the scenario draws (0 = scenario default).
+  std::int64_t max_object_bytes = 0;
+  /// Overrides the scenario's tenant count where it is parameterizable
+  /// (0 = scenario default). The aggregate offered load stays fixed — the
+  /// load splits across tenants, so this axis isolates fairness effects.
+  int num_tenants = 0;
+};
+
+using ScenarioBuilder = ScenarioSpec (*)(const ScenarioTuning&);
+
+struct NamedScenario {
+  std::string name;
+  std::string description;
+  ScenarioBuilder build = nullptr;
+};
+
+/// Process-wide scenario registry (filled by static ScenarioRegistrar
+/// objects, extensible at runtime via Register).
+class ScenarioRegistry {
+ public:
+  [[nodiscard]] static ScenarioRegistry& Instance();
+
+  void Register(NamedScenario scenario);
+  [[nodiscard]] const std::vector<NamedScenario>& scenarios() const noexcept {
+    return scenarios_;
+  }
+  /// Finds a scenario by name; nullptr if unknown.
+  [[nodiscard]] const NamedScenario* Find(const std::string& name) const;
+
+ private:
+  std::vector<NamedScenario> scenarios_;
+};
+
+/// Registers a scenario at static-initialization time.
+struct ScenarioRegistrar {
+  ScenarioRegistrar(const char* name, const char* description, ScenarioBuilder build);
+};
+
+/// Use once per scenario:
+///   HOPLITE_REGISTER_SCENARIO(serving, "serving", "...", BuildServing);
+#define HOPLITE_REGISTER_SCENARIO(tag, name, description, fn) \
+  static const ::hoplite::workload::ScenarioRegistrar         \
+      hoplite_workload_scenario_registrar_##tag { name, description, fn }
+
+/// Builds a registered scenario; checks the name exists.
+[[nodiscard]] ScenarioSpec BuildScenario(const std::string& name,
+                                         const ScenarioTuning& tuning);
+
+}  // namespace hoplite::workload

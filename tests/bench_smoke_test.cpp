@@ -24,12 +24,13 @@ RunOptions SmokeScale() {
   return options;
 }
 
-TEST(BenchRegistryTest, AllSixteenFiguresRegistered) {
+TEST(BenchRegistryTest, AllEighteenFiguresRegistered) {
   const std::set<std::string> expected{
       "fig6",  "fig7",  "fig8",  "fig9",       "fig10",
       "fig11", "fig12", "fig13", "fig14",      "fig15",
       "adaptive-d", "directory-latency", "engine-micro",
-      "topo_oversubscription", "scale_nodes", "pipeline_dag"};
+      "topo_oversubscription", "scale_nodes", "pipeline_dag",
+      "load_sweep", "mem_pressure"};
   std::set<std::string> registered;
   for (const Figure& figure : Registry::Instance().figures()) {
     EXPECT_NE(figure.fn, nullptr) << figure.name;
@@ -48,7 +49,7 @@ TEST(BenchRegistryTest, FindIsExactAndMissesUnknown) {
 
 TEST(BenchSmokeTest, EveryFigureProducesFiniteRowsAtTinyScale) {
   const RunOptions opt = SmokeScale();
-  EXPECT_EQ(Registry::Instance().figures().size(), 16u);
+  EXPECT_EQ(Registry::Instance().figures().size(), 18u);
   for (const Figure& figure : Registry::Instance().figures()) {
     SCOPED_TRACE(figure.name);
     const std::vector<Row> rows = figure.fn(opt);
@@ -210,6 +211,61 @@ TEST(BenchRunOptionsTest, ClampHelpers) {
   EXPECT_EQ(smoke.ObjectSizes({GB(1)}), (std::vector<std::int64_t>{MB(1)}));  // fallback
   EXPECT_EQ(smoke.Repeats(3), 1);
   EXPECT_EQ(smoke.Rounds(10), 2);
+}
+
+// The load-sweep figure is this repo's gate for the workload engine: at
+// every matched-offered-load cell Hoplite's tail must beat the Ray-like
+// point-to-point baseline's, and the rows must be internally consistent.
+// The open-loop sweep is event-level cheap (<0.1 s at paper scale), so the
+// gate runs at full scale here.
+TEST(BenchSmokeTest, LoadSweepHopliteTailBeatsRayAtEveryMatchedLoad) {
+  const Figure* figure = Registry::Instance().Find("load_sweep");
+  ASSERT_NE(figure, nullptr);
+  const std::vector<Row> rows = figure->fn(RunOptions{});
+  ASSERT_FALSE(rows.empty());
+
+  const auto metric_of = [](const Row& row) { return row.labels.at(1).second; };
+  int cells = 0;
+  for (const Row& row : rows) {
+    if (row.series != "Hoplite" || metric_of(row) != "p99") continue;
+    // Find Ray's p99 at the same (fabric, load, tenants) cell.
+    for (const Row& other : rows) {
+      if (other.series != "Ray" || metric_of(other) != "p99") continue;
+      if (other.labels != row.labels || other.coords != row.coords) continue;
+      EXPECT_LE(row.value, other.value)
+          << "Hoplite p99 must not exceed Ray's at matched load ("
+          << row.labels.at(0).second << ", load " << row.coords.at(0).second << ")";
+      ++cells;
+    }
+  }
+  EXPECT_EQ(cells, 12) << "3 loads x 2 tenant counts x 2 fabrics";
+}
+
+// The memory-pressure figure must actually reach the eviction regime at
+// its tightest capacities — and the stale-location retry path must keep
+// every op completing despite the churn.
+TEST(BenchSmokeTest, MemPressureReachesEvictionAndStillCompletesEverything) {
+  const Figure* figure = Registry::Instance().Find("mem_pressure");
+  ASSERT_NE(figure, nullptr);
+  const std::vector<Row> rows = figure->fn(RunOptions{});
+  ASSERT_FALSE(rows.empty());
+
+  double tightest = std::numeric_limits<double>::infinity();
+  for (const Row& row : rows) {
+    const double capacity = row.coords.at(0).second;
+    if (capacity > 0) tightest = std::min(tightest, capacity);
+  }
+  for (const Row& row : rows) {
+    const std::string& metric = row.labels.at(0).second;
+    const double capacity = row.coords.at(0).second;
+    if (metric == "evictions" && capacity == tightest) {
+      EXPECT_GT(row.value, 0.0) << "the tightest store must evict";
+    }
+    if (metric == "completed_fraction") {
+      EXPECT_EQ(row.value, 1.0)
+          << "retry paths must keep every op completing at capacity " << capacity;
+    }
+  }
 }
 
 }  // namespace

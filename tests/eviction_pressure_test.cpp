@@ -1,0 +1,258 @@
+// Eviction-under-pressure regression tests: the paths that only fire when
+// `store_capacity_bytes` is small enough for LRU eviction to race live
+// protocol activity — the transfer-source Ref/Unref guard, Delete-vs-evict
+// ordering, and the client's evicted-since-granted (stale directory
+// location) retry paths, all exercised deterministically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "core/client.h"
+#include "core/cluster.h"
+
+namespace hoplite::core {
+namespace {
+
+HopliteCluster::Options TinyStoreOptions(int nodes, std::int64_t capacity) {
+  HopliteCluster::Options options;
+  options.network.num_nodes = nodes;
+  options.store_capacity_bytes = capacity;
+  return options;
+}
+
+/// Fills node `holder`'s store with `count` 1 MB replicas fetched from
+/// `producer`, pushing older entries towards eviction.
+void FillWithReplicas(HopliteCluster& cluster, NodeID producer, NodeID holder, int count,
+                      const char* tag) {
+  for (int i = 0; i < count; ++i) {
+    const ObjectID filler = ObjectID::FromName(tag).WithIndex(i);
+    cluster.client(producer).Put(filler, store::Buffer::OfSize(MB(1)));
+    (void)cluster.client(holder).Get(filler, GetOptions{.read_only = true});
+    cluster.RunAll();
+  }
+}
+
+// ----------------------------------------------------------------------
+// Evict-while-transfer-source: the Ref/Unref guard.
+// ----------------------------------------------------------------------
+
+TEST(EvictionPressureTest, TransferSourceSurvivesCapacityPressureUntilStreamEnds) {
+  // Node 1 holds a 1 MB replica of A and is granted as the sender for node
+  // 3's fetch (node 0, the primary, is busy serving node 2). Mid-stream,
+  // node 1 Puts a 1 MB primary of its own, blowing past its 1.5 MB
+  // capacity. The push session's store Ref must keep A alive until the
+  // stream finishes; only then may LRU reap it.
+  HopliteCluster cluster(TinyStoreOptions(4, MB(1) + MB(1) / 2));
+  const ObjectID a = ObjectID::FromName("A");
+  cluster.client(0).Put(a, store::Buffer::OfSize(MB(1)));
+  (void)cluster.client(1).Get(a, GetOptions{.read_only = true});
+  cluster.RunAll();
+  ASSERT_TRUE(cluster.store(1).IsComplete(a));
+
+  // Both fetches race: the claim scan hands node 0 to node 2 (marking it
+  // busy) and node 1 to node 3.
+  std::optional<store::Buffer> got2;
+  std::optional<store::Buffer> got3;
+  cluster.client(2).Get(a, GetOptions{.read_only = true}).Then([&](const store::Buffer& b) {
+    got2 = b;
+  });
+  cluster.client(3).Get(a, GetOptions{.read_only = true}).Then([&](const store::Buffer& b) {
+    got3 = b;
+  });
+
+  // While node 1 streams A to node 3 (a 1 MB transfer takes ~850 us on a
+  // 10 Gbps NIC, starting after ~260 us of claim latency), it creates a
+  // local primary that exceeds capacity.
+  bool guard_held_mid_stream = false;
+  cluster.simulator().ScheduleAfter(Microseconds(600), [&] {
+    ASSERT_GT(cluster.client(1).active_push_sessions(), 0u)
+        << "test setup: node 1 must be mid-stream here";
+    cluster.client(1).Put(ObjectID::FromName("B"), store::Buffer::OfSize(MB(1)));
+    // Over capacity, but A is reffed by the push session and B is a pinned
+    // primary: nothing may be evicted yet.
+    guard_held_mid_stream =
+        cluster.store(1).Contains(a) && cluster.store(1).evictions() == 0;
+  });
+  cluster.RunAll();
+
+  EXPECT_TRUE(guard_held_mid_stream) << "Ref guard must hold while the stream runs";
+  ASSERT_TRUE(got2.has_value());
+  ASSERT_TRUE(got3.has_value());
+  EXPECT_EQ(got3->size(), MB(1)) << "the receiver must get the full object";
+  // With the stream over, the Unref made A evictable and the store shrank
+  // back under capacity.
+  EXPECT_EQ(cluster.store(1).evictions(), 1u);
+  EXPECT_FALSE(cluster.store(1).Contains(a));
+  EXPECT_LE(cluster.store(1).used_bytes(), cluster.store(1).capacity_bytes());
+  EXPECT_EQ(cluster.store(1).peak_used_bytes(), MB(2));
+}
+
+// ----------------------------------------------------------------------
+// Delete-vs-evict ordering.
+// ----------------------------------------------------------------------
+
+TEST(EvictionPressureTest, DeleteOfAnAlreadyEvictedReplicaIsCleanOnBothSides) {
+  // A's replica on node 1 is LRU-evicted, then the framework Deletes A.
+  // The purge must not double-count the eviction, must clear the primary,
+  // and must leave both stores consistent.
+  HopliteCluster cluster(TinyStoreOptions(3, MB(3)));
+  const ObjectID a = ObjectID::FromName("A");
+  cluster.client(0).Put(a, store::Buffer::OfSize(MB(1)));
+  (void)cluster.client(1).Get(a, GetOptions{.read_only = true});
+  cluster.RunAll();
+
+  FillWithReplicas(cluster, /*producer=*/2, /*holder=*/1, 3, "filler");
+  EXPECT_FALSE(cluster.store(1).Contains(a)) << "A must have been LRU-evicted";
+  const std::uint64_t evictions_before = cluster.store(1).evictions();
+
+  bool deleted = false;
+  cluster.client(0).Delete(a).Then([&] { deleted = true; });
+  cluster.RunAll();
+  EXPECT_TRUE(deleted);
+  EXPECT_FALSE(cluster.store(0).Contains(a));
+  EXPECT_FALSE(cluster.directory().HasObject(a));
+  EXPECT_EQ(cluster.store(1).evictions(), evictions_before)
+      << "a Delete purge is not an eviction";
+}
+
+TEST(EvictionPressureTest, DeleteWinsOverTheEvictionGuardMidTransfer) {
+  // Delete lands while node 1 streams a 12 MB (3-chunk) A to node 2, i.e.
+  // while the push session still holds the store Ref. On the sender, Remove
+  // must win over the guard immediately (the framework knows best; the
+  // pending Unref becomes the documented no-op, not an eviction). On the
+  // receiver, the purge control message queues behind the two in-flight
+  // chunks on its serialized ingress, then kills the fetch: the pending Get
+  // fails with kDeleted and the third chunk is never sent.
+  HopliteCluster cluster(TinyStoreOptions(3, 0));  // unlimited: isolate Delete
+  const ObjectID a = ObjectID::FromName("A");
+  cluster.client(1).Put(a, store::Buffer::OfSize(MB(12)));
+  cluster.RunAll();
+
+  std::optional<RefError> get_error;
+  bool get_succeeded = false;
+  cluster.client(2)
+      .Get(a, GetOptions{.read_only = true})
+      .Then([&] { get_succeeded = true; })
+      .OnError([&](const RefError& e) { get_error = e; });
+
+  bool sender_purged_mid_stream = false;
+  cluster.simulator().ScheduleAfter(Milliseconds(1), [&] {
+    ASSERT_GT(cluster.client(1).active_push_sessions(), 0u)
+        << "test setup: the stream must be active when Delete lands";
+    cluster.client(0).Delete(a).Then([&] {
+      // One control latency later the sender has purged: entry gone despite
+      // the push session's Ref, stream torn down, nothing counted as an
+      // LRU eviction.
+      cluster.simulator().ScheduleAfter(Microseconds(100), [&] {
+        sender_purged_mid_stream = !cluster.store(1).Contains(a) &&
+                                   cluster.client(1).active_push_sessions() == 0 &&
+                                   cluster.store(1).evictions() == 0;
+      });
+    });
+  });
+  cluster.RunAll();
+
+  EXPECT_TRUE(sender_purged_mid_stream) << "Delete must purge the reffed sender copy";
+  EXPECT_FALSE(get_succeeded);
+  ASSERT_TRUE(get_error.has_value()) << "the pending Get must observe the Delete";
+  EXPECT_EQ(get_error->code, RefErrorCode::kDeleted);
+  EXPECT_FALSE(cluster.store(2).Contains(a));
+  EXPECT_EQ(cluster.store(2).evictions(), 0u);
+  EXPECT_FALSE(cluster.client(2).HasFetchSession(a));
+  EXPECT_FALSE(cluster.directory().HasObject(a));
+}
+
+TEST(EvictionPressureTest, InFlightDataBeatsTheDeleteOnTheReceiversIngress) {
+  // The single-chunk flavour of the same race: the whole 4 MB object is
+  // already on the wire when Delete is issued, and the purge control
+  // message is FIFO-ordered behind it on the receiver's serialized
+  // ingress. The Get legitimately completes — a Delete cannot overtake
+  // data already in flight — and the purge then removes every copy.
+  HopliteCluster cluster(TinyStoreOptions(3, 0));
+  const ObjectID a = ObjectID::FromName("A");
+  cluster.client(1).Put(a, store::Buffer::OfSize(MB(4)));
+  cluster.RunAll();
+
+  std::optional<store::Buffer> got;
+  cluster.client(2).Get(a, GetOptions{.read_only = true}).Then([&](const store::Buffer& b) {
+    got = b;
+  });
+  cluster.simulator().ScheduleAfter(Milliseconds(1), [&] { cluster.client(0).Delete(a); });
+  cluster.RunAll();
+
+  ASSERT_TRUE(got.has_value()) << "in-flight data is delivered before the purge";
+  EXPECT_EQ(got->size(), MB(4));
+  EXPECT_FALSE(cluster.store(1).Contains(a));
+  EXPECT_FALSE(cluster.store(2).Contains(a)) << "the purge still reaps the landed copy";
+  EXPECT_FALSE(cluster.directory().HasObject(a));
+  EXPECT_EQ(cluster.store(2).evictions(), 0u);
+}
+
+// ----------------------------------------------------------------------
+// Evicted-since-granted: the stale-location retry paths.
+// ----------------------------------------------------------------------
+
+TEST(EvictionPressureTest, EvictedSinceGrantedSenderIsRetriedAndRetracted) {
+  // Node 1's replica of A is evicted but its directory location survives
+  // (eviction is lazy by design). Node 1 has the lowest node id among A's
+  // copies from node 0's perspective... the ascending claim scan grants the
+  // stale node 1 first. The StartPush bounce (HandleSenderGone) must
+  // retract the stale location — not merely return it to the pool, which
+  // would re-grant the same empty sender forever — and the re-claim must
+  // complete the fetch from the surviving primary on node 2.
+  HopliteCluster cluster(TinyStoreOptions(4, MB(3)));
+  const ObjectID a = ObjectID::FromName("A");
+  cluster.client(2).Put(a, store::Buffer::OfSize(MB(1)));
+  (void)cluster.client(1).Get(a, GetOptions{.read_only = true});
+  cluster.RunAll();
+
+  FillWithReplicas(cluster, /*producer=*/3, /*holder=*/1, 3, "retry-filler");
+  ASSERT_FALSE(cluster.store(1).Contains(a));
+  ASSERT_EQ(cluster.directory().LocationsOf(a), (std::vector<NodeID>{1, 2}))
+      << "the stale location must still be registered (lazy eviction)";
+
+  std::optional<store::Buffer> got;
+  cluster.client(0).Get(a, GetOptions{.read_only = true}).Then([&](const store::Buffer& b) {
+    got = b;
+  });
+  cluster.RunAll();
+
+  ASSERT_TRUE(got.has_value()) << "the retry path must terminate";
+  EXPECT_EQ(got->size(), MB(1));
+  const auto locations = cluster.directory().LocationsOf(a);
+  EXPECT_TRUE(std::find(locations.begin(), locations.end(), 1) == locations.end())
+      << "the bounce must retract node 1's stale location";
+  EXPECT_TRUE(std::find(locations.begin(), locations.end(), 2) != locations.end());
+}
+
+TEST(EvictionPressureTest, StaleSelfLocationIsRetractedAndRefetched) {
+  // The second stale flavour: the *claimant itself* is listed as a complete
+  // location, but its replica was evicted. The directory answers
+  // "local copy"; the client must notice its store is empty, retract its
+  // own stale location, and re-claim from a real holder instead of
+  // silently dropping the Get.
+  HopliteCluster cluster(TinyStoreOptions(3, MB(3)));
+  const ObjectID a = ObjectID::FromName("A");
+  cluster.client(0).Put(a, store::Buffer::OfSize(MB(1)));
+  (void)cluster.client(1).Get(a, GetOptions{.read_only = true});
+  cluster.RunAll();
+
+  FillWithReplicas(cluster, /*producer=*/2, /*holder=*/1, 3, "self-filler");
+  ASSERT_FALSE(cluster.store(1).Contains(a));
+
+  std::optional<store::Buffer> got;
+  cluster.client(1).Get(a, GetOptions{.read_only = true}).Then([&](const store::Buffer& b) {
+    got = b;
+  });
+  cluster.RunAll();
+
+  ASSERT_TRUE(got.has_value()) << "the re-read of an evicted self-copy must complete";
+  EXPECT_EQ(got->size(), MB(1));
+  EXPECT_TRUE(cluster.store(1).IsComplete(a)) << "the replica was re-fetched";
+}
+
+}  // namespace
+}  // namespace hoplite::core

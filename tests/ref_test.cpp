@@ -124,6 +124,56 @@ TEST(RefTest, WhenAllPreservesInputOrderAndRejectsOnFirstError) {
   EXPECT_TRUE(WhenAll(std::vector<Ref<int>>{}).ready());  // empty resolves now
 }
 
+TEST(RefTest, WhenAllSettledCollectsOutcomesInsteadOfRejecting) {
+  sim::Simulator sim;
+  std::vector<RefPromise<int>> promises;
+  std::vector<Ref<int>> refs;
+  for (int i = 0; i < 3; ++i) {
+    promises.emplace_back(&sim, ObjectID::FromName("settled").WithIndex(i));
+    refs.push_back(promises.back().ref());
+  }
+  const Ref<std::vector<Settled<int>>> all = WhenAllSettled(refs);
+  promises[1].Reject(RefError{RefErrorCode::kProducerLost, "dead"});
+  promises[2].Resolve(30);
+  EXPECT_FALSE(all.settled()) << "must wait for every ref, failures included";
+  promises[0].Resolve(10);
+  ASSERT_TRUE(all.ready()) << "a failed input must not reject the result";
+  const std::vector<Settled<int>>& outcomes = all.value();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_EQ(outcomes[0].value, 10);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_EQ(outcomes[1].error.code, RefErrorCode::kProducerLost);
+  EXPECT_EQ(outcomes[1].id, ObjectID::FromName("settled").WithIndex(1));
+  EXPECT_TRUE(outcomes[2].ok);
+  EXPECT_EQ(outcomes[2].value, 30);
+
+  EXPECT_TRUE(WhenAllSettled(std::vector<Ref<int>>{}).ready());  // empty resolves now
+}
+
+TEST(RefTest, WhenAllSettledOnClusterKeepsCountingPastAFailedGet) {
+  // The workload-driver use case: one op's producer dies (its Get times out,
+  // per the documented pair-Get-with-timeout contract), and the combinator
+  // still reports every other op's outcome instead of rejecting wholesale.
+  core::HopliteCluster cluster(TestOptions(4));
+  const ObjectID alive_id = ObjectID::FromName("settled-alive");
+  const ObjectID doomed_id = ObjectID::FromName("settled-doomed");
+  cluster.client(1).Put(alive_id, MakeValue(1.0F));
+  cluster.client(3).Put(doomed_id, MakeValue(2.0F));
+  std::vector<Ref<store::Buffer>> gets{
+      cluster.client(0).Get(alive_id),
+      cluster.client(0).Get(doomed_id, core::GetOptions{.timeout = Milliseconds(500)}),
+  };
+  const auto settled = WhenAllSettled(gets);
+  cluster.simulator().ScheduleAt(Microseconds(10), [&] { cluster.KillNode(3); });
+  cluster.RunAll();
+  ASSERT_TRUE(settled.ready());
+  ASSERT_EQ(settled.value().size(), 2u);
+  EXPECT_TRUE(settled.value()[0].ok);
+  EXPECT_FALSE(settled.value()[1].ok);
+  EXPECT_EQ(settled.value()[1].error.code, RefErrorCode::kTimeout);
+}
+
 TEST(RefTest, WhenAnyReturnsIdsInReadinessOrderAndSkipsFailures) {
   sim::Simulator sim;
   std::vector<RefPromise<int>> promises;
