@@ -42,11 +42,13 @@ std::vector<Row> Run(const RunOptions& opt) {
 
   return {
       Row{.series = "location-write",
-          .coords = {{"paper_us", 167.0}, {"samples", static_cast<double>(write_stats.count())}},
+          .coords = {{"paper_us", 167.0},
+                     {"samples", static_cast<double>(write_stats.count())}},
           .value = write_stats.mean(),
           .unit = "microseconds"},
       Row{.series = "location-read",
-          .coords = {{"paper_us", 177.0}, {"samples", static_cast<double>(read_stats.count())}},
+          .coords = {{"paper_us", 177.0},
+                     {"samples", static_cast<double>(read_stats.count())}},
           .value = read_stats.mean(),
           .unit = "microseconds"},
       Row{.series = "ops-served",

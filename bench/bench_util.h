@@ -58,8 +58,8 @@ static_assert(net::ClusterConfig{}.per_message_overhead == Microseconds(5));
 
 /// Drains the cluster and returns the settle time of `all_done` in seconds,
 /// checking that every participant actually finished.
-[[nodiscard]] inline double FinishCollective(core::HopliteCluster& cluster,
-                                             const Ref<std::vector<store::Buffer>>& all_done) {
+[[nodiscard]] inline double FinishCollective(
+    core::HopliteCluster& cluster, const Ref<std::vector<store::Buffer>>& all_done) {
   SimTime last = 0;
   all_done.Then([&cluster, &last] { last = cluster.Now(); });
   cluster.RunAll();

@@ -79,8 +79,8 @@ struct HopliteSgd {
       StartWorkerCompute(w);
     }
     if (options.kill_node != kInvalidNode && options.recover_at > options.kill_at) {
-      cluster.simulator().ScheduleAt(options.kill_at,
-                                     [self] { self->cluster.KillNode(self->options.kill_node); });
+      cluster.simulator().ScheduleAt(
+          options.kill_at, [self] { self->cluster.KillNode(self->options.kill_node); });
       cluster.simulator().ScheduleAt(options.recover_at, [self] {
         self->cluster.RecoverNode(self->options.kill_node);
         // The rejoined worker resumes: fetch the current model, recompute the

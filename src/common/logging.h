@@ -76,9 +76,13 @@ class LogMessage {
       .stream()                                                          \
       << "Check failed: " #cond " "
 
-#define HOPLITE_CHECK_EQ(a, b) HOPLITE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
-#define HOPLITE_CHECK_NE(a, b) HOPLITE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HOPLITE_CHECK_EQ(a, b) \
+  HOPLITE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HOPLITE_CHECK_NE(a, b) \
+  HOPLITE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
 #define HOPLITE_CHECK_LT(a, b) HOPLITE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
-#define HOPLITE_CHECK_LE(a, b) HOPLITE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HOPLITE_CHECK_LE(a, b) \
+  HOPLITE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
 #define HOPLITE_CHECK_GT(a, b) HOPLITE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
-#define HOPLITE_CHECK_GE(a, b) HOPLITE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HOPLITE_CHECK_GE(a, b) \
+  HOPLITE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "

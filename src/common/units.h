@@ -20,11 +20,17 @@ inline constexpr SimTime kSimTimeMax = INT64_MAX;
 /// Nanoseconds.
 [[nodiscard]] constexpr SimDuration Nanoseconds(std::int64_t n) noexcept { return n; }
 /// Microseconds.
-[[nodiscard]] constexpr SimDuration Microseconds(std::int64_t us) noexcept { return us * 1'000; }
+[[nodiscard]] constexpr SimDuration Microseconds(std::int64_t us) noexcept {
+  return us * 1'000;
+}
 /// Milliseconds.
-[[nodiscard]] constexpr SimDuration Milliseconds(std::int64_t ms) noexcept { return ms * 1'000'000; }
+[[nodiscard]] constexpr SimDuration Milliseconds(std::int64_t ms) noexcept {
+  return ms * 1'000'000;
+}
 /// Whole seconds.
-[[nodiscard]] constexpr SimDuration Seconds(std::int64_t s) noexcept { return s * 1'000'000'000; }
+[[nodiscard]] constexpr SimDuration Seconds(std::int64_t s) noexcept {
+  return s * 1'000'000'000;
+}
 /// Fractional seconds (rounds to nearest nanosecond).
 [[nodiscard]] constexpr SimDuration SecondsF(double s) noexcept {
   return static_cast<SimDuration>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
@@ -47,7 +53,9 @@ inline constexpr SimTime kSimTimeMax = INT64_MAX;
 /// object sizes follow the binary convention used by the reference code.
 [[nodiscard]] constexpr std::int64_t KB(std::int64_t n) noexcept { return n * 1024; }
 [[nodiscard]] constexpr std::int64_t MB(std::int64_t n) noexcept { return n * 1024 * 1024; }
-[[nodiscard]] constexpr std::int64_t GB(std::int64_t n) noexcept { return n * 1024 * 1024 * 1024; }
+[[nodiscard]] constexpr std::int64_t GB(std::int64_t n) noexcept {
+  return n * 1024 * 1024 * 1024;
+}
 
 /// Bandwidth expressed in bytes per (real, simulated) second.
 using BytesPerSecond = double;
@@ -55,10 +63,13 @@ using BytesPerSecond = double;
 [[nodiscard]] constexpr BytesPerSecond Gbps(double gigabits) noexcept {
   return gigabits * 1e9 / 8.0;
 }
-[[nodiscard]] constexpr BytesPerSecond GBps(double gigabytes) noexcept { return gigabytes * 1e9; }
+[[nodiscard]] constexpr BytesPerSecond GBps(double gigabytes) noexcept {
+  return gigabytes * 1e9;
+}
 
 /// Time to push `bytes` through a link of bandwidth `bw`, as a SimDuration.
-[[nodiscard]] constexpr SimDuration TransferTime(std::int64_t bytes, BytesPerSecond bw) noexcept {
+[[nodiscard]] constexpr SimDuration TransferTime(std::int64_t bytes,
+                                                 BytesPerSecond bw) noexcept {
   if (bytes <= 0) return 0;
   return static_cast<SimDuration>(static_cast<double>(bytes) / bw * 1e9 + 0.5);
 }

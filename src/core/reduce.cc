@@ -372,12 +372,13 @@ void ReduceCoordinator::SmallPathFetch(std::size_t source_index) {
   if (source.fetched) return;
   source.fetched = true;
   ++small_fetched_;
-  client_.GetInternal(source.id, GetOptions{.read_only = true},
-                      [client = &client_, id = id_, source_index](const store::Buffer& payload) {
-                auto it = client->coordinators_.find(id);
-                if (it == client->coordinators_.end() || it->second->done()) return;
-                it->second->OnSmallPayload(source_index, payload);
-              });
+  client_.GetInternal(
+      source.id, GetOptions{.read_only = true},
+      [client = &client_, id = id_, source_index](const store::Buffer& payload) {
+        auto it = client->coordinators_.find(id);
+        if (it == client->coordinators_.end() || it->second->done()) return;
+        it->second->OnSmallPayload(source_index, payload);
+      });
 }
 
 void ReduceCoordinator::OnSmallPayload(std::size_t source_index,

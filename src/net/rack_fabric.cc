@@ -321,7 +321,8 @@ void RackFabric::PushCompletionRecords(TransferId id, Flow& flow) {
            ++probe) {
         --t_half;
       }
-      for (int probe = 0; probe < 4 && t_half < t_own && RemainingAt(flow, t_half) > kDoneBytes;
+      for (int probe = 0;
+           probe < 4 && t_half < t_own && RemainingAt(flow, t_half) > kDoneBytes;
            ++probe) {
         ++t_half;
       }

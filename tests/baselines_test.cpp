@@ -276,7 +276,9 @@ TEST(RayLikeTest, ReduceFetchesEverythingToRoot) {
     ray.Put(static_cast<NodeID>(i), id, MB(64));
   }
   SimTime done_at = 0;
-  ray.Reduce(0, sources, ObjectID::FromName("sum"), MB(64)).Then([&] { done_at = sim.Now(); });
+  ray.Reduce(0, sources, ObjectID::FromName("sum"), MB(64)).Then([&] {
+    done_at = sim.Now();
+  });
   sim.Run();
   EXPECT_TRUE(ray.Has(ObjectID::FromName("sum")));
   // 7 remote objects through one ingress at effective bandwidth.

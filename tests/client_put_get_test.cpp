@@ -100,7 +100,9 @@ TEST(PutGetTest, ReadOnlyGetSkipsWorkerCopy) {
     HopliteCluster cluster(TestOptions(2));
     SimTime done = 0;
     cluster.client(0).Put(id, store::Buffer::OfSize(MB(64)));
-    cluster.client(1).Get(id, GetOptions{.read_only = read_only}).Then([&](const store::Buffer&) { done = cluster.Now(); });
+    cluster.client(1)
+        .Get(id, GetOptions{.read_only = read_only})
+        .Then([&](const store::Buffer&) { done = cluster.Now(); });
     cluster.RunAll();
     (read_only ? t_ro : t_rw) = done;
   }
@@ -130,7 +132,8 @@ TEST(PutGetTest, PipeliningBeatsSequentialTransfers) {
   const SimTime sequential = run(false);
   const double network_bound = ToSeconds(TransferTime(GB(1), Gbps(10)));
   EXPECT_LT(ToSeconds(pipelined), network_bound * 1.15);
-  EXPECT_GT(ToSeconds(sequential), network_bound + 2 * ToSeconds(TransferTime(GB(1), GBps(10))) * 0.9);
+  EXPECT_GT(ToSeconds(sequential),
+            network_bound + 2 * ToSeconds(TransferTime(GB(1), GBps(10))) * 0.9);
 }
 
 TEST(PutGetTest, ConcurrentGettersOfSameObjectShareOneFetch) {

@@ -63,7 +63,9 @@ TEST_P(ReduceDegreeTest, FullReduceSumsAllSources) {
   const ObjectID target = ObjectID::FromName("sum");
   std::optional<ReduceResult> result;
   std::optional<store::Buffer> value;
-  cluster.client(0).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { result = r; });
+  cluster.client(0)
+      .Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum})
+      .Then([&](const ReduceResult& r) { result = r; });
   cluster.client(0).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.RunAll();
   ASSERT_TRUE(result.has_value());
@@ -91,7 +93,9 @@ TEST(ReduceTest, SubsetReduceTakesEarliestArrivals) {
   const ObjectID target = ObjectID::FromName("sum4");
   std::optional<ReduceResult> result;
   std::optional<store::Buffer> value;
-  cluster.client(0).Reduce(ReduceSpec{target, sources, 4, store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { result = r; });
+  cluster.client(0)
+      .Reduce(ReduceSpec{target, sources, 4, store::ReduceOp::kSum})
+      .Then([&](const ReduceResult& r) { result = r; });
   cluster.client(0).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.RunAll();
   ASSERT_TRUE(result.has_value());
@@ -130,8 +134,12 @@ TEST(ReduceTest, MinAndMaxOperations) {
       ReduceSpec{ObjectID::FromName("min"), sources, 0, store::ReduceOp::kMin});
   cluster.client(1).Reduce(
       ReduceSpec{ObjectID::FromName("max"), sources, 0, store::ReduceOp::kMax});
-  cluster.client(0).Get(ObjectID::FromName("min")).Then([&](const store::Buffer& b) { min_value = b; });
-  cluster.client(1).Get(ObjectID::FromName("max")).Then([&](const store::Buffer& b) { max_value = b; });
+  cluster.client(0).Get(ObjectID::FromName("min")).Then([&](const store::Buffer& b) {
+    min_value = b;
+  });
+  cluster.client(1).Get(ObjectID::FromName("max")).Then([&](const store::Buffer& b) {
+    max_value = b;
+  });
   cluster.RunAll();
   ASSERT_TRUE(min_value.has_value());
   ASSERT_TRUE(max_value.has_value());
@@ -159,7 +167,9 @@ TEST(ReduceTest, SmallObjectsUseInlineFastPath) {
   const ObjectID target = ObjectID::FromName("tinysum");
   std::optional<ReduceResult> result;
   std::optional<store::Buffer> value;
-  cluster.client(2).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { result = r; });
+  cluster.client(2)
+      .Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum})
+      .Then([&](const ReduceResult& r) { result = r; });
   cluster.client(2).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.RunAll();
   ASSERT_TRUE(result.has_value());
@@ -237,7 +247,9 @@ TEST(ReduceTest, ChainReduceLatencyNearBandwidthBound) {
   start = cluster.Now();
   std::optional<store::Buffer> value;
   cluster.client(0).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum});
-  cluster.client(0).Get(target, GetOptions{.read_only = true}).Then([&](const store::Buffer& b) {
+  cluster.client(0)
+      .Get(target, GetOptions{.read_only = true})
+      .Then([&](const store::Buffer& b) {
                           value = b;
                           done = cluster.Now();
                         });
@@ -266,7 +278,9 @@ TEST(ReduceFaultTest, FailedLeafIsReplacedByNextReadyObject) {
   std::optional<ReduceResult> result;
   std::optional<store::Buffer> value;
   // Start the reduce at t=0; first 6 arrivals are nodes 0..5.
-  cluster.client(0).Reduce(ReduceSpec{target, sources, 6, store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { result = r; });
+  cluster.client(0)
+      .Reduce(ReduceSpec{target, sources, 6, store::ReduceOp::kSum})
+      .Then([&](const ReduceResult& r) { result = r; });
   cluster.client(0).Get(target).Then([&](const store::Buffer& b) { value = b; });
   // Kill node 3 after its object arrived but before the reduce can finish
   // (node 9 only puts at 180 ms, so the tree is still waiting).
@@ -328,7 +342,9 @@ TEST(ReduceFaultTest, FailedInternalNodeClearsAncestorsOnly) {
   const ObjectID target = ObjectID::FromName("sum");
   std::optional<ReduceResult> result;
   std::optional<store::Buffer> value;
-  cluster.client(7).Reduce(ReduceSpec{target, sources, 6, store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { result = r; });
+  cluster.client(7)
+      .Reduce(ReduceSpec{target, sources, 6, store::ReduceOp::kSum})
+      .Then([&](const ReduceResult& r) { result = r; });
   cluster.client(7).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.simulator().ScheduleAt(Milliseconds(35), [&] { cluster.KillNode(1); });
   cluster.RunAll();
@@ -354,7 +370,9 @@ TEST(ReduceFaultTest, MultipleFailuresDuringOneReduce) {
   const ObjectID target = ObjectID::FromName("sum");
   std::optional<ReduceResult> result;
   std::optional<store::Buffer> value;
-  cluster.client(0).Reduce(ReduceSpec{target, sources, 8, store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { result = r; });
+  cluster.client(0)
+      .Reduce(ReduceSpec{target, sources, 8, store::ReduceOp::kSum})
+      .Then([&](const ReduceResult& r) { result = r; });
   cluster.client(0).Get(target).Then([&](const store::Buffer& b) { value = b; });
   cluster.simulator().ScheduleAt(Milliseconds(40), [&] { cluster.KillNode(2); });
   cluster.simulator().ScheduleAt(Milliseconds(90), [&] { cluster.KillNode(5); });

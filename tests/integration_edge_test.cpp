@@ -110,7 +110,9 @@ TEST(ChainedReduceTest, FailureInUpstreamReducePropagatesCorrectly) {
   const ObjectID total = ObjectID::FromName("total");
   std::optional<ReduceResult> first;
   std::vector<ObjectID> first_sources(grads.begin(), grads.begin() + 6);
-  cluster.client(0).Reduce(ReduceSpec{partial, first_sources, 4, store::ReduceOp::kSum}).Then([&](const ReduceResult& r) { first = r; });
+  cluster.client(0)
+      .Reduce(ReduceSpec{partial, first_sources, 4, store::ReduceOp::kSum})
+      .Then([&](const ReduceResult& r) { first = r; });
   std::vector<ObjectID> second_sources{partial, grads[6], grads[7]};
   std::optional<store::Buffer> value;
   cluster.client(0).Reduce(ReduceSpec{total, second_sources, 0, store::ReduceOp::kSum});
@@ -184,9 +186,13 @@ TEST(HeterogeneityTest, SlowNodeDoesNotThrottleDisjointTransfers) {
   SimTime fast_done = 0;
   SimTime slow_done = 0;
   cluster.client(0).Put(fast_obj, store::Buffer::OfSize(MB(64)));
-  cluster.client(1).Get(fast_obj).Then([&](const store::Buffer&) { fast_done = cluster.Now(); });
+  cluster.client(1).Get(fast_obj).Then([&](const store::Buffer&) {
+    fast_done = cluster.Now();
+  });
   cluster.client(2).Put(slow_obj, store::Buffer::OfSize(MB(64)));
-  cluster.client(3).Get(slow_obj).Then([&](const store::Buffer&) { slow_done = cluster.Now(); });
+  cluster.client(3).Get(slow_obj).Then([&](const store::Buffer&) {
+    slow_done = cluster.Now();
+  });
   cluster.RunAll();
   EXPECT_GT(fast_done, 0);
   EXPECT_GT(slow_done, 0);
@@ -226,8 +232,12 @@ TEST(ConcurrentReduceTest, TwoReducesShareTheSameSources) {
       ReduceSpec{ObjectID::FromName("sum"), sources, 0, store::ReduceOp::kSum});
   cluster.client(1).Reduce(
       ReduceSpec{ObjectID::FromName("max"), sources, 0, store::ReduceOp::kMax});
-  cluster.client(0).Get(ObjectID::FromName("sum")).Then([&](const store::Buffer& b) { sum = b; });
-  cluster.client(1).Get(ObjectID::FromName("max")).Then([&](const store::Buffer& b) { maxv = b; });
+  cluster.client(0).Get(ObjectID::FromName("sum")).Then([&](const store::Buffer& b) {
+    sum = b;
+  });
+  cluster.client(1).Get(ObjectID::FromName("max")).Then([&](const store::Buffer& b) {
+    maxv = b;
+  });
   cluster.RunAll();
   ASSERT_TRUE(sum.has_value());
   ASSERT_TRUE(maxv.has_value());
@@ -267,7 +277,9 @@ TEST(StressTest, ManyRoundsOfAllreduceStayLeakFree) {
     cluster.client(0).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum});
     int got = 0;
     for (NodeID n = 0; n < kNodes; ++n) {
-      cluster.client(n).Get(target, GetOptions{.read_only = true}).Then([&](const store::Buffer&) { ++got; });
+      cluster.client(n)
+          .Get(target, GetOptions{.read_only = true})
+          .Then([&](const store::Buffer&) { ++got; });
     }
     cluster.RunAll();
     ASSERT_EQ(got, kNodes) << "round " << round;

@@ -71,7 +71,8 @@ TEST_P(ReducePermutationProperty, SumCorrectUnderAnyArrivalOrder) {
                                          std::vector<float>(kElems, ValueOf(n))));
     });
   }
-  const NodeID caller = static_cast<NodeID>(rng.NextBounded(static_cast<std::uint64_t>(nodes)));
+  const NodeID caller =
+      static_cast<NodeID>(rng.NextBounded(static_cast<std::uint64_t>(nodes)));
   const ObjectID target = ObjectID::FromName("psum");
   std::optional<store::Buffer> value;
   cluster.client(caller).Reduce(ReduceSpec{target, sources, 0, store::ReduceOp::kSum});
@@ -155,11 +156,13 @@ TEST_P(BroadcastFailureProperty, SurvivorsAllReceiveCorrectPayload) {
 
   std::vector<bool> received(static_cast<std::size_t>(nodes), false);
   for (NodeID r = 1; r < nodes; ++r) {
-    cluster.client(r).Get(object, GetOptions{.read_only = true}).Then([&, r](const store::Buffer& b) {
-                            EXPECT_EQ(b.values().front(), 42.5f);
-                            EXPECT_EQ(b.size(), static_cast<std::int64_t>(kElems * 4));
-                            received[static_cast<std::size_t>(r)] = true;
-                          });
+    cluster.client(r)
+        .Get(object, GetOptions{.read_only = true})
+        .Then([&, r](const store::Buffer& b) {
+          EXPECT_EQ(b.values().front(), 42.5f);
+          EXPECT_EQ(b.size(), static_cast<std::int64_t>(kElems * 4));
+          received[static_cast<std::size_t>(r)] = true;
+        });
   }
   // Kill one random receiver (never the origin) mid-broadcast; it may be an
   // intermediate sender in the distribution tree.
@@ -201,10 +204,12 @@ TEST_P(AllreduceGridProperty, EveryNodeGetsTheSameCorrectSum) {
   const float expected = static_cast<float>(nodes) * (nodes + 1) / 2.0f;
   int got = 0;
   for (NodeID n = 0; n < nodes; ++n) {
-    cluster.client(n).Get(target, GetOptions{.read_only = true}).Then([&, n](const store::Buffer& b) {
-                            EXPECT_EQ(b.values().front(), expected) << "node " << n;
-                            ++got;
-                          });
+    cluster.client(n)
+        .Get(target, GetOptions{.read_only = true})
+        .Then([&, n](const store::Buffer& b) {
+          EXPECT_EQ(b.values().front(), expected) << "node " << n;
+          ++got;
+        });
   }
   cluster.RunAll();
   EXPECT_EQ(got, nodes);
