@@ -91,8 +91,8 @@ struct FigureRegistrar {
 /// Registers `fn` under `name`. Use once at the bottom of each bench file:
 ///   HOPLITE_REGISTER_FIGURE(fig6, "fig6", "Figure 6: ...", Run);
 #define HOPLITE_REGISTER_FIGURE(tag, name, title, fn) \
-  static const ::hoplite::bench::FigureRegistrar       \
-      hoplite_bench_registrar_##tag { name, title, fn }
+  static const ::hoplite::bench::FigureRegistrar      \
+      hoplite_bench_registrar_##tag{name, title, fn}
 
 /// Serializes results (plus the options they ran under) as one JSON
 /// document: {"schema": "hoplite-bench/1", "options": {...}, "figures":

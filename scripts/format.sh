@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the pinned clang-format (version 18, the same binary the CI format job
+# installs) over the CI-checked path set. The dev container ships no
+# clang-format, so by default this falls back to a docker one-liner that uses
+# the official LLVM image at the pinned major version.
+#
+# Usage:
+#   scripts/format.sh          # rewrite files in place
+#   scripts/format.sh --check  # check only (what CI runs); non-zero on drift
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE_ARGS=(-i)
+if [[ "${1:-}" == "--check" ]]; then
+  MODE_ARGS=(--dry-run -Werror)
+elif [[ $# -gt 0 ]]; then
+  echo "usage: scripts/format.sh [--check]" >&2
+  exit 2
+fi
+
+# The one place the checked path set is defined; ci.yml calls this script.
+files() {
+  git ls-files 'src/**/*.h' 'src/**/*.cc' 'bench/*.h' 'bench/*.cc' \
+    'examples/*.cpp' 'tests/*.cpp'
+}
+
+if command -v clang-format-18 >/dev/null 2>&1; then
+  files | xargs clang-format-18 "${MODE_ARGS[@]}"
+elif command -v clang-format >/dev/null 2>&1 &&
+  clang-format --version | grep -q 'version 18\.'; then
+  files | xargs clang-format "${MODE_ARGS[@]}"
+elif command -v docker >/dev/null 2>&1; then
+  echo "No local clang-format 18; using docker (silkeh/clang:18)." >&2
+  files | docker run --rm -i --user "$(id -u):$(id -g)" -v "$PWD:/work" \
+    -w /work silkeh/clang:18 xargs clang-format "${MODE_ARGS[@]}"
+else
+  echo "error: need clang-format 18 (or docker to run it)." >&2
+  echo "CI pins clang-format-18; other major versions may disagree." >&2
+  exit 1
+fi

@@ -63,9 +63,9 @@ class LogMessage {
 
 }  // namespace hoplite::internal
 
-#define HOPLITE_LOG(level)                                                                 \
+#define HOPLITE_LOG(level)                                                           \
   ::hoplite::internal::LogMessage(::hoplite::internal::LogLevel::k##level, __FILE__, \
-                                  __LINE__)                                                \
+                                  __LINE__)                                          \
       .stream()
 
 /// Aborts with a message when `cond` is false. Use for library invariants.

@@ -398,10 +398,10 @@ void ReduceCoordinator::MaybeFinishSmallPath() {
   }
   client_.PutInternal(spec_.target, std::move(result),
                       [client = &client_, id = id_] {
-                auto it = client->coordinators_.find(id);
-                if (it == client->coordinators_.end() || it->second->done()) return;
-                it->second->Finish();
-              });
+                        auto it = client->coordinators_.find(id);
+                        if (it == client->coordinators_.end() || it->second->done()) return;
+                        it->second->Finish();
+                      });
 }
 
 // ======================================================================

@@ -119,17 +119,18 @@ void TaskSystem::RunOnWorker(ObjectID output, NodeID node, std::uint64_t attempt
   auto proceed = [this, output, node, attempt, args] {
     if (attempt_.at(output) != attempt) return;  // superseded by resubmission
     const TaskSpec& current = lineage_.at(output);
-    cluster_.simulator().ScheduleAfter(current.compute_time,
-                                       [this, output, node, attempt, args] {
-      if (attempt_.at(output) != attempt) return;
-      if (!cluster_.IsAlive(node)) return;  // died mid-compute
-      const TaskSpec& spec2 = lineage_.at(output);
-      store::Buffer result = spec2.body(*args);
-      cluster_.client(node).Put(output, std::move(result)).Then([this, output, node,
-                                                                 attempt] {
-        FinishTask(output, node, attempt);
-      });
-    });
+    cluster_.simulator().ScheduleAfter(
+        current.compute_time, [this, output, node, attempt, args] {
+          if (attempt_.at(output) != attempt) return;
+          if (!cluster_.IsAlive(node)) return;  // died mid-compute
+          const TaskSpec& spec2 = lineage_.at(output);
+          store::Buffer result = spec2.body(*args);
+          cluster_.client(node)
+              .Put(output, std::move(result))
+              .Then([this, output, node, attempt] {
+                FinishTask(output, node, attempt);
+              });
+        });
   };
 
   if (spec.args.empty()) {

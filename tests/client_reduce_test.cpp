@@ -250,9 +250,9 @@ TEST(ReduceTest, ChainReduceLatencyNearBandwidthBound) {
   cluster.client(0)
       .Get(target, GetOptions{.read_only = true})
       .Then([&](const store::Buffer& b) {
-                          value = b;
-                          done = cluster.Now();
-                        });
+        value = b;
+        done = cluster.Now();
+      });
   cluster.RunAll();
   ASSERT_TRUE(value.has_value());
   const double bound = ToSeconds(TransferTime(size, Gbps(10)));
