@@ -5,6 +5,9 @@
 // Unlike the figure benches these measure *real* time (how fast the
 // simulator itself runs), so values vary with the host machine; each
 // workload reports the best of `repeats` timed runs.
+//
+// hoplite-lint: allow-file(nondet-source) -- wall-clock readings are this
+// bench's payload; nothing here feeds back into simulated behavior.
 #include <chrono>
 #include <cstdint>
 #include <limits>

@@ -11,6 +11,9 @@
 // trajectory at scale, not just its 16-node behavior.
 //
 // Run: bench_all --figure scale_nodes (scale knobs: --max-nodes, --max-bytes).
+//
+// hoplite-lint: allow-file(nondet-source) -- the wall_seconds coordinates are
+// this bench's payload; nothing here feeds back into simulated behavior.
 #include <chrono>
 #include <string>
 #include <vector>

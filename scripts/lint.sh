@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# hoplite-lint entry point: enforces the determinism contract over THE path
+# set (src/, bench/, tests/, examples/ — defined once, inside the linter) and
+# first proves the linter itself still catches what it claims to catch via
+# its fixture self-test. CI's lint job runs exactly this script, so local
+# runs and CI can never check different things.
+#
+# Usage:
+#   scripts/lint.sh                  # self-test + full tree scan
+#   scripts/lint.sh --list-waivers   # also print every waiver + reason
+#   scripts/lint.sh path/to/file.cc  # scan specific files only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+python3 scripts/lint_determinism.py --self-test
+exec python3 scripts/lint_determinism.py "$@"

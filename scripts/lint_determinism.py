@@ -1,0 +1,398 @@
+#!/usr/bin/env python3
+"""hoplite-lint: machine-check the determinism contract.
+
+The simulator promises bit-reproducible runs from identical inputs. That
+promise dies quietly: one range-for over a hash map, one wall-clock read, one
+pointer-keyed ordered container, and figures diverge between stdlibs or runs
+without any test failing. This linter enforces the contract statically, with
+no clang tooling dependency (pure stdlib Python), so it runs everywhere the
+repo builds.
+
+Rules
+-----
+  unordered-iter     Iterating an unordered container (range-for or explicit
+                     .begin() loop) in sim-affecting code. Iteration order is
+                     a hash-table accident: it varies across stdlibs and
+                     insertion histories and leaks into event scheduling.
+                     Iterate via det::SortedKeys / det::Map / det::Set.
+  nondet-source      Wall clocks and ambient randomness (std::rand, srand,
+                     time(), std::chrono::{system,steady,high_resolution}
+                     clocks, std::random_device). All simulation randomness
+                     must flow through the seeded PRNG in src/common/rng.h;
+                     all simulation time through sim::Simulator.
+  pointer-key        std::map/std::set keyed by a pointer type. The ordering
+                     is the allocator's address layout: deterministic-looking
+                     in one run, different in the next. Key by an id.
+  check-side-effect  Mutation (++, --, assignment, .pop/.erase/.push/.insert/
+                     .emplace) inside a HOPLITE_CHECK / HOPLITE_CHECK_* /
+                     HOPLITE_AUDIT condition. Audit conditions are compiled
+                     out of release builds, so a side effect there makes
+                     release and audit builds behave differently; checks with
+                     side effects are one refactor away from the same bug.
+  layering           An #include that violates the src/ layer DAG (common <
+                     sim/store < net < directory < core < task/baselines <
+                     apps < workload). Upward includes create cycles and let
+                     low layers grow hidden behavior dependencies.
+
+Waivers
+-------
+A violation is waived by a justified annotation on the same line or in the
+contiguous comment block directly above it:
+
+    // hoplite-lint: allow(<rule>) -- <reason>
+
+A whole file opts out of one rule (e.g. wall-clock benches whose payload IS
+wall time) with:
+
+    // hoplite-lint: allow-file(<rule>) -- <reason>
+
+Reasons are mandatory; a waiver without one is itself a violation. The total
+waiver count is budgeted (--max-waivers, default 10) so the escape hatch
+cannot quietly become the norm.
+
+Exit status: 0 clean, 1 violations (or waiver budget/reason failures),
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+RULES = (
+    "unordered-iter",
+    "nondet-source",
+    "pointer-key",
+    "check-side-effect",
+    "layering",
+)
+
+# Layer DAG: each src/<dir> may include itself plus these. bench/, tests/ and
+# examples/ sit above the whole library and may include anything.
+LAYERS = {
+    "common": set(),
+    "sim": {"common"},
+    "store": {"common"},
+    "net": {"common", "sim"},
+    "directory": {"common", "sim", "net", "store"},
+    "core": {"common", "sim", "net", "store", "directory"},
+    "task": {"common", "sim", "net", "store", "directory", "core"},
+    "baselines": {"common", "sim", "net", "store", "directory", "core"},
+    "apps": {"common", "sim", "net", "store", "directory", "core", "baselines"},
+    "workload": {"common", "sim", "net", "store", "directory", "core", "baselines", "apps"},
+}
+
+# The one sanctioned randomness implementation may name the primitives it wraps.
+RNG_HOME = "src/common/rng.h"
+
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:multi)?(?:map|set)\s*<[^;{}]*?>\s*&?\s*(\w+)\s*(?:;|=|\{|\))"
+)
+RANGE_FOR = re.compile(r"\bfor\s*\(\s*(?:const\s+)?[^;()]*?:\s*(?:\w+\.|\w+->)?(\w+)\s*\)")
+ITER_FOR = re.compile(r"\bfor\s*\([^;]*=\s*(\w+)\.(?:c?begin)\s*\(")
+NONDET = re.compile(
+    r"\bstd::rand\b|\bsrand\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+    r"|\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b|\brandom_device\b"
+)
+POINTER_KEY = re.compile(r"\bstd::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*")
+CHECK_MACRO = re.compile(r"\bHOPLITE_(?:CHECK(?:_(?:EQ|NE|LT|LE|GT|GE))?|AUDIT)\s*\(")
+SIDE_EFFECT = re.compile(
+    r"\+\+|--|(?<![=!<>])=(?![=])"
+    r"|\.(?:pop_front|pop_back|pop|erase|insert|push_front|push_back|emplace|clear)\s*\("
+)
+INCLUDE = re.compile(r'^\s*#include\s+"([^"]+)"')
+WAIVER = re.compile(r"//\s*hoplite-lint:\s*allow\((\w[\w-]*)\)\s*(?:--|—)?\s*(.*)")
+FILE_WAIVER = re.compile(r"//\s*hoplite-lint:\s*allow-file\((\w[\w-]*)\)\s*(?:--|—)?\s*(.*)")
+EXPECT = re.compile(r"//\s*expect-lint:\s*(\w[\w-]*)")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and the contents of string/char literals so rule
+    regexes cannot fire on prose or quoted text. (Block comments are rare in
+    this codebase and start-of-line '//'-only; kept simple on purpose.)"""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.waived = False
+        self.waiver_reason = ""
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def first_arg_span(text: str, start: int) -> str:
+    """Returns the first macro argument starting at the '(' at `start`
+    (balanced parens, top-level comma stops CHECK_OP's first operand)."""
+    depth = 0
+    arg = []
+    for ch in text[start:]:
+        if ch == "(":
+            depth += 1
+            if depth == 1:
+                continue
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        arg.append(ch)
+    return "".join(arg)
+
+
+def layer_of(path: Path) -> str | None:
+    parts = path.as_posix().split("/")
+    if len(parts) >= 2 and parts[0] == "src" and parts[1] in LAYERS:
+        return parts[1]
+    return None
+
+
+def lint_file(path: Path, repo: Path) -> tuple[list[Finding], list[tuple[int, str, str]]]:
+    rel = path.relative_to(repo)
+    raw_lines = path.read_text(encoding="utf-8").splitlines()
+    findings: list[Finding] = []
+    waivers_seen: list[tuple[int, str, str]] = []  # (line, rule, reason)
+
+    file_waived: dict[str, str] = {}
+    for lineno, raw in enumerate(raw_lines, 1):
+        m = FILE_WAIVER.search(raw)
+        if m:
+            file_waived[m.group(1)] = m.group(2).strip()
+            waivers_seen.append((lineno, m.group(1), m.group(2).strip()))
+
+    code_lines = [strip_comments_and_strings(l) for l in raw_lines]
+
+    # Pass 1: names declared as unordered containers anywhere in this file
+    # (members and locals; headers declare, sources use — both are scanned,
+    # so member names with the trailing-underscore convention resolve in the
+    # .cc through the paired header being linted too; within one TU the name
+    # itself is the signal).
+    unordered_names: set[str] = set()
+    for code in code_lines:
+        for m in UNORDERED_DECL.finditer(code):
+            unordered_names.add(m.group(1))
+
+    layer = layer_of(rel)
+    in_src = rel.parts[0] == "src"
+
+    for lineno, code in enumerate(code_lines, 1):
+        def report(rule: str, message: str) -> None:
+            if rule in file_waived:
+                return
+            f = Finding(rel, lineno, rule, message)
+            # Same line, then upward through the contiguous comment block.
+            probes = [raw_lines[lineno - 1]]
+            i = lineno - 2
+            while i >= 0 and raw_lines[i].lstrip().startswith("//"):
+                probes.append(raw_lines[i])
+                i -= 1
+            for probe in probes:
+                m = WAIVER.search(probe)
+                if m and m.group(1) == rule:
+                    f.waived = True
+                    f.waiver_reason = m.group(2).strip()
+                    break
+            findings.append(f)
+
+        for m in WAIVER.finditer(raw_lines[lineno - 1]):
+            waivers_seen.append((lineno, m.group(1), m.group(2).strip()))
+
+        # unordered-iter: range-for / begin()-loop over a known unordered name.
+        for m in RANGE_FOR.finditer(code):
+            if m.group(1) in unordered_names:
+                report("unordered-iter",
+                       f"range-for over unordered container '{m.group(1)}'; "
+                       "iterate det::SortedKeys(...) or migrate to det::Map/det::Set")
+        for m in ITER_FOR.finditer(code):
+            if m.group(1) in unordered_names:
+                report("unordered-iter",
+                       f"iterator loop over unordered container '{m.group(1)}'")
+
+        # nondet-source: everywhere except the sanctioned RNG wrapper.
+        if rel.as_posix() != RNG_HOME:
+            m = NONDET.search(code)
+            if m:
+                report("nondet-source",
+                       f"'{m.group(0).strip()}' is a nondeterminism source; use "
+                       "common/rng.h (randomness) or sim::Simulator::Now() (time)")
+
+        # pointer-key.
+        if POINTER_KEY.search(code):
+            report("pointer-key",
+                   "ordered container keyed by pointer: iteration order is the "
+                   "allocator's address layout; key by an id instead")
+
+        # check-side-effect: first argument of check/audit macros. Joins up to
+        # 3 continuation lines so multiline conditions are covered.
+        for m in CHECK_MACRO.finditer(code):
+            blob = " ".join(code_lines[lineno - 1:lineno + 3])
+            start = blob.find("(", blob.find(m.group(0).rstrip("(").rstrip()))
+            if start < 0:
+                continue
+            arg = first_arg_span(blob, start)
+            sm = SIDE_EFFECT.search(arg)
+            if sm:
+                report("check-side-effect",
+                       f"'{sm.group(0).strip()}' inside {m.group(0).rstrip('(').strip()} "
+                       "condition; hoist the mutation out of the check")
+
+        # layering: src-internal includes must point at the same or a lower layer.
+        if in_src and layer is not None:
+            # Raw line: the comment/string stripper empties quoted paths.
+            im = INCLUDE.search(raw_lines[lineno - 1])
+            if im:
+                target = im.group(1).split("/")[0]
+                if target in LAYERS and target != layer and target not in LAYERS[layer]:
+                    report("layering",
+                           f"src/{layer} must not include {im.group(1)} "
+                           f"(allowed: {', '.join(sorted(LAYERS[layer] | {layer}))})")
+
+    return findings, waivers_seen
+
+
+def default_paths(repo: Path) -> list[Path]:
+    """THE path-set. scripts/lint.sh, CI and the self-test all lint exactly
+    this: every C++ file under src/, bench/, tests/ and examples/."""
+    out: list[Path] = []
+    for sub in ("src", "bench", "tests", "examples"):
+        root = repo / sub
+        if not root.is_dir():
+            continue
+        for ext in ("*.h", "*.cc", "*.cpp", "*.hpp"):
+            out.extend(sorted(p for p in root.rglob(ext)
+                              if "lint_fixtures" not in p.parts))
+    return out
+
+
+def run_lint(repo: Path, paths: list[Path], max_waivers: int,
+             list_waivers: bool) -> int:
+    all_findings: list[Finding] = []
+    all_waivers: list[tuple[Path, int, str, str]] = []
+    for path in paths:
+        findings, waivers = lint_file(path, repo)
+        all_findings.extend(findings)
+        for lineno, rule, reason in waivers:
+            all_waivers.append((path.relative_to(repo), lineno, rule, reason))
+
+    violations = [f for f in all_findings if not f.waived]
+    waived = [f for f in all_findings if f.waived]
+    failed = False
+
+    for f in violations:
+        print(f)
+    if violations:
+        failed = True
+
+    unjustified = [(p, l, r) for p, l, r, reason in all_waivers if not reason]
+    for p, l, r in unjustified:
+        print(f"{p}:{l}: [waiver] allow({r}) without a reason; append ' -- <why>'")
+        failed = True
+
+    unknown = [(p, l, r) for p, l, r, _ in all_waivers if r not in RULES]
+    for p, l, r in unknown:
+        print(f"{p}:{l}: [waiver] allow({r}) names no known rule {RULES}")
+        failed = True
+
+    if len(all_waivers) > max_waivers:
+        print(f"waiver budget exceeded: {len(all_waivers)} waivers > {max_waivers} allowed")
+        failed = True
+
+    if list_waivers:
+        for p, l, r, reason in all_waivers:
+            print(f"waiver {p}:{l}: allow({r}) -- {reason}")
+
+    print(f"hoplite-lint: {len(paths)} files, {len(violations)} violations, "
+          f"{len(waived)} waived findings, {len(all_waivers)}/{max_waivers} waivers")
+    return 1 if failed else 0
+
+
+def run_self_test(repo: Path, fixtures: Path) -> int:
+    """Every fixture line tagged '// expect-lint: <rule>' must produce exactly
+    that finding; fixtures must produce no untagged findings; the waiver
+    fixture must fully suppress its own."""
+    files = sorted(fixtures.rglob("*.cc")) + sorted(fixtures.rglob("*.h"))
+    if not files:
+        print(f"self-test: no fixtures under {fixtures}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        # The fixture dir acts as its own repo root, so fixtures can mirror
+        # src/<layer>/ paths and exercise the layering rule.
+        findings, _ = lint_file(path, fixtures)
+        expected: set[tuple[int, str]] = set()
+        for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            for m in EXPECT.finditer(raw):
+                expected.add((lineno, m.group(1)))
+        got = {(f.line, f.rule) for f in findings if not f.waived}
+        waived = {(f.line, f.rule) for f in findings if f.waived}
+        for miss in sorted(expected - got):
+            print(f"self-test MISS {path.relative_to(repo)}:{miss[0]}: "
+                  f"expected [{miss[1]}], not reported")
+            failures += 1
+        for extra in sorted(got - expected):
+            print(f"self-test EXTRA {path.relative_to(repo)}:{extra[0]}: "
+                  f"unexpected [{extra[1]}]")
+            failures += 1
+        if "waived" in path.name and (got or not waived):
+            print(f"self-test {path.relative_to(repo)}: waiver fixture must "
+                  f"waive everything (got {len(got)} live, {len(waived)} waived)")
+            failures += 1
+    print(f"self-test: {len(files)} fixtures, {failures} failures")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files to lint (default: the repo path-set)")
+    parser.add_argument("--repo", type=Path, default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: this script's parent's parent)")
+    parser.add_argument("--max-waivers", type=int, default=10,
+                        help="total waiver budget across the path-set")
+    parser.add_argument("--list-waivers", action="store_true",
+                        help="print every waiver with its justification")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run against tests/lint_fixtures expectations instead")
+    args = parser.parse_args()
+
+    repo = args.repo.resolve()
+    if args.self_test:
+        return run_self_test(repo, repo / "tests" / "lint_fixtures")
+    paths = [p.resolve() for p in args.paths] if args.paths else default_paths(repo)
+    missing = [p for p in paths if not p.is_file()]
+    if missing:
+        print(f"no such file: {missing[0]}", file=sys.stderr)
+        return 2
+    return run_lint(repo, paths, args.max_waivers, args.list_waivers)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

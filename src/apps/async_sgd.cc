@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <memory>
-#include <unordered_set>
 
 #include "baselines/ray_like.h"
+#include "common/det.h"
 #include "common/logging.h"
 #include "core/client.h"
 #include "core/cluster.h"
@@ -54,7 +54,7 @@ struct HopliteSgd {
   std::vector<ObjectID> outstanding;   ///< gradient futures not yet reduced
   int round = 0;
   SimTime round_start = 0;
-  std::unordered_set<std::uint64_t> awaiting_model;  ///< worker grads... nodes waiting
+  det::Set<std::uint64_t> awaiting_model;  ///< worker grads... nodes waiting
   int pending_broadcast = 0;
   bool finished = false;
 
@@ -229,7 +229,7 @@ struct RaySgd {
   bool broadcasting = false;
   int applied_this_round = 0;
   int pending_broadcast = 0;
-  std::unordered_set<std::uint64_t> awaiting_model;
+  det::Set<std::uint64_t> awaiting_model;
   bool finished = false;
 
   void Run() {

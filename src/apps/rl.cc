@@ -1,10 +1,10 @@
 #include "apps/rl.h"
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "baselines/ray_like.h"
+#include "common/det.h"
 #include "common/logging.h"
 #include "core/client.h"
 #include "core/cluster.h"
@@ -56,7 +56,7 @@ struct HopliteRl {
   int half = 0;
   std::vector<int> worker_round;
   std::vector<ObjectID> outstanding;
-  std::unordered_map<ObjectID, NodeID> owner_of;  ///< live future -> worker
+  det::Map<ObjectID, NodeID> owner_of;  ///< live future -> worker
   int round = 0;
   int gathered = 0;
   int pending_broadcast = 0;

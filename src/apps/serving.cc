@@ -1,9 +1,9 @@
 #include "apps/serving.h"
 
 #include <memory>
-#include <unordered_set>
 
 #include "baselines/ray_like.h"
+#include "common/det.h"
 #include "common/logging.h"
 #include "core/client.h"
 #include "core/cluster.h"
@@ -45,7 +45,7 @@ struct HopliteServing {
 
   int query = 0;
   SimTime query_start = 0;
-  std::unordered_set<std::uint64_t> awaiting_votes;
+  det::Set<std::uint64_t> awaiting_votes;
   std::vector<bool> replica_alive;
 
   void Run() {
@@ -137,7 +137,7 @@ struct RayServing {
 
   int query = 0;
   SimTime query_start = 0;
-  std::unordered_set<std::uint64_t> awaiting_votes;
+  det::Set<std::uint64_t> awaiting_votes;
   std::vector<bool> replica_alive;
   std::vector<bool> replica_known_alive;  ///< frontend's (delayed) view
 

@@ -1,0 +1,47 @@
+// Deep structural invariant audits, compiled in behind -DHOPLITE_AUDITS.
+//
+// HOPLITE_CHECK guards cheap, always-on invariants. HOPLITE_AUDIT is the tier
+// above it: O(n) walks over whole data structures (per-link rate conservation,
+// event-heap consistency, directory table shape, store byte accounting) that
+// are far too expensive for release runs but catch corruption at the mutation
+// that caused it instead of thousands of events later. The audits CI lane
+// builds with -DHOPLITE_AUDITS=ON and runs the full test suite plus a reduced
+// figure sweep with every audit live.
+//
+// Anti-rot: the audited condition is *always compiled* — in normal builds it
+// sits behind a short-circuiting `constexpr false`, so the optimizer deletes
+// it but the compiler still type-checks it. An audit can never silently go
+// stale the way `#ifdef`-guarded blocks do.
+#pragma once
+
+#include "common/logging.h"
+
+namespace hoplite::audit {
+
+#ifdef HOPLITE_AUDITS
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+}  // namespace hoplite::audit
+
+/// Aborts when audits are enabled and `cond` is false. In non-audit builds
+/// the condition is type-checked but never evaluated (no runtime cost).
+#define HOPLITE_AUDIT(cond)                                                \
+  (!::hoplite::audit::kEnabled || (cond))                                  \
+      ? (void)0                                                            \
+      : ::hoplite::internal::LogMessageVoidify() &                         \
+            ::hoplite::internal::LogMessage(                               \
+                ::hoplite::internal::LogLevel::kFatal, __FILE__, __LINE__) \
+                .stream()                                                  \
+                << "Audit failed: " #cond " "
+
+/// Runs `body` (typically a call to an AuditX() walk) only in audit builds.
+/// Unlike #ifdef, the body always compiles.
+#define HOPLITE_AUDIT_SCOPE(body)                 \
+  do {                                            \
+    if constexpr (::hoplite::audit::kEnabled) {   \
+      body;                                       \
+    }                                             \
+  } while (false)

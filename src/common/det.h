@@ -1,0 +1,217 @@
+// Deterministic flat associative containers.
+//
+// det::Map and det::Set are sorted-vector adapters with (a subset of) the
+// std::unordered_map/std::unordered_set interface. Iteration visits keys in
+// ascending order *by construction*, so range-for over one of these can never
+// leak hash-table placement into simulation state — the property the
+// determinism contract (scripts/lint_determinism.py) enforces tree-wide.
+// ObjectDirectory's location table proved the idiom: the tables this codebase
+// iterates are scanned far more often than they are mutated, so a contiguous
+// sorted vector also beats the node-based hash map on locality.
+//
+// Complexity: find/count/lower_bound are O(log n); insert/erase are O(n)
+// moves (cheap for the move-friendly values stored here). References and
+// iterators are invalidated by insert/erase, like std::vector — callers that
+// hold a reference across a mutation must re-find, exactly as the hash-map
+// call sites already did for rehash-unsafe patterns.
+//
+// Keys only need operator< (std::less by default); no std::hash required.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace hoplite::det {
+
+/// Sorted-vector map with deterministic (ascending-key) iteration order.
+template <typename Key, typename T, typename Compare = std::less<Key>>
+class Map {
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+  using value_type = std::pair<Key, T>;
+  using storage_type = std::vector<value_type>;
+  using iterator = typename storage_type::iterator;
+  using const_iterator = typename storage_type::const_iterator;
+  using size_type = std::size_t;
+
+  Map() = default;
+
+  [[nodiscard]] iterator begin() noexcept { return items_.begin(); }
+  [[nodiscard]] iterator end() noexcept { return items_.end(); }
+  [[nodiscard]] const_iterator begin() const noexcept { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return items_.end(); }
+  [[nodiscard]] const_iterator cbegin() const noexcept { return items_.cbegin(); }
+  [[nodiscard]] const_iterator cend() const noexcept { return items_.cend(); }
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] size_type size() const noexcept { return items_.size(); }
+  void clear() noexcept { items_.clear(); }
+  void reserve(size_type n) { items_.reserve(n); }
+
+  [[nodiscard]] iterator lower_bound(const Key& key) {
+    return std::lower_bound(items_.begin(), items_.end(), key, KeyLess{});
+  }
+  [[nodiscard]] const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(items_.begin(), items_.end(), key, KeyLess{});
+  }
+
+  [[nodiscard]] iterator find(const Key& key) {
+    const auto it = lower_bound(key);
+    return (it != items_.end() && !Compare{}(key, it->first)) ? it : items_.end();
+  }
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    const auto it = lower_bound(key);
+    return (it != items_.end() && !Compare{}(key, it->first)) ? it : items_.end();
+  }
+
+  [[nodiscard]] size_type count(const Key& key) const {
+    return find(key) == items_.end() ? 0 : 1;
+  }
+  [[nodiscard]] bool contains(const Key& key) const { return count(key) > 0; }
+
+  [[nodiscard]] T& at(const Key& key) {
+    const auto it = find(key);
+    HOPLITE_CHECK(it != items_.end()) << "det::Map::at: key not present";
+    return it->second;
+  }
+  [[nodiscard]] const T& at(const Key& key) const {
+    const auto it = find(key);
+    HOPLITE_CHECK(it != items_.end()) << "det::Map::at: key not present";
+    return it->second;
+  }
+
+  T& operator[](const Key& key) { return try_emplace(key).first->second; }
+
+  /// Inserts {key, T(args...)} if absent; the mapped value is only
+  /// constructed when the insertion happens.
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(const Key& key, Args&&... args) {
+    auto it = lower_bound(key);
+    if (it != items_.end() && !Compare{}(key, it->first)) return {it, false};
+    it = items_.emplace(it, std::piecewise_construct, std::forward_as_tuple(key),
+                        std::forward_as_tuple(std::forward<Args>(args)...));
+    return {it, true};
+  }
+
+  /// unordered_map-style emplace(key, value-ctor-args...). Like try_emplace,
+  /// arguments are not consumed when the key already exists.
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const Key& key, Args&&... args) {
+    return try_emplace(key, std::forward<Args>(args)...);
+  }
+
+  std::pair<iterator, bool> insert(value_type value) {
+    auto it = lower_bound(value.first);
+    if (it != items_.end() && !Compare{}(value.first, it->first)) return {it, false};
+    it = items_.insert(it, std::move(value));
+    return {it, true};
+  }
+
+  iterator erase(const_iterator pos) { return items_.erase(pos); }
+  iterator erase(const_iterator first, const_iterator last) {
+    return items_.erase(first, last);
+  }
+  size_type erase(const Key& key) {
+    const auto it = find(key);
+    if (it == items_.end()) return 0;
+    items_.erase(it);
+    return 1;
+  }
+
+ private:
+  struct KeyLess {
+    [[nodiscard]] bool operator()(const value_type& item, const Key& key) const {
+      return Compare{}(item.first, key);
+    }
+  };
+
+  storage_type items_;
+};
+
+/// Sorted-vector set with deterministic (ascending) iteration order.
+template <typename Key, typename Compare = std::less<Key>>
+class Set {
+ public:
+  using key_type = Key;
+  using value_type = Key;
+  using storage_type = std::vector<Key>;
+  using iterator = typename storage_type::const_iterator;
+  using const_iterator = typename storage_type::const_iterator;
+  using size_type = std::size_t;
+
+  Set() = default;
+
+  [[nodiscard]] const_iterator begin() const noexcept { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return items_.end(); }
+  [[nodiscard]] const_iterator cbegin() const noexcept { return items_.cbegin(); }
+  [[nodiscard]] const_iterator cend() const noexcept { return items_.cend(); }
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] size_type size() const noexcept { return items_.size(); }
+  void clear() noexcept { items_.clear(); }
+  void reserve(size_type n) { items_.reserve(n); }
+
+  [[nodiscard]] const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(items_.begin(), items_.end(), key, Compare{});
+  }
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    const auto it = lower_bound(key);
+    return (it != items_.end() && !Compare{}(key, *it)) ? it : items_.end();
+  }
+  [[nodiscard]] size_type count(const Key& key) const {
+    return find(key) == items_.end() ? 0 : 1;
+  }
+  [[nodiscard]] bool contains(const Key& key) const { return count(key) > 0; }
+
+  std::pair<const_iterator, bool> insert(Key key) {
+    const auto lb = lower_bound(key);
+    if (lb != items_.end() && !Compare{}(key, *lb)) return {lb, false};
+    const auto it = items_.insert(items_.begin() + (lb - items_.begin()), std::move(key));
+    return {it, true};
+  }
+
+  const_iterator erase(const_iterator pos) {
+    return items_.erase(items_.begin() + (pos - items_.cbegin()));
+  }
+  size_type erase(const Key& key) {
+    const auto it = find(key);
+    if (it == items_.end()) return 0;
+    items_.erase(items_.begin() + (it - items_.cbegin()));
+    return 1;
+  }
+
+ private:
+  storage_type items_;
+};
+
+template <typename K, typename V>
+[[nodiscard]] inline const K& KeyOf(const std::pair<const K, V>& item) {
+  return item.first;
+}
+template <typename K>
+[[nodiscard]] inline const K& KeyOf(const K& item) {
+  return item;
+}
+
+/// Deterministic view of a hash container's key set: the one blessed way to
+/// iterate a std::unordered_map/set. The hash-order walk is confined to this
+/// helper; the caller's loop runs over the sorted copy.
+template <typename Container>
+[[nodiscard]] std::vector<typename Container::key_type> SortedKeys(const Container& items) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(items.size());
+  // hoplite-lint: allow(unordered-iter) — keys are sorted before anything
+  // observes them; this helper exists so call sites never iterate raw.
+  for (const auto& item : items) keys.push_back(KeyOf(item));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace hoplite::det

@@ -8,6 +8,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -61,6 +62,39 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Swallows a stream expression inside the false arm of a ternary; makes the
+/// check macros single expressions, immune to dangling-else ambiguity.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) noexcept {}
+};
+
+/// Formats "(lhs vs rhs) " for a failed binary check. Out of line of the
+/// comparison so the success path stays allocation-free.
+template <typename A, typename B>
+[[nodiscard]] std::unique_ptr<std::string> MakeCheckOpString(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "(" << a << " vs " << b << ") ";
+  return std::make_unique<std::string>(os.str());
+}
+
+/// One comparator per binary check macro. Each operand is evaluated exactly
+/// once (glog's CheckOp idiom): the macros pass the expressions here by
+/// reference instead of pasting them into both the condition and the message.
+#define HOPLITE_INTERNAL_DEFINE_CHECK_OP(name, op)                              \
+  template <typename A, typename B>                                             \
+  [[nodiscard]] inline std::unique_ptr<std::string> Check##name(const A& a,     \
+                                                                const B& b) {   \
+    if (a op b) return nullptr;                                                 \
+    return MakeCheckOpString(a, b);                                             \
+  }
+HOPLITE_INTERNAL_DEFINE_CHECK_OP(EQ, ==)
+HOPLITE_INTERNAL_DEFINE_CHECK_OP(NE, !=)
+HOPLITE_INTERNAL_DEFINE_CHECK_OP(LT, <)
+HOPLITE_INTERNAL_DEFINE_CHECK_OP(LE, <=)
+HOPLITE_INTERNAL_DEFINE_CHECK_OP(GT, >)
+HOPLITE_INTERNAL_DEFINE_CHECK_OP(GE, >=)
+#undef HOPLITE_INTERNAL_DEFINE_CHECK_OP
+
 }  // namespace hoplite::internal
 
 #define HOPLITE_LOG(level)                                                           \
@@ -69,20 +103,32 @@ class LogMessage {
       .stream()
 
 /// Aborts with a message when `cond` is false. Use for library invariants.
-#define HOPLITE_CHECK(cond)                                              \
-  if (!(cond))                                                           \
-  ::hoplite::internal::LogMessage(::hoplite::internal::LogLevel::kFatal, \
-                                  __FILE__, __LINE__)                    \
-      .stream()                                                          \
-      << "Check failed: " #cond " "
+/// Expands to a single expression (no bare if), so it nests under
+/// unbraced if/else without dangling-else surprises.
+#define HOPLITE_CHECK(cond)                                                \
+  (cond) ? (void)0                                                         \
+         : ::hoplite::internal::LogMessageVoidify() &                      \
+               ::hoplite::internal::LogMessage(                            \
+                   ::hoplite::internal::LogLevel::kFatal, __FILE__,        \
+                   __LINE__)                                               \
+                   .stream()                                               \
+                   << "Check failed: " #cond " "
 
-#define HOPLITE_CHECK_EQ(a, b) \
-  HOPLITE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
-#define HOPLITE_CHECK_NE(a, b) \
-  HOPLITE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
-#define HOPLITE_CHECK_LT(a, b) HOPLITE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
-#define HOPLITE_CHECK_LE(a, b) \
-  HOPLITE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
-#define HOPLITE_CHECK_GT(a, b) HOPLITE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
-#define HOPLITE_CHECK_GE(a, b) \
-  HOPLITE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+/// Binary checks: each operand is evaluated exactly once, so conditions with
+/// side effects (counters, pops) cannot double-fire in the failure message.
+/// The while-loop is glog's CHECK_OP idiom: it cannot dangle an else, and it
+/// never iterates twice — the fatal LogMessage aborts at the end of the body.
+#define HOPLITE_CHECK_OP(name, opstr, a, b)                                \
+  while (auto hoplite_check_failure_ =                                     \
+             ::hoplite::internal::Check##name((a), (b)))                   \
+  ::hoplite::internal::LogMessage(::hoplite::internal::LogLevel::kFatal,   \
+                                  __FILE__, __LINE__)                      \
+      .stream()                                                            \
+      << "Check failed: " #a " " opstr " " #b " " << *hoplite_check_failure_
+
+#define HOPLITE_CHECK_EQ(a, b) HOPLITE_CHECK_OP(EQ, "==", a, b)
+#define HOPLITE_CHECK_NE(a, b) HOPLITE_CHECK_OP(NE, "!=", a, b)
+#define HOPLITE_CHECK_LT(a, b) HOPLITE_CHECK_OP(LT, "<", a, b)
+#define HOPLITE_CHECK_LE(a, b) HOPLITE_CHECK_OP(LE, "<=", a, b)
+#define HOPLITE_CHECK_GT(a, b) HOPLITE_CHECK_OP(GT, ">", a, b)
+#define HOPLITE_CHECK_GE(a, b) HOPLITE_CHECK_OP(GE, ">=", a, b)

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "common/det.h"
 #include "common/logging.h"
 #include "core/cluster.h"
 #include "core/reduce.h"
@@ -79,10 +80,10 @@ void HopliteClient::PrunePromises() {
   // settled entries across long runs.
   if (++prune_countdown_ < 64) return;
   prune_countdown_ = 0;
-  for (auto it = get_promises_.begin(); it != get_promises_.end();) {
-    auto& vec = it->second;
+  for (const ObjectID object : det::SortedKeys(get_promises_)) {
+    auto& vec = get_promises_.find(object)->second;
     std::erase_if(vec, [](const RefPromise<store::Buffer>& p) { return p.settled(); });
-    it = vec.empty() ? get_promises_.erase(it) : std::next(it);
+    if (vec.empty()) get_promises_.erase(object);
   }
   std::erase_if(misc_promises_, [](const TrackedPromise& p) { return p.settled(); });
 }
@@ -242,19 +243,21 @@ void HopliteClient::OnClaimReply(const directory::ClaimReply& reply) {
   session.sender = reply.sender;
   session.sender_chain = reply.sender_chain;
   session.object_size = reply.object_size;
+  const std::uint32_t epoch = session.expected_epoch;
 
   auto& st = local_store();
   if (!st.Contains(reply.object)) {
     st.CreatePartial(reply.object, reply.object_size, store::CopyKind::kReplica,
                      config_.chunk_size);
   }
-  for (auto& [options, callback] : session.early_waiters) {
+  // Deliver from a moved-out snapshot: DeliverLocal may re-enter the client
+  // and rehash/mutate fetches_, which would invalidate `session`.
+  auto waiters = std::exchange(session.early_waiters, {});
+  for (auto& [options, callback] : waiters) {
     DeliverLocal(reply.object, options, std::move(callback));
   }
-  session.early_waiters.clear();
 
   const std::int64_t resume = st.ChunksReady(reply.object);
-  const std::uint32_t epoch = session.expected_epoch;
   const ObjectID object = reply.object;
   const NodeID sender = reply.sender;
   const NodeID receiver = node_;
@@ -706,9 +709,11 @@ void HopliteClient::FinishCoordinator(ReduceId id) {
 // ======================================================================
 
 void HopliteClient::OnPeerFailed(NodeID failed) {
-  // Broadcast fetches streaming from the dead node: re-claim and resume.
+  // Broadcast fetches streaming from the dead node: re-claim and resume, in
+  // ascending object order so the re-claim sequence is deterministic.
   std::vector<ObjectID> to_reclaim;
-  for (const auto& [object, session] : fetches_) {
+  for (const ObjectID object : det::SortedKeys(fetches_)) {
+    const FetchSession& session = fetches_.find(object)->second;
     if (!session.claiming && session.sender == failed) to_reclaim.push_back(object);
   }
   for (const ObjectID object : to_reclaim) {
@@ -722,8 +727,12 @@ void HopliteClient::OnPeerFailed(NodeID failed) {
   }
   for (const auto& key : dead_pushes) EndPush(key);
 
-  // Reduce coordinators repair their trees.
-  for (auto& [id, coordinator] : coordinators_) coordinator->OnNodeFailed(failed);
+  // Reduce coordinators repair their trees (ascending id: repairs emit
+  // control messages, so their order is simulation-visible).
+  for (const ReduceId id : det::SortedKeys(coordinators_)) {
+    const auto it = coordinators_.find(id);
+    if (it != coordinators_.end()) it->second->OnNodeFailed(failed);
+  }
 
   // Reduce sessions whose coordinator died are orphans.
   for (auto it = reduce_sessions_.begin(); it != reduce_sessions_.end();) {
@@ -742,8 +751,8 @@ void HopliteClient::OnKilled() {
   // and a recovered incarnation's fresh promises must not be swept up. Each
   // death gets its own batch so back-to-back deaths reject independently.
   std::vector<TrackedPromise> batch;
-  for (auto& [object, promises] : get_promises_) {
-    for (auto& promise : promises) {
+  for (const ObjectID object : det::SortedKeys(get_promises_)) {
+    for (auto& promise : get_promises_.find(object)->second) {
       batch.push_back(TrackedPromise{
           [promise] { return promise.settled(); },
           [promise](const RefError& error) { promise.Reject(error); }});
@@ -756,8 +765,8 @@ void HopliteClient::OnKilled() {
   doomed_batches_.push_back(std::move(batch));
   fetches_.clear();
   pushes_.clear();  // store is wiped below; no need to unsubscribe
-  for (auto& [object, vec] : deliveries_) {
-    for (const auto& delivery : vec) delivery->cancelled = true;
+  for (const ObjectID object : det::SortedKeys(deliveries_)) {
+    for (const auto& delivery : deliveries_.find(object)->second) delivery->cancelled = true;
   }
   deliveries_.clear();
   coordinators_.clear();

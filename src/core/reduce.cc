@@ -239,7 +239,7 @@ void ReduceCoordinator::RepairAfterFailure(const std::vector<int>& vacated) {
   // §3.5.2: the failed position is replaced by the next ready object; every
   // ancestor clears its partially reduced result (at most log_d n of them),
   // and unaffected siblings re-send their retained outputs.
-  std::unordered_set<int> resets;
+  det::Set<int> resets;
   for (const int position : vacated) {
     for (const int ancestor : shape_->Ancestors(position)) resets.insert(ancestor);
   }
@@ -350,6 +350,13 @@ void ReduceCoordinator::Finish() {
     for (std::size_t position = 0; position < TreeSize(); ++position) {
       hosts.insert(sources_[position_source_[position]].host);
     }
+    // hoplite-lint: allow(unordered-iter) -- teardown message order is pinned
+    // to the frozen figure baselines: any other deterministic order (sorted,
+    // first-position, reverse) shifts control-message contention during the
+    // broadcast half of allreduce and moves fig7/fig13 values. The order is
+    // still reproducible run-to-run (fixed insertion sequence, no hash
+    // randomization); only cross-stdlib portability is waived. Re-migrate to
+    // det::Set the next time the figure baselines are re-frozen.
     for (const NodeID host : hosts) {
       if (!cluster.IsAlive(host)) continue;
       cluster.SendControl(client_.node(), host, [&cluster, host, id = id_] {
@@ -520,14 +527,11 @@ std::int64_t ReduceSession::OutputReady() const {
 store::Buffer ReduceSession::ComputeFinalPayload() const {
   HOPLITE_CHECK(own_complete_);
   HOPLITE_CHECK_EQ(child_payload_.size(), expected_child_epoch_.size());
-  // Deterministic fold order: own object, then children by tree index.
-  std::vector<int> children;
-  children.reserve(child_payload_.size());
-  for (const auto& [child, payload] : child_payload_) children.push_back(child);
-  std::sort(children.begin(), children.end());
+  // Deterministic fold order: own object, then children by tree index
+  // (det::Map iterates in ascending key order by construction).
   store::Buffer result = own_payload_;
-  for (const int child : children) {
-    result = store::Buffer::Reduce(result, child_payload_.at(child), assignment_.op);
+  for (const auto& [child, payload] : child_payload_) {
+    result = store::Buffer::Reduce(result, payload, assignment_.op);
   }
   return result;
 }

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/det.h"
 #include "common/ids.h"
 #include "core/reduce_tree.h"
 #include "core/types.h"
@@ -156,9 +157,11 @@ class ReduceSession {
 
   HopliteClient& client_;
   ReduceAssignment assignment_;
-  std::unordered_map<int, ReduceEpoch> expected_child_epoch_;
-  std::unordered_map<int, std::int64_t> child_upto_;
-  std::unordered_map<int, store::Buffer> child_payload_;
+  // det::Map: iterated when folding child payloads and computing the ready
+  // watermark, so the walk order (ascending tree index) must be fixed.
+  det::Map<int, ReduceEpoch> expected_child_epoch_;
+  det::Map<int, std::int64_t> child_upto_;
+  det::Map<int, store::Buffer> child_payload_;
 
   std::int64_t own_ready_ = 0;
   bool own_complete_ = false;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/audit.h"
+#include "common/det.h"
+
 namespace hoplite::directory {
 
 namespace {
@@ -186,6 +189,53 @@ void ObjectDirectory::Grant(ObjectID object, ObjectEntry& entry, NodeID sender,
                      [callback = std::move(callback), reply = std::move(reply)] {
                        callback(reply);
                      });
+  HOPLITE_AUDIT_SCOPE(AuditEntry(entry));
+}
+
+void ObjectDirectory::AuditEntry(const ObjectEntry& entry) const {
+  for (std::size_t i = 0; i < entry.locations.size(); ++i) {
+    const LocationRecord& rec = entry.locations[i];
+    if (i > 0) {
+      HOPLITE_AUDIT(entry.locations[i - 1].node < rec.node)
+          << "location table not sorted strictly ascending at node " << rec.node;
+    }
+    const Location& loc = rec.loc;
+    HOPLITE_AUDIT((loc.state == LocationState::kBusy) == (loc.serving != kInvalidNode))
+        << "busy/serving mismatch on node " << rec.node;
+    HOPLITE_AUDIT(loc.serving != rec.node) << "node " << rec.node << " is serving itself";
+    if (loc.complete) {
+      HOPLITE_AUDIT(loc.chain.empty())
+          << "complete copy on node " << rec.node << " kept a dependency chain";
+    }
+    HOPLITE_AUDIT(std::find(loc.chain.begin(), loc.chain.end(), rec.node) ==
+                  loc.chain.end())
+        << "node " << rec.node << " appears in its own dependency chain";
+  }
+  if (!entry.locations.empty() || entry.is_inline) {
+    HOPLITE_AUDIT(entry.size >= 0) << "located object with unknown size";
+  }
+  if (entry.is_inline) {
+    HOPLITE_AUDIT(entry.inline_payload.size() == entry.size)
+        << "(inline payload " << entry.inline_payload.size() << " bytes vs size "
+        << entry.size << ")";
+  }
+  for (std::size_t i = 0; i < entry.subscribers.size(); ++i) {
+    HOPLITE_AUDIT(entry.subscribers[i].first < next_subscription_);
+    if (i > 0) {
+      HOPLITE_AUDIT(entry.subscribers[i - 1].first < entry.subscribers[i].first)
+          << "subscriber list out of id order";
+    }
+  }
+  for (const ParkedClaim& claim : entry.parked) {
+    HOPLITE_AUDIT(claim.receiver != kInvalidNode);
+    HOPLITE_AUDIT(claim.callback != nullptr);
+  }
+}
+
+void ObjectDirectory::AuditDirectory() const {
+  for (const ObjectID object : det::SortedKeys(objects_)) {
+    AuditEntry(objects_.find(object)->second);
+  }
 }
 
 void ObjectDirectory::ClaimSender(ObjectID object, NodeID receiver, ClaimCallback callback) {
@@ -243,6 +293,9 @@ void ObjectDirectory::ServeParked(ObjectID object) {
   auto obj_it = objects_.find(object);
   if (obj_it == objects_.end()) return;
   ObjectEntry& entry = obj_it->second;
+  // The caller just mutated this entry; audit the post-mutation shape before
+  // grants mutate it further (Grant audits again after each grant).
+  HOPLITE_AUDIT_SCOPE(AuditEntry(entry));
   if (entry.is_inline) {
     // Everything parked resolves through the inline cache.
     auto parked = std::move(entry.parked);
@@ -394,8 +447,10 @@ void ObjectDirectory::Publish(ObjectID object, const ObjectEntry& entry,
 void ObjectDirectory::NodeFailed(NodeID node) {
   // Failure cleanup is applied immediately: the directory learns about the
   // death from the failure detector, which already waited the detection
-  // delay before telling anyone.
-  for (auto& [object, entry] : objects_) {
+  // delay before telling anyone. Walk objects by ascending id so the order
+  // of failure publishes / parked-claim grants is deterministic.
+  for (const ObjectID object : det::SortedKeys(objects_)) {
+    ObjectEntry& entry = objects_.find(object)->second;
     if (entry.RemoveLocation(node)) {
       Publish(object, entry, LocationEvent{object, node, entry.size, false, true});
     }
@@ -413,6 +468,7 @@ void ObjectDirectory::NodeFailed(NodeID node) {
                  parked.end());
     ServeParked(object);
   }
+  HOPLITE_AUDIT_SCOPE(AuditDirectory());
 }
 
 bool ObjectDirectory::HasObject(ObjectID object) const { return objects_.count(object) > 0; }

@@ -196,6 +196,12 @@ class ObjectDirectory {
   /// Total directory operations served (reads + writes), for benches.
   [[nodiscard]] std::uint64_t ops_served() const noexcept { return ops_served_; }
 
+  /// Full table-shape walk (audit builds; also directly callable from tests):
+  /// every location table sorted strictly ascending, busy/serving bits
+  /// cross-consistent, complete copies with empty chains, no copy in its own
+  /// dependency chain, subscriber lists in id order.
+  void AuditDirectory() const;
+
  private:
   struct Location {
     LocationState state = LocationState::kAvailablePartial;
@@ -249,6 +255,9 @@ class ObjectDirectory {
 
   /// Applies a mutation after the directory write latency.
   void ApplyWrite(std::function<void()> mutation);
+
+  /// Per-object slice of AuditDirectory, run after claim-path mutations.
+  void AuditEntry(const ObjectEntry& entry) const;
 
   /// Picks the best available sender for `receiver`, or kInvalidNode.
   [[nodiscard]] NodeID PickSender(const ObjectEntry& entry, NodeID receiver) const;

@@ -45,19 +45,18 @@ bool FlatFabric::CancelTransfer(TransferId id) {
 }
 
 void FlatFabric::AbortTransfersOf(NodeID failed) {
-  // Collect first: failure callbacks may start new transfers.
+  // Deterministic order: walk by ascending transfer id (== start order) and
+  // collect first — failure callbacks may start new transfers.
   std::vector<FailureCallback> to_notify;
-  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+  for (const TransferId id : det::SortedKeys(in_flight_)) {
+    const auto it = in_flight_.find(id);
     InFlight& flight = it->second;
-    if (flight.src == failed || flight.dst == failed) {
-      sim_.Cancel(flight.delivery_event);
-      if (flight.on_failed != nullptr) {
-        to_notify.push_back(std::move(flight.on_failed));
-      }
-      it = in_flight_.erase(it);
-    } else {
-      ++it;
+    if (flight.src != failed && flight.dst != failed) continue;
+    sim_.Cancel(flight.delivery_event);
+    if (flight.on_failed != nullptr) {
+      to_notify.push_back(std::move(flight.on_failed));
     }
+    in_flight_.erase(it);
   }
   for (auto& cb : to_notify) {
     ScheduleFailureNotice(std::move(cb), failed);

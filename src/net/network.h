@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/det.h"
 #include "common/ids.h"
 #include "common/units.h"
 #include "net/fabric.h"

@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "common/audit.h"
+
 namespace hoplite::net {
 
 namespace {
@@ -143,14 +145,14 @@ bool RackFabric::CancelTransfer(TransferId id) {
 }
 
 void RackFabric::AbortTransfersOf(NodeID node) {
-  // Deterministic order: collect the victims, then process by ascending id.
+  // Deterministic order: walk the flow table by ascending id and collect the
+  // victims before processing (failure callbacks may start new transfers).
   std::vector<TransferId> victims;
-  for (const auto& [id, flow] : flows_) {
+  for (const TransferId id : det::SortedKeys(flows_)) {
+    const Flow& flow = flows_.find(id)->second;
     if (flow.src == node || flow.dst == node) victims.push_back(id);
   }
-  std::sort(victims.begin(), victims.end());
-  // Collect callbacks before notifying: failure callbacks may start new
-  // transfers.
+  // Collect callbacks before notifying.
   std::vector<FailureCallback> to_notify;
   std::vector<int>& dirty = dirty_scratch_;
   dirty.clear();
@@ -295,6 +297,71 @@ void RackFabric::Recompute(const std::vector<int>& dirty) {
     PushCompletionRecords(cf.id, *cf.flow);
   }
   CompactHeaps();
+  HOPLITE_AUDIT_SCOPE(AuditFairShare());
+}
+
+void RackFabric::AuditFairShare() const {
+  // Covers the whole fabric, not just the recomputed component: untouched
+  // components keep their rates, so their invariants must still hold.
+  const double eps = 1e-3;
+  std::vector<double> rate_sum(links_.size(), 0);
+  std::vector<double> rate_max(links_.size(), 0);
+  std::size_t wire_flows_on_links = 0;
+  for (std::size_t link = 0; link < links_.size(); ++link) {
+    for (const TransferId id : links_[link].flows) {
+      const auto it = flows_.find(id);
+      HOPLITE_AUDIT(it != flows_.end()) << "link lists unknown flow " << id;
+      const Flow& f = it->second;
+      HOPLITE_AUDIT(f.stage == Stage::kWire) << "link lists delivered flow " << id;
+      rate_sum[link] += f.rate;
+      rate_max[link] = std::max(rate_max[link], f.rate);
+    }
+    wire_flows_on_links += links_[link].flows.size();
+    // Rate conservation: granted fair shares never exceed the link capacity.
+    HOPLITE_AUDIT(rate_sum[link] <= links_[link].capacity * (1 + 1e-6) + eps)
+        << "link " << link << " oversubscribed: " << rate_sum[link] << " of "
+        << links_[link].capacity;
+  }
+  std::size_t wire_count = 0;
+  for (const TransferId id : det::SortedKeys(flows_)) {
+    const Flow& f = flows_.find(id)->second;
+    if (f.stage != Stage::kWire) continue;
+    ++wire_count;
+    HOPLITE_AUDIT(f.num_links == 2 || f.num_links == 4)
+        << "wire flow " << id << " crosses " << f.num_links << " links";
+    HOPLITE_AUDIT(f.rate >= 0 && f.remaining >= 0) << "flow " << id;
+    // Max-min optimality: every wire flow is bottlenecked somewhere — it
+    // crosses a link with no slack where no concurrent flow gets more.
+    bool bottlenecked = false;
+    for (int i = 0; i < f.num_links && !bottlenecked; ++i) {
+      const auto link = static_cast<std::size_t>(f.links[static_cast<std::size_t>(i)]);
+      const double slack = links_[link].capacity - rate_sum[link];
+      bottlenecked = slack <= links_[link].capacity * 1e-6 + eps &&
+                     f.rate >= rate_max[link] - eps;
+    }
+    HOPLITE_AUDIT(bottlenecked)
+        << "flow " << id << " (rate " << f.rate << ") has no max-min bottleneck";
+    // Membership: the flow appears on each of its links' lists.
+    for (int i = 0; i < f.num_links; ++i) {
+      const auto& on_link =
+          links_[static_cast<std::size_t>(f.links[static_cast<std::size_t>(i)])].flows;
+      HOPLITE_AUDIT(std::find(on_link.begin(), on_link.end(), id) != on_link.end())
+          << "flow " << id << " missing from its link list";
+    }
+  }
+  HOPLITE_AUDIT(wire_count == wire_flow_count_)
+      << "(" << wire_count << " wire flows vs counter " << wire_flow_count_ << ")";
+  // Every link membership belongs to a wire flow, and wire flows appear on
+  // exactly num_links lists: the totals must agree.
+  std::size_t expected_memberships = 0;
+  for (const TransferId id : det::SortedKeys(flows_)) {
+    const Flow& f = flows_.find(id)->second;
+    if (f.stage == Stage::kWire) {
+      expected_memberships += static_cast<std::size_t>(f.num_links);
+    }
+  }
+  HOPLITE_AUDIT(wire_flows_on_links == expected_memberships)
+      << "(" << wire_flows_on_links << " link memberships vs " << expected_memberships << ")";
 }
 
 void RackFabric::PushCompletionRecords(TransferId id, Flow& flow) {

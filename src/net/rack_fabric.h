@@ -45,6 +45,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/det.h"
 #include "common/ids.h"
 #include "common/units.h"
 #include "net/fabric.h"
@@ -159,6 +160,10 @@ class RackFabric final : public Fabric {
   void DetachFromLinks(TransferId id, Flow& flow, std::vector<int>& dirty);
   /// Drops stale records once they dominate a heap.
   void CompactHeaps();
+  /// Whole-fabric fair-share audit (audit builds): per-link rate
+  /// conservation, max-min bottleneck optimality, membership and counter
+  /// cross-consistency. Runs after every Recompute.
+  void AuditFairShare() const;
 
   int num_racks_ = 0;
   int nodes_per_rack_ = 0;

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/logging.h"
 #include "common/units.h"
 
@@ -118,6 +119,11 @@ class Simulator {
       HOPLITE_CHECK_GE(ev.time, now_);
       now_ = ev.time;
       ++executed_events_;
+      // Periodic deep audit: O(slots + heap), so amortized across a window
+      // of events to keep audit builds usable at bench scale.
+      if constexpr (audit::kEnabled) {
+        if ((executed_events_ & (kAuditPeriod - 1)) == 0) AuditInvariants();
+      }
       fn();
       return true;
     }
@@ -163,6 +169,45 @@ class Simulator {
     return pred();
   }
 
+  /// Full slot/generation/heap consistency walk (audit builds; also directly
+  /// callable from tests). Verifies that no live event sits behind `now`,
+  /// that every live slot is referenced by exactly one current-generation
+  /// heap record, that the stale-tombstone count matches the heap, and that
+  /// the free list holds exactly the non-live slots, each once.
+  void AuditInvariants() const {
+    std::vector<std::uint32_t> live_refs(slots_.size(), 0);
+    std::size_t stale_records = 0;
+    for (const Event& ev : heap_) {
+      const Slot& s = slots_[ev.slot];
+      if (s.gen == ev.gen && s.live) {
+        HOPLITE_AUDIT(ev.time >= now_)
+            << "live event in slot " << ev.slot << " is behind now";
+        ++live_refs[ev.slot];
+      } else {
+        ++stale_records;
+      }
+    }
+    HOPLITE_AUDIT(stale_records == stale_)
+        << "(" << stale_records << " stale heap records vs counter " << stale_ << ")";
+    std::size_t live_slots = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const std::uint32_t expected = slots_[i].live ? 1 : 0;
+      if (slots_[i].live) ++live_slots;
+      HOPLITE_AUDIT(live_refs[i] == expected)
+          << "slot " << i << " has " << live_refs[i] << " live heap records";
+    }
+    HOPLITE_AUDIT(free_slots_.size() + live_slots == slots_.size())
+        << "(" << free_slots_.size() << " free + " << live_slots << " live vs "
+        << slots_.size() << " slots)";
+    std::vector<bool> freed(slots_.size(), false);
+    for (const std::uint32_t slot : free_slots_) {
+      HOPLITE_AUDIT(slot < slots_.size());
+      HOPLITE_AUDIT(!slots_[slot].live) << "live slot " << slot << " on the free list";
+      HOPLITE_AUDIT(!freed[slot]) << "slot " << slot << " freed twice";
+      freed[slot] = true;
+    }
+  }
+
   /// Number of events executed so far (cancelled events excluded).
   [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_events_; }
   /// Number of heap records currently pending (cancelled-but-unswept included).
@@ -173,6 +218,9 @@ class Simulator {
   [[nodiscard]] bool Idle() const noexcept { return heap_.empty(); }
 
  private:
+  /// Events between consecutive AuditInvariants() walks (power of two).
+  static constexpr std::uint64_t kAuditPeriod = 1024;
+
   /// A heap record: plain data only; the callback lives in the slot array so
   /// heap moves never touch a std::function.
   struct Event {

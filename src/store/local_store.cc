@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/audit.h"
+
 namespace hoplite::store {
 
 void LocalStore::CreatePartial(ObjectID object, std::int64_t size, CopyKind kind,
@@ -20,6 +22,7 @@ void LocalStore::CreatePartial(ObjectID object, std::int64_t size, CopyKind kind
   peak_used_bytes_ = std::max(peak_used_bytes_, used_bytes_);
   entries_.emplace(object, std::move(entry));
   MaybeEvict();
+  HOPLITE_AUDIT_SCOPE(AuditAccounting());
 }
 
 void LocalStore::AdvanceChunks(ObjectID object, std::int64_t chunks_ready) {
@@ -56,6 +59,7 @@ void LocalStore::MarkComplete(ObjectID object, Buffer payload) {
   for (const auto& cb : subs) cb(buf);
   // Completion can turn this entry evictable; re-check capacity.
   MaybeEvict();
+  HOPLITE_AUDIT_SCOPE(AuditAccounting());
 }
 
 void LocalStore::ResetProgress(ObjectID object) {
@@ -69,6 +73,7 @@ void LocalStore::Remove(ObjectID object) {
   auto it = entries_.find(object);
   if (it == entries_.end()) return;
   EraseEntry(it);
+  HOPLITE_AUDIT_SCOPE(AuditAccounting());
 }
 
 void LocalStore::EraseEntry(std::unordered_map<ObjectID, Entry>::iterator it) {
@@ -149,10 +154,38 @@ void LocalStore::Touch(ObjectID object) {
 }
 
 std::vector<ObjectID> LocalStore::ListObjects() const {
-  std::vector<ObjectID> ids;
-  ids.reserve(entries_.size());
-  for (const auto& [id, entry] : entries_) ids.push_back(id);
-  return ids;
+  return det::SortedKeys(entries_);
+}
+
+void LocalStore::AuditAccounting() const {
+  std::int64_t resident = 0;
+  for (const ObjectID object : det::SortedKeys(entries_)) {
+    const Entry& e = entries_.find(object)->second;
+    resident += e.state.size;
+    HOPLITE_AUDIT(e.refs >= 0) << object << " has negative ref count";
+    HOPLITE_AUDIT(e.state.chunks_ready >= 0 &&
+                  e.state.chunks_ready <= e.state.layout.num_chunks())
+        << object << " chunk prefix out of range";
+    if (e.state.complete) {
+      HOPLITE_AUDIT(e.state.chunks_ready == e.state.layout.num_chunks())
+          << object << " complete with a partial chunk prefix";
+      HOPLITE_AUDIT(e.state.payload.size() == e.state.size)
+          << object << " payload/size drift";
+      HOPLITE_AUDIT(e.completion_subs.empty())
+          << object << " kept completion subscribers past completion";
+    }
+    HOPLITE_AUDIT(*e.lru_pos == object) << object << " lru iterator drift";
+    for (const auto& sub : e.chunk_subs) HOPLITE_AUDIT(sub.first < e.next_token);
+    for (const auto& sub : e.completion_subs) HOPLITE_AUDIT(sub.first < e.next_token);
+  }
+  HOPLITE_AUDIT(resident == used_bytes_)
+      << "(" << resident << " resident bytes vs counter " << used_bytes_ << ")";
+  HOPLITE_AUDIT(peak_used_bytes_ >= used_bytes_);
+  HOPLITE_AUDIT(lru_.size() == entries_.size())
+      << "(" << lru_.size() << " lru entries vs " << entries_.size() << " objects)";
+  for (const ObjectID object : lru_) {
+    HOPLITE_AUDIT(entries_.count(object) == 1) << object << " on lru but not resident";
+  }
 }
 
 void LocalStore::MaybeEvict() {

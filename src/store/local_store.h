@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/det.h"
 #include "common/ids.h"
 #include "common/logging.h"
 #include "common/units.h"
@@ -111,14 +112,22 @@ class LocalStore {
   /// All object ids currently present (for tests/debugging).
   [[nodiscard]] std::vector<ObjectID> ListObjects() const;
 
+  /// Full byte-accounting walk (audit builds; also directly callable from
+  /// tests): used_bytes == sum of resident entry sizes, non-negative ref
+  /// counts, entries/lru mutually consistent, complete entries with full
+  /// chunk prefixes and attached payloads.
+  void AuditAccounting() const;
+
  private:
   struct Entry {
     ObjectState state;
     std::int64_t refs = 0;
     std::list<ObjectID>::iterator lru_pos;
     std::uint64_t next_token = 1;
-    std::unordered_map<std::uint64_t, ChunkCallback> chunk_subs;
-    std::unordered_map<std::uint64_t, CompletionCallback> completion_subs;
+    // det::Map so callback firing order is ascending token == subscription
+    // order, not hash placement.
+    det::Map<std::uint64_t, ChunkCallback> chunk_subs;
+    det::Map<std::uint64_t, CompletionCallback> completion_subs;
   };
 
   [[nodiscard]] Entry& MutableEntry(ObjectID object);

@@ -238,7 +238,7 @@ void TaskSystem::OnMembershipChange(NodeID node, bool alive) {
     }
     auto& dir = cluster_.directory();
     std::vector<ObjectID> data_lost;
-    for (const ObjectID output : done_) {
+    for (const ObjectID output : det::SortedKeys(done_)) {
       if (dir.IsInline(output)) continue;  // inline payloads survive (§6)
       if (dir.LocationsOf(output).empty()) data_lost.push_back(output);
     }
@@ -275,7 +275,7 @@ void TaskSystem::OnMembershipChange(NodeID node, bool alive) {
   // location list is authoritative.
   auto& dir = cluster_.directory();
   std::vector<ObjectID> lost_objects;
-  for (const ObjectID output : done_) {
+  for (const ObjectID output : det::SortedKeys(done_)) {
     if (dir.IsInline(output)) continue;  // inline payloads survive (§6)
     if (dir.LocationsOf(output).empty()) lost_objects.push_back(output);
   }

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/det.h"
 #include "common/ids.h"
 #include "common/units.h"
 #include "core/client.h"
@@ -122,7 +123,9 @@ class TaskSystem {
   std::unordered_map<ObjectID, TaskSpec> lineage_;
   std::unordered_map<ObjectID, std::uint64_t> attempt_;  ///< re-execution epoch
   std::deque<ObjectID> pending_;
-  std::unordered_map<ObjectID, NodeID> placed_;  ///< queued or running tasks
+  /// Queued or running tasks. Iterated on membership changes (the resubmit
+  /// order feeds pending_), so the container must iterate deterministically.
+  det::Map<ObjectID, NodeID> placed_;
   std::unordered_set<ObjectID> done_;
   std::vector<int> busy_workers_;
   std::vector<std::deque<ObjectID>> node_queues_;

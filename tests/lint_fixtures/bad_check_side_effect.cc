@@ -1,0 +1,11 @@
+// Lint self-test fixture: deliberate side effects inside check conditions.
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+#include <vector>
+
+#include "common/logging.h"
+
+void CheckWithSideEffects(int next, int limit, std::vector<int>& pending) {
+  HOPLITE_CHECK(++next < limit);  // expect-lint: check-side-effect
+  HOPLITE_CHECK_EQ(next += 2, limit);  // expect-lint: check-side-effect
+  HOPLITE_CHECK(pending.pop_back_token = limit);  // expect-lint: check-side-effect
+}

@@ -1,0 +1,14 @@
+// Lint self-test fixture: deliberate nondeterminism sources.
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long AmbientEntropy() {
+  const long a = std::rand();  // expect-lint: nondet-source
+  const auto t = std::chrono::system_clock::now();  // expect-lint: nondet-source
+  std::random_device entropy;  // expect-lint: nondet-source
+  (void)t;
+  return a + time(nullptr) + entropy();  // expect-lint: nondet-source
+}

@@ -1,0 +1,13 @@
+// Lint self-test fixture: deliberate pointer-keyed ordered containers.
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+#include <map>
+#include <set>
+
+struct Session {};
+
+void PointerKeyed() {
+  std::map<Session*, int> by_session;  // expect-lint: pointer-key
+  std::set<const Session*> live;  // expect-lint: pointer-key
+  (void)by_session;
+  (void)live;
+}

@@ -1,0 +1,18 @@
+// Lint self-test fixture: deliberate unordered-iteration violations.
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+#include <unordered_map>
+#include <unordered_set>
+
+void IterateUnordered() {
+  std::unordered_map<int, int> counts;
+  std::unordered_set<int> seen;
+  for (const auto& [key, value] : counts) {  // expect-lint: unordered-iter
+    (void)key;
+    (void)value;
+  }
+  for (const int element : seen) {  // expect-lint: unordered-iter
+    (void)element;
+  }
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // expect-lint: unordered-iter
+  }
+}

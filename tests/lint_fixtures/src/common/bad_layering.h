@@ -1,0 +1,6 @@
+// Lint self-test fixture: a common/ header reaching up into net/.
+// Never compiled; consumed by `lint_determinism.py --self-test` (the fixture
+// directory is treated as a repo root, so this file sits in layer "common").
+#pragma once
+
+#include "net/fabric.h"  // expect-lint: layering

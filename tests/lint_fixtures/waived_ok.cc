@@ -1,0 +1,14 @@
+// Lint self-test fixture: every violation carries a justified waiver; the
+// self-test asserts full suppression (zero live findings, nonzero waived).
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+#include <unordered_map>
+
+void WaivedIteration() {
+  std::unordered_map<int, int> counts;
+  // hoplite-lint: allow(unordered-iter) -- fixture: the loop body is
+  // commutative, so iteration order is unobservable.
+  for (const auto& [key, value] : counts) {
+    (void)key;
+    (void)value;
+  }
+}

@@ -1,0 +1,77 @@
+// Regression tests for the HOPLITE_CHECK macro family.
+//
+// The binary forms (HOPLITE_CHECK_EQ and friends) must evaluate each operand
+// exactly once: they are used on expressions with side effects and on
+// accessors that are merely expensive, and an early version pasted the
+// operands into both the comparison and the failure message.
+//
+// hoplite-lint: allow-file(check-side-effect) -- side-effecting operands are
+// exactly what these tests exist to exercise.
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(CheckMacros, BinaryOperandsEvaluateExactlyOnceOnSuccess) {
+  int lhs_evals = 0;
+  int rhs_evals = 0;
+  const auto lhs = [&lhs_evals](int v) {
+    ++lhs_evals;
+    return v;
+  };
+  const auto rhs = [&rhs_evals](int v) {
+    ++rhs_evals;
+    return v;
+  };
+
+  HOPLITE_CHECK_EQ(lhs(3), rhs(3));
+  HOPLITE_CHECK_NE(lhs(1), rhs(2));
+  HOPLITE_CHECK_LT(lhs(1), rhs(2));
+  HOPLITE_CHECK_LE(lhs(2), rhs(2));
+  HOPLITE_CHECK_GT(lhs(2), rhs(1));
+  HOPLITE_CHECK_GE(lhs(2), rhs(2));
+
+  EXPECT_EQ(lhs_evals, 6);
+  EXPECT_EQ(rhs_evals, 6);
+}
+
+TEST(CheckMacros, MutatingOperandsAreNotDoubleApplied) {
+  int counter = 0;
+  HOPLITE_CHECK_EQ(++counter, 1);
+  EXPECT_EQ(counter, 1);
+  HOPLITE_CHECK_LT(counter++, 2);
+  EXPECT_EQ(counter, 2);
+}
+
+TEST(CheckMacrosDeathTest, FailureMessageShowsSingleEvaluationValue) {
+  // With double evaluation the message would read "(2 vs 0)": the first
+  // evaluation fails the comparison, the second increments again while
+  // formatting. Single evaluation must report the compared value, 1.
+  auto fail = [] {
+    int counter = 0;
+    HOPLITE_CHECK_EQ(++counter, 0);
+  };
+  EXPECT_DEATH(fail(), "Check failed: \\+\\+counter == 0 \\(1 vs 0\\)");
+}
+
+TEST(CheckMacrosDeathTest, ExtraStreamedContextIsAppended) {
+  EXPECT_DEATH([] { HOPLITE_CHECK_GT(1, 2) << "extra context"; }(),
+               "Check failed: 1 > 2 \\(1 vs 2\\) extra context");
+}
+
+TEST(CheckMacrosDeathTest, UnaryCheckStillAborts) {
+  EXPECT_DEATH([] { HOPLITE_CHECK(1 == 2) << "never"; }(), "Check failed: 1 == 2");
+}
+
+TEST(CheckMacros, BehavesAsSingleStatementUnderIfElse) {
+  // The macros expand to an if-statement; they must still compose with a
+  // surrounding if/else without a dangling-else ambiguity.
+  const bool enabled = true;
+  if (enabled)
+    HOPLITE_CHECK_EQ(1, 1);
+  else
+    FAIL() << "dangling else captured the wrong branch";
+}
+
+}  // namespace

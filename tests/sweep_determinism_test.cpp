@@ -1,0 +1,81 @@
+// Full-sweep determinism differential test: every registered figure runs
+// TWICE in the same process at reduced scale, and the two serialized result
+// documents must be byte-identical once wall-clock content is excluded.
+//
+// This is the machine-checked form of the determinism contract the linter
+// (scripts/lint_determinism.py) enforces statically: same inputs, same
+// bytes. Running twice in-process is deliberately harsher than running the
+// binary twice — leaked global state (a static counter, a reused id pool, a
+// cache warmed by run one) shifts run two even when fresh processes agree.
+//
+// Wall-clock exclusions mirror the figure-baseline comparison rules:
+// the engine-micro figure (wholly wall-clock), rows whose series or unit
+// mentions wall time, and per-row wall_seconds coordinates.
+#include "bench/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hoplite::bench {
+namespace {
+
+RunOptions ReducedScale() {
+  RunOptions options;
+  options.max_nodes = 8;
+  options.max_object_bytes = MB(4);
+  options.repeats = 1;
+  options.rounds = 2;
+  return options;
+}
+
+bool IsWallRow(const Row& row) {
+  return row.series.find("wall") != std::string::npos ||
+         row.unit.find("wall") != std::string::npos;
+}
+
+Row StripWallCoords(Row row) {
+  row.coords.erase(std::remove_if(row.coords.begin(), row.coords.end(),
+                                  [](const auto& coord) {
+                                    return coord.first.find("wall") != std::string::npos;
+                                  }),
+                   row.coords.end());
+  return row;
+}
+
+std::string SweepJson(const RunOptions& options) {
+  std::vector<FigureResult> results;
+  for (const Figure& figure : Registry::Instance().figures()) {
+    if (figure.name == "engine-micro") continue;  // wholly wall-clock
+    std::vector<Row> rows;
+    for (Row& row : figure.fn(options)) {
+      if (IsWallRow(row)) continue;
+      rows.push_back(StripWallCoords(std::move(row)));
+    }
+    results.push_back(FigureResult{figure.name, figure.title, std::move(rows)});
+  }
+  return ResultsToJson(results, options);
+}
+
+TEST(SweepDeterminismTest, FullSweepTwiceInProcessIsByteIdentical) {
+  ASSERT_EQ(Registry::Instance().figures().size(), 18u);
+  const RunOptions options = ReducedScale();
+  const std::string first = SweepJson(options);
+  const std::string second = SweepJson(options);
+  ASSERT_FALSE(first.empty());
+  if (first == second) return;
+  // Report the first divergence with context instead of dumping megabytes.
+  std::size_t at = 0;
+  while (at < first.size() && at < second.size() && first[at] == second[at]) ++at;
+  const std::size_t from = at < 60 ? 0 : at - 60;
+  FAIL() << "sweep documents diverge at byte " << at << " (sizes " << first.size()
+         << " vs " << second.size() << ")\n  run 1: ..."
+         << first.substr(from, 120) << "\n  run 2: ..." << second.substr(from, 120);
+}
+
+}  // namespace
+}  // namespace hoplite::bench
