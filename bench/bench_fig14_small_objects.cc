@@ -43,7 +43,8 @@ std::vector<Row> Run(const RunOptions& opt) {
                                         {"nodes", static_cast<double>(n)}},
                              .value = seconds});
         };
-        point("Hoplite (inline)", HopliteCollective(op, n, bytes));
+        point("Hoplite (inline)",
+              HopliteCollective(op, WithShards(PaperCluster(n), opt.shards), bytes));
         point("OpenMPI", MpiCollective(op, n, bytes));
         point("Ray", RayCollective(op, n, bytes, baselines::RayLikeConfig::Ray()));
         point("Dask", RayCollective(op, n, bytes, baselines::RayLikeConfig::Dask()));

@@ -7,13 +7,22 @@
 //
 // Scale knobs (--max-nodes / --max-bytes / --repeats / --rounds) shrink
 // every figure to toy sizes; the smoke test uses the same path.
+//
+// --jobs N runs independent figures on a thread pool (figures share no
+// mutable state; the registry and scenario tables are filled once at static
+// init and only read afterwards). Output stays deterministic: tables and
+// the JSON document are emitted in registration order after every figure
+// finishes, never interleaved. --shards N hosts every Hoplite cluster on an
+// N-shard ShardedSimulator; results must be byte-identical to --shards 1.
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <climits>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/registry.h"
@@ -25,7 +34,7 @@ void PrintUsage() {
   std::printf(
       "usage: bench_all [--list] [--figure NAME[,NAME...]|all] [--out FILE]\n"
       "                 [--max-nodes N] [--max-bytes N] [--repeats N]\n"
-      "                 [--rounds N] [--quiet]\n");
+      "                 [--rounds N] [--shards N] [--jobs N] [--quiet]\n");
 }
 
 void PrintList() {
@@ -69,6 +78,7 @@ int Main(int argc, char** argv) {
   std::string out_path;
   bool list_only = false;
   bool quiet = false;
+  int jobs = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -112,6 +122,11 @@ int Main(int argc, char** argv) {
       options.repeats = static_cast<int>(int_value(INT_MAX));
     } else if (arg == "--rounds") {
       options.rounds = static_cast<int>(int_value(INT_MAX));
+    } else if (arg == "--shards") {
+      // 256 is the ShardedSimulator's own shard-count ceiling.
+      options.shards = static_cast<int>(int_value(256));
+    } else if (arg == "--jobs") {
+      jobs = static_cast<int>(int_value(256));
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -160,15 +175,44 @@ int Main(int argc, char** argv) {
     select(figure);
   }
 
-  std::vector<FigureResult> results;
-  for (const Figure* figure : figures) {
+  std::vector<FigureResult> results(figures.size());
+  if (jobs <= 1) {
+    for (std::size_t f = 0; f < figures.size(); ++f) {
+      if (!quiet) {
+        std::printf("running %s: %s ...\n", figures[f]->name.c_str(),
+                    figures[f]->title.c_str());
+        std::fflush(stdout);
+      }
+      results[f] = FigureResult{figures[f]->name, figures[f]->title,
+                                figures[f]->fn(options)};
+      if (!quiet) PrintTable(results[f]);
+    }
+  } else {
+    // Figure-granularity thread pool: workers claim the next unstarted
+    // figure; each result lands in its registration-order slot so the
+    // tables and JSON below are identical to a sequential run.
     if (!quiet) {
-      std::printf("running %s: %s ...\n", figure->name.c_str(), figure->title.c_str());
+      std::printf("running %zu figures on %d threads ...\n", figures.size(), jobs);
       std::fflush(stdout);
     }
-    FigureResult result{figure->name, figure->title, figure->fn(options)};
-    if (!quiet) PrintTable(result);
-    results.push_back(std::move(result));
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    const std::size_t workers =
+        std::min(static_cast<std::size_t>(jobs), figures.size());
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t f = next.fetch_add(1); f < figures.size();
+             f = next.fetch_add(1)) {
+          results[f] = FigureResult{figures[f]->name, figures[f]->title,
+                                    figures[f]->fn(options)};
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+    if (!quiet) {
+      for (const FigureResult& result : results) PrintTable(result);
+    }
   }
 
   const std::string json = ResultsToJson(results, options);

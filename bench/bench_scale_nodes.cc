@@ -3,7 +3,7 @@
 //
 // The paper's evaluation stops at 16 nodes; the ROADMAP north star is a
 // production-scale system. This figure is the scaling instrument: it sweeps
-// n in {16, 64, 256, 1024} x {broadcast, reduce, allreduce} on the flat
+// n in {16, 64, 256, 1024, 4096} x {broadcast, reduce, allreduce} on the flat
 // testbed fabric and on a rack fabric (n/32 racks, 4:1 oversubscription),
 // reporting the simulated collective latency (`seconds` rows) and how long
 // the simulation itself took (`wall_seconds` coordinate on every row, plus
@@ -26,8 +26,9 @@
 namespace hoplite::bench {
 namespace {
 
-[[nodiscard]] core::HopliteCluster::Options ScaleCluster(int nodes, bool rack) {
-  core::HopliteCluster::Options options = PaperCluster(nodes);
+[[nodiscard]] core::HopliteCluster::Options ScaleCluster(int nodes, bool rack,
+                                                          int shards) {
+  core::HopliteCluster::Options options = WithShards(PaperCluster(nodes), shards);
   if (rack) {
     options.network.fabric.topology = net::TopologyKind::kRack;
     options.network.fabric.num_racks = std::max(2, nodes / 32);
@@ -40,13 +41,14 @@ std::vector<Row> Run(const RunOptions& opt) {
   const std::int64_t bytes = opt.Bytes(MB(32));
   std::vector<Row> rows;
 
-  for (const int nodes : opt.NodeCounts({16, 64, 256, 1024})) {
+  for (const int nodes : opt.NodeCounts({16, 64, 256, 1024, 4096})) {
     for (const bool rack : {false, true}) {
       const char* fabric = rack ? "rack" : "flat";
       double fabric_wall = 0;
       for (const std::string op : {"broadcast", "reduce", "allreduce"}) {
         const auto start = std::chrono::steady_clock::now();
-        const double sim_seconds = HopliteCollective(op, ScaleCluster(nodes, rack), bytes);
+        const double sim_seconds =
+            HopliteCollective(op, ScaleCluster(nodes, rack, opt.shards), bytes);
         const auto stop = std::chrono::steady_clock::now();
         const double wall = std::chrono::duration<double>(stop - start).count();
         fabric_wall += wall;
@@ -70,7 +72,7 @@ std::vector<Row> Run(const RunOptions& opt) {
 }  // namespace
 
 HOPLITE_REGISTER_FIGURE(scale_nodes, "scale_nodes",
-                        "Scaling: collectives at 16-1024 nodes on both fabrics "
+                        "Scaling: collectives at 16-4096 nodes on both fabrics "
                         "(simulated + wall clock)",
                         Run);
 

@@ -44,6 +44,15 @@ static_assert(net::ClusterConfig{}.per_message_overhead == Microseconds(5));
   return options;
 }
 
+/// Applies the `--shards` knob (RunOptions::shards) to a cluster spec:
+/// shards > 1 hosts the cluster on an owned ShardedSimulator. Results are
+/// engine-independent by contract — the differential sweep enforces it.
+[[nodiscard]] inline core::HopliteCluster::Options WithShards(
+    core::HopliteCluster::Options options, int shards) {
+  options.engine_shards = shards;
+  return options;
+}
+
 /// Staggered start times: participant i becomes ready at i * interval.
 [[nodiscard]] inline std::vector<SimTime> Staggered(int n, SimDuration interval) {
   std::vector<SimTime> at(static_cast<std::size_t>(n));
@@ -67,11 +76,17 @@ static_assert(net::ClusterConfig{}.per_message_overhead == Microseconds(5));
   return ToSeconds(last);
 }
 
+// The Start* runners issue a collective without driving the engine, so
+// several clusters (each on its own sharded-engine domain) can be loaded
+// first and then run concurrently with one engine Run(); the Hoplite*
+// wrappers below keep the classic issue-and-drain shape for the solo-cluster
+// figures.
+
 /// Broadcast: node 0 Puts at ready_at[0]; every other node Gets at its
-/// ready_at. Returns when the last receiver holds the object.
-[[nodiscard]] inline double HopliteBroadcast(core::HopliteCluster& cluster,
-                                             std::int64_t bytes,
-                                             const std::vector<SimTime>& ready_at) {
+/// ready_at. Settles when the last receiver holds the object.
+[[nodiscard]] inline Ref<std::vector<store::Buffer>> StartHopliteBroadcast(
+    core::HopliteCluster& cluster, std::int64_t bytes,
+    const std::vector<SimTime>& ready_at) {
   const ObjectID object = ObjectID::FromName("bcast-object");
   auto& sim = cluster.simulator();
   At(sim, ready_at[0]).Then([&cluster, object, bytes] {
@@ -84,12 +99,19 @@ static_assert(net::ClusterConfig{}.per_message_overhead == Microseconds(5));
           return cluster.client(r).Get(object, core::GetOptions{.read_only = true});
         }));
   }
-  return FinishCollective(cluster, WhenAll(received));
+  return WhenAll(received);
+}
+
+[[nodiscard]] inline double HopliteBroadcast(core::HopliteCluster& cluster,
+                                             std::int64_t bytes,
+                                             const std::vector<SimTime>& ready_at) {
+  return FinishCollective(cluster, StartHopliteBroadcast(cluster, bytes, ready_at));
 }
 
 /// Gather: every node Puts at its ready_at; node 0 then Gets every object.
-[[nodiscard]] inline double HopliteGather(core::HopliteCluster& cluster, std::int64_t bytes,
-                                          const std::vector<SimTime>& ready_at) {
+[[nodiscard]] inline Ref<std::vector<store::Buffer>> StartHopliteGather(
+    core::HopliteCluster& cluster, std::int64_t bytes,
+    const std::vector<SimTime>& ready_at) {
   auto& sim = cluster.simulator();
   std::vector<Ref<store::Buffer>> gathered;
   for (NodeID w = 1; w < cluster.num_nodes(); ++w) {
@@ -100,15 +122,19 @@ static_assert(net::ClusterConfig{}.per_message_overhead == Microseconds(5));
     gathered.push_back(
         cluster.client(0).Get(object, core::GetOptions{.read_only = true}));
   }
-  return FinishCollective(cluster, WhenAll(gathered));
+  return WhenAll(gathered);
+}
+
+[[nodiscard]] inline double HopliteGather(core::HopliteCluster& cluster, std::int64_t bytes,
+                                          const std::vector<SimTime>& ready_at) {
+  return FinishCollective(cluster, StartHopliteGather(cluster, bytes, ready_at));
 }
 
 /// Reduce: every node Puts at its ready_at; node 0 Reduces all and Gets the
 /// result (read-only), per §5.1.2's measurement.
-[[nodiscard]] inline double HopliteReduce(core::HopliteCluster& cluster, std::int64_t bytes,
-                                          const std::vector<SimTime>& ready_at,
-                                          int forced_degree = 0) {
-  (void)forced_degree;  // configured via cluster options
+[[nodiscard]] inline Ref<std::vector<store::Buffer>> StartHopliteReduce(
+    core::HopliteCluster& cluster, std::int64_t bytes,
+    const std::vector<SimTime>& ready_at) {
   auto& sim = cluster.simulator();
   std::vector<ObjectID> sources;
   for (NodeID w = 0; w < cluster.num_nodes(); ++w) {
@@ -123,16 +149,21 @@ static_assert(net::ClusterConfig{}.per_message_overhead == Microseconds(5));
   spec.target = target;
   spec.sources = std::move(sources);
   cluster.client(0).Reduce(std::move(spec));
-  return FinishCollective(
-      cluster,
-      WhenAll(std::vector<Ref<store::Buffer>>{
-          cluster.client(0).Get(target, core::GetOptions{.read_only = true})}));
+  return WhenAll(std::vector<Ref<store::Buffer>>{
+      cluster.client(0).Get(target, core::GetOptions{.read_only = true})});
+}
+
+[[nodiscard]] inline double HopliteReduce(core::HopliteCluster& cluster, std::int64_t bytes,
+                                          const std::vector<SimTime>& ready_at,
+                                          int forced_degree = 0) {
+  (void)forced_degree;  // configured via cluster options
+  return FinishCollective(cluster, StartHopliteReduce(cluster, bytes, ready_at));
 }
 
 /// Allreduce: reduce at node 0 + every node Gets the result (§3.4.3).
-[[nodiscard]] inline double HopliteAllreduce(core::HopliteCluster& cluster,
-                                             std::int64_t bytes,
-                                             const std::vector<SimTime>& ready_at) {
+[[nodiscard]] inline Ref<std::vector<store::Buffer>> StartHopliteAllreduce(
+    core::HopliteCluster& cluster, std::int64_t bytes,
+    const std::vector<SimTime>& ready_at) {
   auto& sim = cluster.simulator();
   std::vector<ObjectID> sources;
   for (NodeID w = 0; w < cluster.num_nodes(); ++w) {
@@ -152,8 +183,15 @@ static_assert(net::ClusterConfig{}.per_message_overhead == Microseconds(5));
     received.push_back(
         cluster.client(w).Get(target, core::GetOptions{.read_only = true}));
   }
-  return FinishCollective(cluster, WhenAll(received));
+  return WhenAll(received);
 }
+
+[[nodiscard]] inline double HopliteAllreduce(core::HopliteCluster& cluster,
+                                             std::int64_t bytes,
+                                             const std::vector<SimTime>& ready_at) {
+  return FinishCollective(cluster, StartHopliteAllreduce(cluster, bytes, ready_at));
+}
+
 
 // ----------------------------------------------------------------------
 // Baseline collective runners shared by the figure benches (fig7, fig14).
@@ -244,6 +282,19 @@ inline void CheckCollectiveOp(const std::string& op) {
                                           std::int64_t bytes,
                                           const baselines::RayLikeConfig& config) {
   return RayCollective(op, PaperCluster(nodes).network, bytes, config);
+}
+
+/// Issues `op` on a loaded-but-undriven cluster (see the Start* runners):
+/// nothing executes until the cluster's engine is driven, so several
+/// clusters on one sharded engine can be loaded first and run concurrently.
+[[nodiscard]] inline Ref<std::vector<store::Buffer>> StartHopliteCollective(
+    const std::string& op, core::HopliteCluster& cluster, std::int64_t bytes,
+    const std::vector<SimTime>& ready_at) {
+  CheckCollectiveOp(op);
+  if (op == "broadcast") return StartHopliteBroadcast(cluster, bytes, ready_at);
+  if (op == "gather") return StartHopliteGather(cluster, bytes, ready_at);
+  if (op == "reduce") return StartHopliteReduce(cluster, bytes, ready_at);
+  return StartHopliteAllreduce(cluster, bytes, ready_at);
 }
 
 [[nodiscard]] inline double HopliteCollective(const std::string& op,

@@ -33,6 +33,16 @@ Rules
                      sim/store < net < directory < core < task/baselines <
                      apps < workload). Upward includes create cycles and let
                      low layers grow hidden behavior dependencies.
+  shared-mutable     Threading primitives (std::thread, std::mutex,
+                     std::atomic, condition variables, futures, thread_local)
+                     outside the sanctioned owners: the sharded engine
+                     (src/sim/sharded_simulator.*) and the bench --jobs pool
+                     (bench/bench_main.cc). Simulation code must never share
+                     mutable state across shard threads directly — cross-
+                     shard interaction travels through the engine's
+                     timestamped inter-shard mailbox (ShardedSimulator's
+                     Mail), which is what keeps sharded runs byte-identical
+                     to the single-threaded reference.
 
 Waivers
 -------
@@ -67,6 +77,7 @@ RULES = (
     "pointer-key",
     "check-side-effect",
     "layering",
+    "shared-mutable",
 )
 
 # Layer DAG: each src/<dir> may include itself plus these. bench/, tests/ and
@@ -87,6 +98,15 @@ LAYERS = {
 # The one sanctioned randomness implementation may name the primitives it wraps.
 RNG_HOME = "src/common/rng.h"
 
+# The only files allowed to own threads or thread-shared state: the sharded
+# engine (whose whole point is confining cross-thread traffic to its mailbox)
+# and the bench driver's --jobs figure pool.
+THREADING_HOMES = {
+    "src/sim/sharded_simulator.h",
+    "src/sim/sharded_simulator.cc",
+    "bench/bench_main.cc",
+}
+
 UNORDERED_DECL = re.compile(
     r"\bunordered_(?:multi)?(?:map|set)\s*<[^;{}]*?>\s*&?\s*(\w+)\s*(?:;|=|\{|\))"
 )
@@ -97,6 +117,13 @@ NONDET = re.compile(
     r"|\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b|\brandom_device\b"
 )
 POINTER_KEY = re.compile(r"\bstd::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*")
+SHARED_MUTABLE = re.compile(
+    r"\bstd::(?:jthread|thread\b|mutex|shared_mutex|recursive_mutex|timed_mutex"
+    r"|condition_variable(?:_any)?|atomic\w*|async\s*\(|future|shared_future|promise"
+    r"|barrier|latch|counting_semaphore|binary_semaphore|stop_token|this_thread"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock|call_once|once_flag)"
+    r"|\bthread_local\b"
+)
 CHECK_MACRO = re.compile(r"\bHOPLITE_(?:CHECK(?:_(?:EQ|NE|LT|LE|GT|GE))?|AUDIT)\s*\(")
 SIDE_EFFECT = re.compile(
     r"\+\+|--|(?<![=!<>])=(?![=])"
@@ -249,6 +276,15 @@ def lint_file(path: Path, repo: Path) -> tuple[list[Finding], list[tuple[int, st
             report("pointer-key",
                    "ordered container keyed by pointer: iteration order is the "
                    "allocator's address layout; key by an id instead")
+
+        # shared-mutable: threading primitives outside their sanctioned homes.
+        if rel.as_posix() not in THREADING_HOMES:
+            m = SHARED_MUTABLE.search(code)
+            if m:
+                report("shared-mutable",
+                       f"'{m.group(0).strip()}' outside the sanctioned threading "
+                       "owners (sharded engine, bench --jobs pool); share state "
+                       "across shards via the engine's inter-shard mailbox instead")
 
         # check-side-effect: first argument of check/audit macros. Joins up to
         # 3 continuation lines so multiline conditions are covered.

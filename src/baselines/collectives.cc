@@ -31,7 +31,7 @@ using store::ChunkLayout;
 // --------------------------------------------------------------------
 
 struct TreeBroadcastOp : std::enable_shared_from_this<TreeBroadcastOp> {
-  sim::Simulator& sim;
+  sim::Engine& sim;
   net::Fabric& net;
   ChunkLayout layout;
   std::int64_t total_chunks = 0;
@@ -51,7 +51,7 @@ struct TreeBroadcastOp : std::enable_shared_from_this<TreeBroadcastOp> {
   int remaining_receivers = 0;
   DoneCallback done;
 
-  TreeBroadcastOp(sim::Simulator& s, net::Fabric& n) : sim(s), net(n) {}
+  TreeBroadcastOp(sim::Engine& s, net::Fabric& n) : sim(s), net(n) {}
 
   void Start() {
     const int n = static_cast<int>(parts.size());
@@ -129,7 +129,7 @@ struct TreeBroadcastOp : std::enable_shared_from_this<TreeBroadcastOp> {
 // --------------------------------------------------------------------
 
 struct TreeReduceOp : std::enable_shared_from_this<TreeReduceOp> {
-  sim::Simulator& sim;
+  sim::Engine& sim;
   net::Fabric& net;
   ChunkLayout layout;
   std::int64_t total_chunks = 0;
@@ -149,7 +149,7 @@ struct TreeReduceOp : std::enable_shared_from_this<TreeReduceOp> {
   DoneCallback done;
   bool finished = false;
 
-  TreeReduceOp(sim::Simulator& s, net::Fabric& n) : sim(s), net(n) {}
+  TreeReduceOp(sim::Engine& s, net::Fabric& n) : sim(s), net(n) {}
 
   [[nodiscard]] int Parent(int i) const { return (i - 1) / degree; }
 
@@ -223,7 +223,7 @@ struct TreeReduceOp : std::enable_shared_from_this<TreeReduceOp> {
 // --------------------------------------------------------------------
 
 struct RingOp : std::enable_shared_from_this<RingOp> {
-  sim::Simulator& sim;
+  sim::Engine& sim;
   net::Fabric& net;
   std::vector<NodeID> nodes;
   std::int64_t block_bytes = 0;
@@ -233,7 +233,7 @@ struct RingOp : std::enable_shared_from_this<RingOp> {
   int nodes_finished = 0;
   DoneCallback done;
 
-  RingOp(sim::Simulator& s, net::Fabric& n) : sim(s), net(n) {}
+  RingOp(sim::Engine& s, net::Fabric& n) : sim(s), net(n) {}
 
   void Start(SimTime gate) {
     const int n = static_cast<int>(nodes.size());
@@ -279,7 +279,7 @@ struct RingOp : std::enable_shared_from_this<RingOp> {
 // --------------------------------------------------------------------
 
 struct PairwiseOp : std::enable_shared_from_this<PairwiseOp> {
-  sim::Simulator& sim;
+  sim::Engine& sim;
   net::Fabric& net;
   std::vector<NodeID> nodes;  ///< only the power-of-two core
   std::vector<std::int64_t> round_bytes;
@@ -289,7 +289,7 @@ struct PairwiseOp : std::enable_shared_from_this<PairwiseOp> {
   int finished_nodes = 0;
   DoneCallback done;
 
-  PairwiseOp(sim::Simulator& s, net::Fabric& n) : sim(s), net(n) {}
+  PairwiseOp(sim::Engine& s, net::Fabric& n) : sim(s), net(n) {}
 
   void Start(SimTime gate) {
     const int n = static_cast<int>(nodes.size());
@@ -324,7 +324,7 @@ struct PairwiseOp : std::enable_shared_from_this<PairwiseOp> {
   }
 };
 
-void RunPairwise(sim::Simulator& sim, net::Fabric& net, std::vector<NodeID> all,
+void RunPairwise(sim::Engine& sim, net::Fabric& net, std::vector<NodeID> all,
                  std::vector<std::int64_t> round_bytes, std::vector<int> round_hops,
                  std::int64_t fold_bytes, SimTime gate, DoneCallback done) {
   const int n = static_cast<int>(all.size());
@@ -387,7 +387,7 @@ std::vector<int> BinomialChildren(int i, int n) {
   return children;
 }
 
-void RunRingAllreduce(sim::Simulator& simulator, net::Fabric& network,
+void RunRingAllreduce(sim::Engine& simulator, net::Fabric& network,
                       std::vector<NodeID> nodes, std::int64_t bytes,
                       std::int64_t segment_bytes, SimTime start, DoneCallback done) {
   (void)segment_bytes;  // blocks are already S/n; finer chunking only shaves
@@ -406,7 +406,7 @@ void RunRingAllreduce(sim::Simulator& simulator, net::Fabric& network,
 // MpiLikeCollectives
 // ======================================================================
 
-MpiLikeCollectives::MpiLikeCollectives(sim::Simulator& simulator,
+MpiLikeCollectives::MpiLikeCollectives(sim::Engine& simulator,
                                        net::Fabric& network, MpiConfig config)
     : sim_(simulator), net_(network), config_(config) {}
 
@@ -520,7 +520,7 @@ void MpiLikeCollectives::AllreduceInternal(std::vector<Participant> participants
 // GlooLikeCollectives
 // ======================================================================
 
-GlooLikeCollectives::GlooLikeCollectives(sim::Simulator& simulator,
+GlooLikeCollectives::GlooLikeCollectives(sim::Engine& simulator,
                                          net::Fabric& network, GlooConfig config)
     : sim_(simulator), net_(network), config_(config) {}
 

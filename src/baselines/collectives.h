@@ -61,7 +61,7 @@ struct MpiConfig {
 
 class MpiLikeCollectives {
  public:
-  MpiLikeCollectives(sim::Simulator& simulator, net::Fabric& network,
+  MpiLikeCollectives(sim::Engine& simulator, net::Fabric& network,
                      MpiConfig config);
 
   // Every collective returns a Ref immediately, ready (with the simulated
@@ -96,7 +96,7 @@ class MpiLikeCollectives {
   void AllreduceInternal(std::vector<Participant> participants, std::int64_t bytes,
                          DoneCallback done);
 
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   net::Fabric& net_;
   MpiConfig config_;
 };
@@ -109,7 +109,7 @@ struct GlooConfig {
 
 class GlooLikeCollectives {
  public:
-  GlooLikeCollectives(sim::Simulator& simulator, net::Fabric& network,
+  GlooLikeCollectives(sim::Engine& simulator, net::Fabric& network,
                       GlooConfig config);
 
   // Every collective returns a Ref immediately, ready (with the simulated
@@ -136,7 +136,7 @@ class GlooLikeCollectives {
   void HalvingDoublingInternal(std::vector<Participant> participants, std::int64_t bytes,
                                DoneCallback done);
 
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   net::Fabric& net_;
   GlooConfig config_;
 };
@@ -153,7 +153,7 @@ class GlooLikeCollectives {
 /// Ring allreduce over `nodes` (all ready at `start`), `blocks` pipelined
 /// block steps of `block_bytes` each, 2(n-1) rounds. Invokes `done` when the
 /// slowest rank finishes. Shared by MPI and Gloo.
-void RunRingAllreduce(sim::Simulator& simulator, net::Fabric& network,
+void RunRingAllreduce(sim::Engine& simulator, net::Fabric& network,
                       std::vector<NodeID> nodes, std::int64_t bytes,
                       std::int64_t segment_bytes, SimTime start, DoneCallback done);
 

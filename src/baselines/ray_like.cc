@@ -7,7 +7,7 @@
 
 namespace hoplite::baselines {
 
-RayLikeTransport::RayLikeTransport(sim::Simulator& simulator, net::Fabric& network,
+RayLikeTransport::RayLikeTransport(sim::Engine& simulator, net::Fabric& network,
                                    RayLikeConfig config)
     : sim_(simulator), net_(network), config_(config) {}
 

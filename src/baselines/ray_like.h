@@ -63,7 +63,7 @@ struct RayLikeConfig {
 /// resolve with the simulated completion time of the last participant.
 class RayLikeTransport {
  public:
-  RayLikeTransport(sim::Simulator& simulator, net::Fabric& network,
+  RayLikeTransport(sim::Engine& simulator, net::Fabric& network,
                    RayLikeConfig config);
 
   /// Stores an object of `size` bytes on `node` (blocking worker->store
@@ -122,7 +122,7 @@ class RayLikeTransport {
 
   void StartFetch(NodeID node, ObjectID object, DoneCallback done);
 
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   net::Fabric& net_;
   RayLikeConfig config_;
   std::unordered_map<ObjectID, Meta> objects_;

@@ -43,7 +43,7 @@ Ref<store::Buffer> HopliteClient::Get(ObjectID object, GetOptions options) {
     // and gets pruned; the underlying fetch keeps running — late data can
     // still complete the local copy, only the future gives up. Settling
     // first cancels the timer so a drained run is not held open.
-    sim::Simulator* sim = &cluster_.simulator();
+    sim::Engine* sim = &cluster_.simulator();
     const sim::EventId timer = sim->ScheduleAfter(options.timeout, [promise, options] {
       promise.Reject(RefError{RefErrorCode::kTimeout,
                               "Get unsettled after " + std::to_string(options.timeout) +

@@ -83,7 +83,7 @@ namespace detail {
 /// attach order; attaching to an already-settled state fires immediately.
 template <typename T>
 struct RefState {
-  sim::Simulator* sim = nullptr;
+  sim::Engine* sim = nullptr;
   ObjectID id{};
   bool ready = false;
   bool failed = false;
@@ -155,7 +155,7 @@ class Ref {
   [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
   /// The ObjectID this future is bound to (nil for derived/combined refs).
   [[nodiscard]] ObjectID id() const { return Checked().id; }
-  [[nodiscard]] sim::Simulator* simulator() const { return Checked().sim; }
+  [[nodiscard]] sim::Engine* simulator() const { return Checked().sim; }
 
   [[nodiscard]] bool settled() const { return Checked().settled(); }
   [[nodiscard]] bool ready() const { return Checked().ready; }
@@ -222,7 +222,7 @@ class Ref {
       mirror.Reject(RefError{RefErrorCode::kTimeout,
                              "unsettled after " + std::to_string(timeout) + " ns"});
     });
-    sim::Simulator* sim = state.sim;
+    sim::Engine* sim = state.sim;
     state.Listen([mirror, sim, timer](detail::RefState<T>& settled) {
       sim->Cancel(timer);
       if (settled.failed) {
@@ -287,7 +287,7 @@ template <typename T>
 class RefPromise {
  public:
   RefPromise() = default;
-  RefPromise(sim::Simulator* sim, ObjectID id)
+  RefPromise(sim::Engine* sim, ObjectID id)
       : state_(std::make_shared<detail::RefState<T>>()) {
     state_->sim = sim;
     state_->id = id;
@@ -315,14 +315,14 @@ class RefPromise {
 
 /// A ref that becomes ready (with Unit) `delay` from now. The building block
 /// for modelling compute phases inside a Then chain.
-[[nodiscard]] inline Ref<Unit> After(sim::Simulator& sim, SimDuration delay) {
+[[nodiscard]] inline Ref<Unit> After(sim::Engine& sim, SimDuration delay) {
   RefPromise<Unit> promise(&sim, ObjectID{});
   sim.ScheduleAfter(delay, [promise] { promise.Resolve(Unit{}); });
   return promise.ref();
 }
 
 /// A ref that becomes ready (with Unit) at absolute simulated time `t`.
-[[nodiscard]] inline Ref<Unit> At(sim::Simulator& sim, SimTime t) {
+[[nodiscard]] inline Ref<Unit> At(sim::Engine& sim, SimTime t) {
   RefPromise<Unit> promise(&sim, ObjectID{});
   sim.ScheduleAt(t, [promise] { promise.Resolve(Unit{}); });
   return promise.ref();
@@ -332,7 +332,7 @@ class RefPromise {
 /// completion time: `start` receives the done-callback to fire. The adapter
 /// the baselines use to lift their internal callback plumbing into refs.
 template <typename StartFn>
-[[nodiscard]] Ref<SimTime> TimedRef(sim::Simulator& sim, StartFn start) {
+[[nodiscard]] Ref<SimTime> TimedRef(sim::Engine& sim, StartFn start) {
   RefPromise<SimTime> promise(&sim, ObjectID{});
   start(std::function<void()>([&sim, promise] { promise.Resolve(sim.Now()); }));
   return promise.ref();
@@ -343,7 +343,7 @@ template <typename StartFn>
 /// input resolves immediately.
 template <typename T>
 [[nodiscard]] Ref<std::vector<T>> WhenAll(const std::vector<Ref<T>>& refs) {
-  sim::Simulator* sim = nullptr;
+  sim::Engine* sim = nullptr;
   for (const Ref<T>& ref : refs) {
     HOPLITE_CHECK(ref.valid()) << "WhenAll over an invalid ref";
     if (ref.simulator() != nullptr) sim = ref.simulator();
@@ -386,7 +386,7 @@ struct Settled {
 /// empty input resolves immediately.
 template <typename T>
 [[nodiscard]] Ref<std::vector<Settled<T>>> WhenAllSettled(const std::vector<Ref<T>>& refs) {
-  sim::Simulator* sim = nullptr;
+  sim::Engine* sim = nullptr;
   for (const Ref<T>& ref : refs) {
     HOPLITE_CHECK(ref.valid()) << "WhenAllSettled over an invalid ref";
     if (ref.simulator() != nullptr) sim = ref.simulator();
@@ -423,7 +423,7 @@ template <typename T>
 [[nodiscard]] Ref<std::vector<ObjectID>> WhenAny(const std::vector<Ref<T>>& refs,
                                                  std::size_t k) {
   HOPLITE_CHECK_LE(k, refs.size()) << "WhenAny wants more refs than it was given";
-  sim::Simulator* sim = nullptr;
+  sim::Engine* sim = nullptr;
   for (const Ref<T>& ref : refs) {
     HOPLITE_CHECK(ref.valid()) << "WhenAny over an invalid ref";
     if (ref.simulator() != nullptr) sim = ref.simulator();

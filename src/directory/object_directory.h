@@ -274,7 +274,7 @@ class ObjectDirectory {
   ObjectEntry& EntryOf(ObjectID object) { return objects_[object]; }
 
   net::Fabric& network_;
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   DirectoryConfig config_;
   std::unordered_map<ObjectID, ObjectEntry> objects_;
   SubscriptionId next_subscription_ = 1;

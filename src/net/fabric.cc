@@ -8,7 +8,7 @@
 
 namespace hoplite::net {
 
-Fabric::Fabric(sim::Simulator& simulator, ClusterConfig config)
+Fabric::Fabric(sim::Engine& simulator, ClusterConfig config)
     : sim_(simulator), config_(std::move(config)) {
   HOPLITE_CHECK_GT(config_.num_nodes, 0);
   HOPLITE_CHECK(config_.per_node_bandwidth.empty() ||
@@ -103,7 +103,7 @@ void Fabric::ScheduleFailureNotice(FailureCallback on_failed, NodeID dead) {
                      [cb = std::move(on_failed), dead] { cb(dead); });
 }
 
-std::unique_ptr<Fabric> MakeFabric(sim::Simulator& simulator, ClusterConfig config) {
+std::unique_ptr<Fabric> MakeFabric(sim::Engine& simulator, ClusterConfig config) {
   switch (config.fabric.topology) {
     case TopologyKind::kFlat:
       return std::make_unique<FlatFabric>(simulator, std::move(config));

@@ -127,7 +127,7 @@ class Fabric {
   /// the failed node.
   using FailureCallback = std::function<void(NodeID)>;
 
-  Fabric(sim::Simulator& simulator, ClusterConfig config);
+  Fabric(sim::Engine& simulator, ClusterConfig config);
   virtual ~Fabric();
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -164,7 +164,7 @@ class Fabric {
 
   [[nodiscard]] const NodeTrafficStats& TrafficOf(NodeID node) const;
   [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
-  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] sim::Engine& simulator() noexcept { return sim_; }
   [[nodiscard]] SimTime Now() const noexcept { return sim_.Now(); }
   [[nodiscard]] int num_nodes() const noexcept { return config_.num_nodes; }
 
@@ -202,7 +202,7 @@ class Fabric {
   /// Schedules `on_failed(dead)` one failure-detection delay from now.
   void ScheduleFailureNotice(FailureCallback on_failed, NodeID dead);
 
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   ClusterConfig config_;
 
  private:
@@ -213,7 +213,7 @@ class Fabric {
 };
 
 /// Constructs the fabric implementation selected by `config.fabric`.
-[[nodiscard]] std::unique_ptr<Fabric> MakeFabric(sim::Simulator& simulator,
+[[nodiscard]] std::unique_ptr<Fabric> MakeFabric(sim::Engine& simulator,
                                                  ClusterConfig config);
 
 }  // namespace hoplite::net

@@ -5,7 +5,7 @@
 
 namespace hoplite::net {
 
-FlatFabric::FlatFabric(sim::Simulator& simulator, ClusterConfig config)
+FlatFabric::FlatFabric(sim::Engine& simulator, ClusterConfig config)
     : Fabric(simulator, std::move(config)) {
   const auto n = static_cast<std::size_t>(config_.num_nodes);
   egress_free_at_.assign(n, 0);

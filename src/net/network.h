@@ -29,7 +29,7 @@ namespace hoplite::net {
 /// reproduces the paper's same-AZ EC2 measurements.
 class FlatFabric final : public Fabric {
  public:
-  FlatFabric(sim::Simulator& simulator, ClusterConfig config);
+  FlatFabric(sim::Engine& simulator, ClusterConfig config);
 
   bool CancelTransfer(TransferId id) override;
 

@@ -27,7 +27,7 @@ struct EntryLater {
 
 }  // namespace
 
-RackFabric::RackFabric(sim::Simulator& simulator, ClusterConfig config)
+RackFabric::RackFabric(sim::Engine& simulator, ClusterConfig config)
     : Fabric(simulator, std::move(config)) {
   HOPLITE_CHECK_GT(config_.fabric.num_racks, 0);
   HOPLITE_CHECK_GT(config_.fabric.oversubscription, 0.0);

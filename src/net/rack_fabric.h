@@ -55,7 +55,7 @@ namespace hoplite::net {
 
 class RackFabric final : public Fabric {
  public:
-  RackFabric(sim::Simulator& simulator, ClusterConfig config);
+  RackFabric(sim::Engine& simulator, ClusterConfig config);
 
   bool CancelTransfer(TransferId id) override;
 

@@ -1,0 +1,97 @@
+// The event-engine interface every layer above the simulator schedules
+// against.
+//
+// Two implementations exist:
+//
+//   * sim::Simulator (sim/simulator.h) — the single-threaded reference
+//     engine: one heap, global (time, seq) FIFO order, bit-reproducible by
+//     construction. This is the determinism reference.
+//   * sim::ShardedSimulator (sim/sharded_simulator.h) — the rack-partitioned
+//     parallel engine: per-shard event lanes synchronized with conservative
+//     lookahead. A cluster binds to one of its domains and schedules through
+//     the same surface; single-domain workloads reproduce the reference
+//     engine's execution order exactly.
+//
+// The interface is deliberately narrow: layers may schedule, cancel and read
+// the clock; driving the loop (Run / RunUntil / RunUntilPredicate) belongs to
+// benches, tests and the workload driver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.h"
+
+namespace hoplite::sim {
+
+/// Handle to a scheduled event; usable to cancel it before it fires.
+/// Internally a slot index plus the slot's generation at scheduling time, so
+/// stale handles (fired, cancelled, slot since reused) are recognized in O(1).
+struct EventId {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;  ///< 0 only in the default (invalid) handle
+
+  [[nodiscard]] constexpr bool IsValid() const noexcept { return gen != 0; }
+  friend constexpr bool operator==(EventId a, EventId b) noexcept {
+    return a.slot == b.slot && a.gen == b.gen;
+  }
+};
+
+/// Abstract discrete-event engine with integer-nanosecond virtual time.
+///
+/// Semantics shared by every implementation:
+///  * events at equal timestamps fire in a deterministic engine-defined
+///    order (the reference engine: FIFO scheduling order);
+///  * callbacks may schedule further events;
+///  * Cancel is O(1) and safe on fired/cancelled/stale handles.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  virtual ~Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] virtual SimTime Now() const = 0;
+
+  /// Schedules `fn` to run at absolute virtual time `t` (>= Now()).
+  virtual EventId ScheduleAt(SimTime t, Callback fn) = 0;
+
+  /// Schedules `fn` to run `delay` nanoseconds from now (delay >= 0).
+  virtual EventId ScheduleAfter(SimDuration delay, Callback fn) = 0;
+
+  /// Cancels a pending event. Safe to call for events that already fired or
+  /// were already cancelled (returns false in those cases; true if this call
+  /// is the one that cancelled it).
+  virtual bool Cancel(EventId id) = 0;
+
+  // ------------------------------------------------------------------
+  // Driver surface (benches, tests, the workload driver).
+  // ------------------------------------------------------------------
+
+  /// Runs until no events remain.
+  virtual void Run() = 0;
+
+  /// Runs until virtual time would exceed `deadline` (events exactly at the
+  /// deadline are executed). Time advances to `deadline` afterwards even if
+  /// the queue drained earlier.
+  virtual void RunUntil(SimTime deadline) = 0;
+
+  /// Runs until `pred()` becomes true or the queue drains. Returns whether
+  /// the predicate held when the loop stopped. The predicate is evaluated
+  /// after every executed event.
+  virtual bool RunUntilPredicate(const std::function<bool()>& pred) = 0;
+
+  /// Whether any events are pending.
+  [[nodiscard]] virtual bool Idle() const = 0;
+
+  /// Number of events executed so far (cancelled events excluded). For a
+  /// sharded-engine domain this counts the domain's own events, which is
+  /// exactly what the reference engine would have counted for the same
+  /// workload running alone.
+  [[nodiscard]] virtual std::uint64_t executed_events() const = 0;
+};
+
+}  // namespace hoplite::sim

@@ -23,39 +23,26 @@
 #include "common/audit.h"
 #include "common/logging.h"
 #include "common/units.h"
+#include "sim/engine.h"
 
 namespace hoplite::sim {
 
-/// Handle to a scheduled event; usable to cancel it before it fires.
-/// Internally a slot index plus the slot's generation at scheduling time, so
-/// stale handles (fired, cancelled, slot since reused) are recognized in O(1).
-struct EventId {
-  std::uint32_t slot = 0;
-  std::uint32_t gen = 0;  ///< 0 only in the default (invalid) handle
-
-  [[nodiscard]] constexpr bool IsValid() const noexcept { return gen != 0; }
-  friend constexpr bool operator==(EventId a, EventId b) noexcept {
-    return a.slot == b.slot && a.gen == b.gen;
-  }
-};
-
-/// A discrete-event simulator with integer-nanosecond virtual time.
+/// A discrete-event simulator with integer-nanosecond virtual time: the
+/// single-threaded reference implementation of sim::Engine.
 ///
-/// Not thread-safe: the whole simulation is single-threaded by design
-/// (determinism is the point). Event callbacks may schedule further events.
-class Simulator {
+/// Not thread-safe: this engine is single-threaded by design (determinism is
+/// the point), and its global (time, seq) FIFO order is the reference the
+/// sharded engine must reproduce. Event callbacks may schedule further
+/// events.
+class Simulator final : public Engine {
  public:
-  using Callback = std::function<void()>;
-
   Simulator() = default;
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time.
-  [[nodiscard]] SimTime Now() const noexcept { return now_; }
+  [[nodiscard]] SimTime Now() const noexcept override { return now_; }
 
   /// Schedules `fn` to run at absolute virtual time `t` (>= Now()).
-  EventId ScheduleAt(SimTime t, Callback fn) {
+  EventId ScheduleAt(SimTime t, Callback fn) override {
     HOPLITE_CHECK_GE(t, now_) << "cannot schedule into the past";
     HOPLITE_CHECK(fn != nullptr);
     std::uint32_t slot;
@@ -76,7 +63,7 @@ class Simulator {
   }
 
   /// Schedules `fn` to run `delay` nanoseconds from now (delay >= 0).
-  EventId ScheduleAfter(SimDuration delay, Callback fn) {
+  EventId ScheduleAfter(SimDuration delay, Callback fn) override {
     HOPLITE_CHECK_GE(delay, 0);
     return ScheduleAt(now_ + delay, std::move(fn));
   }
@@ -88,7 +75,7 @@ class Simulator {
   /// Stale heap records are swept eagerly once they outnumber half the
   /// pending events, so heavy cancel traffic (or cancelling into an
   /// abandoned heap) cannot grow the heap without bound.
-  bool Cancel(EventId id) {
+  bool Cancel(EventId id) override {
     if (!id.IsValid() || id.slot >= slots_.size()) return false;
     Slot& s = slots_[id.slot];
     if (s.gen != id.gen || !s.live) return false;  // fired, cancelled, or reused
@@ -131,7 +118,7 @@ class Simulator {
   }
 
   /// Runs until no events remain.
-  void Run() {
+  void Run() override {
     while (Step()) {
     }
   }
@@ -139,7 +126,7 @@ class Simulator {
   /// Runs until virtual time would exceed `deadline` (events exactly at the
   /// deadline are executed). Time advances to `deadline` afterwards even if
   /// the queue drained earlier.
-  void RunUntil(SimTime deadline) {
+  void RunUntil(SimTime deadline) override {
     while (!heap_.empty()) {
       // Drop cancelled heads first: a stale record at or before the deadline
       // must not license Step() to execute a live event beyond it.
@@ -160,8 +147,7 @@ class Simulator {
   /// Runs until `pred()` becomes true or the queue drains. Returns whether
   /// the predicate held when the loop stopped. The predicate is evaluated
   /// after every executed event.
-  template <typename Pred>
-  bool RunUntilPredicate(const Pred& pred) {
+  bool RunUntilPredicate(const std::function<bool()>& pred) override {
     if (pred()) return true;
     while (Step()) {
       if (pred()) return true;
@@ -209,13 +195,15 @@ class Simulator {
   }
 
   /// Number of events executed so far (cancelled events excluded).
-  [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_events_; }
+  [[nodiscard]] std::uint64_t executed_events() const noexcept override {
+    return executed_events_;
+  }
   /// Number of heap records currently pending (cancelled-but-unswept included).
   [[nodiscard]] std::size_t pending_events() const noexcept { return heap_.size(); }
   /// Number of cancelled-but-unswept heap records (bounded by the sweep in
   /// Cancel; exposed for the accounting regression tests).
   [[nodiscard]] std::size_t cancelled_tombstones() const noexcept { return stale_; }
-  [[nodiscard]] bool Idle() const noexcept { return heap_.empty(); }
+  [[nodiscard]] bool Idle() const noexcept override { return heap_.empty(); }
 
  private:
   /// Events between consecutive AuditInvariants() walks (power of two).

@@ -18,7 +18,7 @@ namespace {
 /// Collapses a typed completion ref to the driver's Unit currency,
 /// preserving failure.
 template <typename T>
-[[nodiscard]] Ref<Unit> ToUnit(sim::Simulator& sim, ObjectID id, const Ref<T>& done) {
+[[nodiscard]] Ref<Unit> ToUnit(sim::Engine& sim, ObjectID id, const Ref<T>& done) {
   RefPromise<Unit> promise(&sim, id);
   done.OnSettled([promise](const Ref<T>& settled) {
     if (settled.failed()) {
@@ -34,7 +34,7 @@ template <typename T>
 /// failure. Built on WhenAllSettled so one timed-out receiver neither hides
 /// the others' completions nor stops the op from settling.
 template <typename T>
-[[nodiscard]] Ref<Unit> AllOk(sim::Simulator& sim, ObjectID id,
+[[nodiscard]] Ref<Unit> AllOk(sim::Engine& sim, ObjectID id,
                               const std::vector<Ref<T>>& refs) {
   RefPromise<Unit> promise(&sim, id);
   WhenAllSettled(refs).Then([promise](const std::vector<Settled<T>>& outcomes) {
@@ -58,7 +58,7 @@ class HopliteWorkloadBackend final : public WorkloadBackend {
   explicit HopliteWorkloadBackend(const ScenarioSpec& spec) : cluster_(Options(spec)) {}
 
   [[nodiscard]] const char* name() const override { return "Hoplite"; }
-  [[nodiscard]] sim::Simulator& simulator() override { return cluster_.simulator(); }
+  [[nodiscard]] sim::Engine& simulator() override { return cluster_.simulator(); }
 
   [[nodiscard]] Ref<Unit> Issue(const WorkloadOp& op) override {
     auto& sim = cluster_.simulator();
@@ -121,6 +121,7 @@ class HopliteWorkloadBackend final : public WorkloadBackend {
     options.network.num_nodes = spec.num_nodes;
     options.network.fabric = spec.fabric;
     options.store_capacity_bytes = spec.store_capacity_bytes;
+    options.engine_shards = spec.engine_shards;
     return options;
   }
 
@@ -160,7 +161,7 @@ class RayWorkloadBackend final : public WorkloadBackend {
         transport_(sim_, *net_, config) {}
 
   [[nodiscard]] const char* name() const override { return name_; }
-  [[nodiscard]] sim::Simulator& simulator() override { return sim_; }
+  [[nodiscard]] sim::Engine& simulator() override { return sim_; }
 
   [[nodiscard]] Ref<Unit> Issue(const WorkloadOp& op) override {
     Ref<Unit> done;

@@ -29,7 +29,7 @@ class WorkloadBackend {
  public:
   virtual ~WorkloadBackend() = default;
   [[nodiscard]] virtual const char* name() const = 0;
-  [[nodiscard]] virtual sim::Simulator& simulator() = 0;
+  [[nodiscard]] virtual sim::Engine& simulator() = 0;
 
   /// Issues `op` at the current simulated instant. The returned ref settles
   /// when the op's measured portion completes: Put -> local copy published,

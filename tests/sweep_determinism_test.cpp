@@ -1,6 +1,12 @@
-// Full-sweep determinism differential test: every registered figure runs
-// TWICE in the same process at reduced scale, and the two serialized result
-// documents must be byte-identical once wall-clock content is excluded.
+// Full-sweep determinism differential tests.
+//
+// 1. Every registered figure runs TWICE in the same process at reduced
+//    scale, and the two serialized result documents must be byte-identical
+//    once wall-clock content is excluded.
+// 2. The same sweep runs with every Hoplite cluster hosted on a
+//    ShardedSimulator (RunOptions::shards in {2, 4, 8}) and each document
+//    must be byte-identical to the shards=1 reference: the parallel engine
+//    is an implementation detail, never a result.
 //
 // This is the machine-checked form of the determinism contract the linter
 // (scripts/lint_determinism.py) enforces statically: same inputs, same
@@ -47,7 +53,10 @@ Row StripWallCoords(Row row) {
   return row;
 }
 
-std::string SweepJson(const RunOptions& options) {
+// Runs every figure under `options` but serializes under `serialize_as`,
+// so sweeps that differ only in engine configuration (shards) produce
+// comparable documents.
+std::string SweepJson(const RunOptions& options, const RunOptions& serialize_as) {
   std::vector<FigureResult> results;
   for (const Figure& figure : Registry::Instance().figures()) {
     if (figure.name == "engine-micro") continue;  // wholly wall-clock
@@ -58,23 +67,42 @@ std::string SweepJson(const RunOptions& options) {
     }
     results.push_back(FigureResult{figure.name, figure.title, std::move(rows)});
   }
-  return ResultsToJson(results, options);
+  return ResultsToJson(results, serialize_as);
 }
 
-TEST(SweepDeterminismTest, FullSweepTwiceInProcessIsByteIdentical) {
-  ASSERT_EQ(Registry::Instance().figures().size(), 18u);
-  const RunOptions options = ReducedScale();
-  const std::string first = SweepJson(options);
-  const std::string second = SweepJson(options);
-  ASSERT_FALSE(first.empty());
+std::string SweepJson(const RunOptions& options) { return SweepJson(options, options); }
+
+void ExpectSameDocument(const std::string& first, const std::string& second,
+                        const std::string& what) {
   if (first == second) return;
   // Report the first divergence with context instead of dumping megabytes.
   std::size_t at = 0;
   while (at < first.size() && at < second.size() && first[at] == second[at]) ++at;
   const std::size_t from = at < 60 ? 0 : at - 60;
-  FAIL() << "sweep documents diverge at byte " << at << " (sizes " << first.size()
-         << " vs " << second.size() << ")\n  run 1: ..."
+  FAIL() << what << ": sweep documents diverge at byte " << at << " (sizes "
+         << first.size() << " vs " << second.size() << ")\n  run 1: ..."
          << first.substr(from, 120) << "\n  run 2: ..." << second.substr(from, 120);
+}
+
+TEST(SweepDeterminismTest, FullSweepTwiceInProcessIsByteIdentical) {
+  ASSERT_EQ(Registry::Instance().figures().size(), 19u);
+  const RunOptions options = ReducedScale();
+  const std::string first = SweepJson(options);
+  const std::string second = SweepJson(options);
+  ASSERT_FALSE(first.empty());
+  ExpectSameDocument(first, second, "reference engine, run 1 vs run 2");
+}
+
+TEST(SweepDeterminismTest, ShardedSweepsReproduceTheReferenceByteIdentically) {
+  const RunOptions reference = ReducedScale();
+  const std::string baseline = SweepJson(reference);
+  ASSERT_FALSE(baseline.empty());
+  for (const int shards : {2, 4, 8}) {
+    RunOptions sharded = reference;
+    sharded.shards = shards;
+    ExpectSameDocument(baseline, SweepJson(sharded, reference),
+                       "shards=" + std::to_string(shards) + " vs reference");
+  }
 }
 
 }  // namespace
