@@ -1,17 +1,30 @@
 #!/usr/bin/env bash
-# hoplite-lint entry point: enforces the determinism contract over THE path
-# set (src/, bench/, tests/, examples/ — defined once, inside the linter) and
-# first proves the linter itself still catches what it claims to catch via
-# its fixture self-test. CI's lint job runs exactly this script, so local
+# hoplite-sa entry point: enforces the determinism contract over THE path
+# set (src/, bench/, tests/, examples/ — defined once, inside the analyzer)
+# and first proves the analyzer itself still catches what it claims to catch
+# via its fixture self-test. CI's lint job runs exactly this script, so local
 # runs and CI can never check different things.
+#
+# bench/ and examples/ are scanned like src/ for the line rules (the three
+# wall-clock benches carry allow-file(nondet-source) waivers — their payload
+# IS wall time); the scope-aware rules (capture-escape, domain-confinement)
+# apply to src/ only, where callbacks outlive the scheduling frame.
+#
+# Set HOPLITE_SA_CACHE to a directory to reuse per-file summaries across
+# runs (content-hash keyed, so stale entries are impossible).
 #
 # Usage:
 #   scripts/lint.sh                  # self-test + full tree scan
-#   scripts/lint.sh --list-waivers   # also print every waiver + reason
+#   scripts/lint.sh --list-waivers   # also print waivers + annotations
 #   scripts/lint.sh path/to/file.cc  # scan specific files only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+CACHE_ARGS=()
+if [[ -n "${HOPLITE_SA_CACHE:-}" ]]; then
+  CACHE_ARGS=(--summary-dir "${HOPLITE_SA_CACHE}")
+fi
+
 python3 scripts/lint_determinism.py --self-test
-exec python3 scripts/lint_determinism.py "$@"
+exec python3 scripts/lint_determinism.py "${CACHE_ARGS[@]}" "$@"

@@ -59,6 +59,8 @@ struct MpiConfig {
   std::int64_t chain_threshold = 4 * 1024 * 1024;
 };
 
+// hoplite-sa: owner(MpiLikeCollectives) -- harness-owned beside the
+// fabric; alive until the engine drains.
 class MpiLikeCollectives {
  public:
   MpiLikeCollectives(sim::Engine& simulator, net::Fabric& network,
@@ -77,23 +79,23 @@ class MpiLikeCollectives {
 
   /// Segmented binary-tree reduce towards participants[0]. Starts only when
   /// every participant is ready (§5.1.3).
-  Ref<SimTime> Reduce(std::vector<Participant> participants, std::int64_t bytes);
+  Ref<SimTime> Reduce(const std::vector<Participant>& participants, std::int64_t bytes);
 
   /// Linear gather: every rank sends its object to the root directly.
-  Ref<SimTime> Gather(std::vector<Participant> participants, std::int64_t bytes);
+  Ref<SimTime> Gather(const std::vector<Participant>& participants, std::int64_t bytes);
 
   /// Ring allreduce for large payloads, recursive doubling for small ones.
   /// Starts only when every participant is ready.
-  Ref<SimTime> Allreduce(std::vector<Participant> participants, std::int64_t bytes);
+  Ref<SimTime> Allreduce(const std::vector<Participant>& participants, std::int64_t bytes);
 
  private:
   void BroadcastInternal(std::vector<Participant> participants, std::int64_t bytes,
                          DoneCallback done);
-  void ReduceInternal(std::vector<Participant> participants, std::int64_t bytes,
+  void ReduceInternal(const std::vector<Participant>& participants, std::int64_t bytes,
                       DoneCallback done);
-  void GatherInternal(std::vector<Participant> participants, std::int64_t bytes,
+  void GatherInternal(const std::vector<Participant>& participants, std::int64_t bytes,
                       DoneCallback done);
-  void AllreduceInternal(std::vector<Participant> participants, std::int64_t bytes,
+  void AllreduceInternal(const std::vector<Participant>& participants, std::int64_t bytes,
                          DoneCallback done);
 
   sim::Engine& sim_;
@@ -107,6 +109,8 @@ struct GlooConfig {
   std::int64_t segment_bytes = 1024 * 1024;
 };
 
+// hoplite-sa: owner(GlooLikeCollectives) -- harness-owned beside the
+// fabric; alive until the engine drains.
 class GlooLikeCollectives {
  public:
   GlooLikeCollectives(sim::Engine& simulator, net::Fabric& network,
@@ -117,24 +121,24 @@ class GlooLikeCollectives {
 
   /// Gloo does not optimize broadcast (§5.1.2): the root sends the full
   /// object to every receiver, serialized by its NIC.
-  Ref<SimTime> Broadcast(std::vector<Participant> participants, std::int64_t bytes);
+  Ref<SimTime> Broadcast(const std::vector<Participant>& participants, std::int64_t bytes);
 
   /// Ring-chunked allreduce: reduce-scatter + allgather around the ring,
   /// 2(n-1) pipelined block steps. Starts when all are ready.
-  Ref<SimTime> RingChunkedAllreduce(std::vector<Participant> participants,
+  Ref<SimTime> RingChunkedAllreduce(const std::vector<Participant>& participants,
                                     std::int64_t bytes);
 
   /// Halving-doubling allreduce (recursive halving reduce-scatter, then
   /// recursive doubling allgather). Non-power-of-two participant counts pay
   /// a fold-in/fold-out round, like the real implementation.
-  Ref<SimTime> HalvingDoublingAllreduce(std::vector<Participant> participants,
+  Ref<SimTime> HalvingDoublingAllreduce(const std::vector<Participant>& participants,
                                         std::int64_t bytes);
 
  private:
-  void BroadcastImpl(std::vector<Participant> participants, std::int64_t bytes,
+  void BroadcastImpl(const std::vector<Participant>& participants, std::int64_t bytes,
                      DoneCallback done);
-  void HalvingDoublingInternal(std::vector<Participant> participants, std::int64_t bytes,
-                               DoneCallback done);
+  void HalvingDoublingInternal(const std::vector<Participant>& participants,
+                               std::int64_t bytes, DoneCallback done);
 
   sim::Engine& sim_;
   net::Fabric& net_;

@@ -61,6 +61,10 @@ struct RayLikeConfig {
 /// from point-to-point fetches, exactly like the baselines in the paper.
 /// Every operation returns a Ref immediately (see core/ref.h); collectives
 /// resolve with the simulated completion time of the last participant.
+// hoplite-sa: owner(RayLikeTransport) -- constructed beside the fabric
+// before the first event and destroyed after the engine drains (the
+// PR 5 UAF was a dangling Meta&, not a dangling this; metas now travel
+// by id).
 class RayLikeTransport {
  public:
   RayLikeTransport(sim::Engine& simulator, net::Fabric& network,

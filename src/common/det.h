@@ -207,8 +207,9 @@ template <typename Container>
 [[nodiscard]] std::vector<typename Container::key_type> SortedKeys(const Container& items) {
   std::vector<typename Container::key_type> keys;
   keys.reserve(items.size());
-  // hoplite-lint: allow(unordered-iter) — keys are sorted before anything
-  // observes them; this helper exists so call sites never iterate raw.
+  // Keys are sorted before anything observes them; this helper exists so
+  // call sites never iterate raw. (det.h is the sanctioned home for this —
+  // hoplite-sa exempts it from unordered-iter by construction.)
   for (const auto& item : items) keys.push_back(KeyOf(item));
   std::sort(keys.begin(), keys.end());
   return keys;

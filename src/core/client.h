@@ -60,6 +60,9 @@ class HopliteCluster;
 class ReduceCoordinator;
 class ReduceSession;
 
+// hoplite-sa: owner(HopliteClient) -- one client per node, owned by
+// HopliteCluster for the engine's whole run; its detection/claim events
+// all resolve before the cluster tears down.
 class HopliteClient {
  public:
   HopliteClient(HopliteCluster& cluster, NodeID node, HopliteConfig config);

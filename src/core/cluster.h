@@ -26,6 +26,9 @@ namespace hoplite::core {
 
 class HopliteClient;
 
+// hoplite-sa: owner(HopliteCluster) -- owns the engine (or its domain
+// lane) itself: the cluster is destroyed only after the event queue it
+// schedules into has drained.
 class HopliteCluster {
  public:
   struct Options {

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/ids.h"
 #include "common/logging.h"
 #include "common/units.h"
@@ -94,7 +95,10 @@ struct LocationEvent {
 
 /// The directory service. One logical instance serves the whole cluster;
 /// shard placement only matters for where inline payload bytes travel from.
-class ObjectDirectory {
+// hoplite-sa: owner(ObjectDirectory) -- constructed and destroyed by
+// HopliteCluster around the engine's whole run; every detection-delay event
+// it schedules resolves before the cluster (and the directory with it) dies.
+class HOPLITE_DOMAIN_CONFINED ObjectDirectory {
  public:
   using ClaimCallback = std::function<void(const ClaimReply&)>;
   using SubscriptionCallback = std::function<void(const LocationEvent&)>;

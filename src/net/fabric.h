@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/ids.h"
 #include "common/logging.h"
 #include "common/units.h"
@@ -120,7 +121,10 @@ struct NodeTrafficStats {
 /// flags, traffic counters and the per-node memcpy resource — so the
 /// interface methods have uniform semantics across topologies; transfer
 /// scheduling itself (Send / CancelTransfer) is implementation-defined.
-class Fabric {
+// hoplite-sa: owner(Fabric) -- constructed by HopliteCluster (or a bench
+// harness) before the first event and destroyed after the engine drains;
+// every wire/memcpy event it schedules fires within that window.
+class HOPLITE_DOMAIN_CONFINED Fabric {
  public:
   using DeliveryCallback = std::function<void()>;
   /// Invoked (instead of delivery) when the peer node fails; the argument is
@@ -141,15 +145,22 @@ class Fabric {
   /// self-send-to-Memcpy path and traffic counting are uniform across
   /// topologies; only the wire scheduling (StartTransfer) is
   /// implementation-defined.
+  // hoplite-sa: mailbox -- Send IS the inter-node data plane: the one
+  // sanctioned way state crosses a domain boundary (payload travels as
+  // timestamped wire events, never as shared memory).
   TransferId Send(NodeID src, NodeID dst, std::int64_t bytes, DeliveryCallback on_delivered,
                   FailureCallback on_failed = nullptr);
 
   /// Cancels an in-flight transfer: neither callback will fire. Returns
   /// false if the transfer already completed/failed. The wire time already
   /// consumed is not returned (the bytes were on the wire).
+  // hoplite-sa: mailbox -- cancelling a transfer you started is part of the
+  // data-plane surface (receiver-side redirection, Table 1 semantics).
   virtual bool CancelTransfer(TransferId id) = 0;
 
   /// Occupies `node`'s memcpy engine for bytes/memcpy_bandwidth, then `done`.
+  // hoplite-sa: mailbox -- local-copy half of the data plane, same contract
+  // as Send with src == dst.
   void Memcpy(NodeID node, std::int64_t bytes, DeliveryCallback done);
 
   /// Marks a node as failed: every in-flight transfer touching it reports

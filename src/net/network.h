@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/det.h"
 #include "common/ids.h"
 #include "common/units.h"
@@ -27,7 +28,9 @@ namespace hoplite::net {
 /// The flat (non-blocking, contention-free) fabric: per-node serialized NIC
 /// queues and nothing shared between flows. This is the default topology and
 /// reproduces the paper's same-AZ EC2 measurements.
-class FlatFabric final : public Fabric {
+// hoplite-sa: owner(FlatFabric) -- same lifetime contract as the Fabric
+// base: built before the first event, destroyed after the engine drains.
+class HOPLITE_DOMAIN_CONFINED FlatFabric final : public Fabric {
  public:
   FlatFabric(sim::Engine& simulator, ClusterConfig config);
 

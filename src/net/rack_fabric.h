@@ -45,6 +45,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/det.h"
 #include "common/ids.h"
 #include "common/units.h"
@@ -53,7 +54,11 @@
 
 namespace hoplite::net {
 
-class RackFabric final : public Fabric {
+/// Racks behind oversubscribed ToR uplinks with event-driven progressive
+/// max-min fair sharing (see the file header).
+// hoplite-sa: owner(RackFabric) -- same lifetime contract as the Fabric
+// base: built before the first event, destroyed after the engine drains.
+class HOPLITE_DOMAIN_CONFINED RackFabric final : public Fabric {
  public:
   RackFabric(sim::Engine& simulator, ClusterConfig config);
 

@@ -21,6 +21,8 @@ namespace hoplite::store {
 enum class ReduceOp { kSum, kMin, kMax };
 
 /// An immutable, cheaply copyable object payload.
+// hoplite-sa: value-type(Buffer) -- immutable payload bytes passed across
+// domains by copy/handle; it carries no engine coupling to confine.
 class Buffer {
  public:
   Buffer() = default;

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/det.h"
 #include "common/ids.h"
 #include "common/logging.h"
@@ -43,7 +44,7 @@ struct ObjectState {
 
 /// A single node's object store. Purely a bookkeeping structure: all timing
 /// (memcpy cost, network cost) is charged by the layers above.
-class LocalStore {
+class HOPLITE_DOMAIN_CONFINED LocalStore {
  public:
   using ChunkCallback = std::function<void(std::int64_t chunks_ready)>;
   using CompletionCallback = std::function<void(const Buffer&)>;

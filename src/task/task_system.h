@@ -61,6 +61,10 @@ struct TaskSystemOptions {
   bool lineage_reconstruction = true;
 };
 
+// hoplite-sa: owner(TaskSystem) -- owned by the app/bench harness for
+// the engine's whole run; scheduler retries and lineage re-executions
+// all fire before it dies (task_system_test pins the destroyed-before-
+// cluster case through the RAII membership subscription).
 class TaskSystem {
  public:
   using Options = TaskSystemOptions;

@@ -53,6 +53,8 @@ template <typename T>
 // Hoplite backend: a full HopliteCluster (directory, stores, reduce).
 // --------------------------------------------------------------------
 
+// hoplite-sa: owner(HopliteWorkloadBackend) -- owns its cluster AND the
+// engine the driver runs; destroyed only after RunTrace's Run() drains.
 class HopliteWorkloadBackend final : public WorkloadBackend {
  public:
   explicit HopliteWorkloadBackend(const ScenarioSpec& spec) : cluster_(Options(spec)) {}
@@ -153,6 +155,8 @@ class HopliteWorkloadBackend final : public WorkloadBackend {
 // Ray-like backend: the task-framework transport, same trace.
 // --------------------------------------------------------------------
 
+// hoplite-sa: owner(RayWorkloadBackend) -- owns its fabric, transport
+// and engine; destroyed only after RunTrace's Run() drains.
 class RayWorkloadBackend final : public WorkloadBackend {
  public:
   RayWorkloadBackend(const ScenarioSpec& spec, baselines::RayLikeConfig config,

@@ -1,0 +1,18 @@
+// Lint self-test fixture: transitive determinism taint through two calls.
+// The wall-clock read lives two frames below the reporting function; every
+// call edge on the way up must light up, each with its origin chain.
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+#include <chrono>
+
+double HostWallSeconds() {
+  const auto t = std::chrono::steady_clock::now();  // expect-lint: nondet-source
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double SampleHostLatency() {
+  return HostWallSeconds() * 1e3;  // expect-lint: nondet-taint
+}
+
+double ReportHostLatency() {
+  return SampleHostLatency() + 1.0;  // expect-lint: nondet-taint
+}

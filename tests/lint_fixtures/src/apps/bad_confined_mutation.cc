@@ -1,0 +1,15 @@
+// Lint self-test fixture: mutating a HOPLITE_DOMAIN_CONFINED class from a
+// foreign domain. src/apps is neither src/store nor a declared owner layer,
+// so only the const read and the mailbox method pass.
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+#include "store/confined_widget.h"
+
+namespace hoplite::apps {
+
+int DriveWidget(store::ConfinedWidget& widget) {
+  widget.Mutate(3);  // expect-lint: domain-confinement
+  widget.Post(4);
+  return widget.Peek();
+}
+
+}  // namespace hoplite::apps

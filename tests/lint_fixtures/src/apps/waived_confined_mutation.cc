@@ -1,0 +1,14 @@
+// Lint self-test fixture: a confined-state mutation carrying a justified
+// site waiver (a setup-phase write before the engine's first event).
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+#include "store/confined_widget.h"
+
+namespace hoplite::apps {
+
+void SeedWidget(store::ConfinedWidget& widget) {
+  // hoplite-sa: allow(domain-confinement) -- fixture: setup-phase write; the
+  // engine has not started, so no cross-domain race window exists yet.
+  widget.Mutate(1);
+}
+
+}  // namespace hoplite::apps

@@ -1,0 +1,20 @@
+// Lint self-test fixture: by-ref and raw-this captures escaping into a
+// scheduled callback. The enclosing class declares no engine-lifetime owner
+// contract and the enclosing frame never drains the engine, so nothing
+// guarantees the captures outlive the event.
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+
+namespace hoplite::core {
+
+class RetryPump {
+ public:
+  void Arm(sim::Engine& sim) {
+    int backlog = 3;
+    sim.ScheduleAfter(5, [this, &backlog] { pending_ += backlog; });  // expect-lint: capture-escape
+  }
+
+ private:
+  int pending_ = 0;
+};
+
+}  // namespace hoplite::core

@@ -1,0 +1,26 @@
+// Lint self-test fixture: capture escape fully handled two ways — one class
+// declares the engine-lifetime owner contract (exempt, no waiver burned),
+// one free-function site carries a justified site waiver.
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+
+namespace hoplite::core {
+
+// hoplite-sa: owner(DrainedPump) -- fixture: constructed before the first
+// event and destroyed only after the harness drains the engine.
+class DrainedPump {
+ public:
+  void Arm(sim::Engine& sim) {
+    sim.ScheduleAfter(5, [this] { ++pending_; });
+  }
+
+ private:
+  int pending_ = 0;
+};
+
+void ArmFreeStanding(sim::Engine& sim, int& backlog) {
+  // hoplite-sa: allow(capture-escape) -- fixture: the caller keeps `backlog`
+  // alive until the engine drains in the same scope.
+  sim.ScheduleAfter(5, [&backlog] { ++backlog; });
+}
+
+}  // namespace hoplite::core

@@ -1,0 +1,16 @@
+// Lint self-test fixture: a class holding domain state inside a confined
+// directory (src/net) with neither a HOPLITE_DOMAIN_CONFINED annotation nor
+// a value-type declaration.
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+
+namespace hoplite::net {
+
+class LinkScoreboard {  // expect-lint: domain-confinement
+ public:
+  void Record(int bytes) { total_ += bytes; }
+
+ private:
+  long total_ = 0;
+};
+
+}  // namespace hoplite::net

@@ -1,0 +1,21 @@
+// Lint self-test fixture: a well-annotated domain-confined class. Foreign-
+// domain mutations of it are flagged (see the src/apps fixtures); const
+// reads and the declared mailbox method are sanctioned crossings.
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+
+namespace hoplite::store {
+
+class HOPLITE_DOMAIN_CONFINED ConfinedWidget {
+ public:
+  void Mutate(int delta) { state_ += delta; }
+  [[nodiscard]] int Peek() const { return state_; }
+
+  // hoplite-sa: mailbox -- fixture: the sanctioned cross-domain entry point;
+  // posts travel as timestamped events into the widget's own lane.
+  void Post(int delta) { state_ += delta; }
+
+ private:
+  int state_ = 0;
+};
+
+}  // namespace hoplite::store

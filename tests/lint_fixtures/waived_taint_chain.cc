@@ -1,0 +1,14 @@
+// Lint self-test fixture: a waived wall-clock source does not taint its
+// callers — the waiver asserts the reading itself is the bench's payload,
+// so propagating it further would only breed copy-paste waivers.
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+#include <chrono>
+
+double BenchHarnessWallSeconds() {
+  // hoplite-sa: allow(nondet-source) -- fixture: the wall-clock reading is
+  // the bench's reported payload, not simulation input.
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double BenchHarnessReport() { return BenchHarnessWallSeconds() * 1e3; }
