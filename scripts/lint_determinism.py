@@ -113,7 +113,7 @@ import re
 import sys
 from pathlib import Path
 
-MODEL_VERSION = 6  # bump to invalidate --summary-dir caches
+MODEL_VERSION = 7  # bump to invalidate --summary-dir caches
 
 LINE_RULES = (
     "unordered-iter",
@@ -134,15 +134,17 @@ RULES = LINE_RULES + SA_RULES
 # examples/ sit above the whole library and may include anything.
 LAYERS = {
     "common": set(),
+    "cache": {"common"},
     "sim": {"common"},
-    "store": {"common"},
-    "net": {"common", "sim"},
-    "directory": {"common", "sim", "net", "store"},
-    "core": {"common", "sim", "net", "store", "directory"},
-    "task": {"common", "sim", "net", "store", "directory", "core"},
-    "baselines": {"common", "sim", "net", "store", "directory", "core"},
-    "apps": {"common", "sim", "net", "store", "directory", "core", "baselines"},
-    "workload": {"common", "sim", "net", "store", "directory", "core", "baselines", "apps"},
+    "store": {"common", "cache"},
+    "net": {"common", "cache", "sim"},
+    "directory": {"common", "cache", "sim", "net", "store"},
+    "core": {"common", "cache", "sim", "net", "store", "directory"},
+    "task": {"common", "cache", "sim", "net", "store", "directory", "core"},
+    "baselines": {"common", "cache", "sim", "net", "store", "directory", "core"},
+    "apps": {"common", "cache", "sim", "net", "store", "directory", "core", "baselines"},
+    "workload": {"common", "cache", "sim", "net", "store", "directory", "core", "baselines",
+                 "apps"},
 }
 
 # The one sanctioned randomness implementation may name the primitives it wraps.
@@ -161,11 +163,18 @@ THREADING_HOMES = {
 
 # Directories whose top-level classes hold domain state and must be annotated
 # HOPLITE_DOMAIN_CONFINED (or declared value types).
-CONFINED_DIRS = ("directory", "net", "store")
+CONFINED_DIRS = ("cache", "directory", "net", "store")
 # Layers whose code executes on the owning domain's engine by construction:
 # src/core composes each cluster onto one domain and runs only as event
 # callbacks there, so it is the owning layer for all three confined domains.
-CONFINED_OWNER_LAYERS = {"directory": {"core"}, "net": {"core"}, "store": {"core"}}
+# src/cache classes are owned by the store/directory that embeds them, so the
+# owning domains' layers (plus core) are their sanctioned callers.
+CONFINED_OWNER_LAYERS = {
+    "cache": {"store", "directory", "core"},
+    "directory": {"core"},
+    "net": {"core"},
+    "store": {"core"},
+}
 
 # Schedule/Then-family sinks: a lambda passed here is executed later, from the
 # event loop, so its captures outlive the current statement.

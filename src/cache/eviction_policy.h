@@ -1,0 +1,78 @@
+// Pluggable replacement policies for the local object store.
+//
+// LocalStore used to hard-wire one intrusive LRU list; this interface
+// extracts the ordering decision so policies can be swapped per cluster
+// (`CacheConfig::policy`) without touching the store's byte accounting or
+// pin semantics. The store stays in charge of *whether* an entry may be
+// evicted (complete, unreferenced, not a primary) and *when* eviction runs
+// (over capacity); the policy only answers *which* candidate goes first.
+//
+// Contract:
+//   * OnInsert / OnRemove bracket an entry's lifetime in the store; every
+//     tracked entry appears in exactly one policy queue.
+//   * OnTouch records a use (Get served locally, chunk appended, entry
+//     completed) and may reorder or promote the entry.
+//   * PickVictim walks candidates in policy order and returns the first one
+//     the store's predicate accepts, or nullopt when nothing is evictable.
+//     It never mutates policy state: the store confirms the eviction by
+//     calling OnRemove(victim, kEvicted).
+//
+// Every policy is deterministic by construction: ordering state lives in
+// std::list queues (order fixed by the call sequence) indexed by
+// det::Map — no hashing, no ambient state, no clocks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <optional>
+
+#include "cache/cache_config.h"
+#include "common/annotations.h"
+#include "common/det.h"
+#include "common/ids.h"
+
+namespace hoplite::cache {
+
+/// Why an entry left the store: policies that keep history (2Q's ghost
+/// queue) only record entries the store *evicted*; explicit deletes and
+/// failure cleanup must not leave promotion breadcrumbs behind.
+enum class RemovalCause {
+  kEvicted,  ///< store chose this entry via PickVictim to reclaim capacity
+  kErased,   ///< deleted, purged, or torn down — not a capacity decision
+};
+
+/// Replacement-order oracle for one LocalStore. Confined like the store
+/// that owns it: all calls arrive from the store's own domain.
+class HOPLITE_DOMAIN_CONFINED EvictionPolicy {
+ public:
+  /// Filter supplied by the store: true if the entry may be evicted now.
+  using EvictablePredicate = std::function<bool(ObjectID)>;
+
+  virtual ~EvictionPolicy() = default;
+
+  virtual void OnInsert(ObjectID object, std::int64_t bytes) = 0;
+  virtual void OnTouch(ObjectID object) = 0;
+  virtual void OnRemove(ObjectID object, RemovalCause cause) = 0;
+
+  /// First candidate in policy order accepted by `evictable`, or nullopt.
+  [[nodiscard]] virtual std::optional<ObjectID> PickVictim(
+      const EvictablePredicate& evictable) const = 0;
+
+  /// Number of tracked entries (store audits check it matches the table).
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// True if `object` is currently tracked (store audits).
+  [[nodiscard]] virtual bool Contains(ObjectID object) const = 0;
+
+  [[nodiscard]] virtual EvictionPolicyKind kind() const = 0;
+};
+
+/// Constructs the policy selected by `kind`. `capacity_bytes` sizes the
+/// internal segments of the multi-queue policies (2Q's probationary target
+/// and ghost budget, SLRU's protected segment); plain LRU ignores it.
+[[nodiscard]] std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionPolicyKind kind,
+                                                                 std::int64_t capacity_bytes);
+
+}  // namespace hoplite::cache

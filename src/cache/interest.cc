@@ -1,0 +1,39 @@
+#include "cache/interest.h"
+
+#include "common/logging.h"
+
+namespace hoplite::cache {
+
+void InterestTable::Open(ObjectID object, NodeID fetcher) {
+  const auto [it, inserted] = entries_.emplace(object, Entry{});
+  HOPLITE_CHECK(inserted) << "InterestTable: window already open for " << object;
+  it->second.fetcher = fetcher;
+  ++stats_.opened;
+}
+
+void InterestTable::NoteAttach(ObjectID object) {
+  if (const auto it = entries_.find(object); it != entries_.end()) ++it->second.attaches;
+  ++stats_.attaches;
+}
+
+void InterestTable::Resolve(ObjectID object) {
+  if (entries_.erase(object) > 0) ++stats_.resolved;
+}
+
+void InterestTable::Abort(ObjectID object) {
+  if (entries_.erase(object) > 0) ++stats_.aborted;
+}
+
+std::vector<ObjectID> InterestTable::OnNodeFailed(NodeID node) {
+  std::vector<ObjectID> dropped;
+  for (const auto& [object, entry] : entries_) {
+    if (entry.fetcher == node) dropped.push_back(object);
+  }
+  for (const ObjectID object : dropped) {
+    entries_.erase(object);
+    ++stats_.aborted;
+  }
+  return dropped;
+}
+
+}  // namespace hoplite::cache

@@ -1,0 +1,76 @@
+// Pending-interest table: the request-coalescing half of the hot-object
+// serving subsystem (NDN-style interest aggregation, see the content store
+// lineage in PAPERS.md).
+//
+// One entry per object whose *first* fetch is still in flight. The
+// directory opens an interest when it serves the first claim of a
+// coalescing window from the object's origin, counts every later claimant
+// that attaches (parks) instead of issuing its own fetch, and resolves the
+// interest when the first copy lands — at which point the attached waiters
+// drain through the broadcast-tree fan-out. The table holds bookkeeping
+// only; the waiters themselves stay in the directory's parked-claim queue
+// so there is exactly one owner of claim liveness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/det.h"
+#include "common/ids.h"
+
+namespace hoplite::cache {
+
+/// Lifetime counters of the coalescing machinery, surfaced in LoadReport.
+// hoplite-sa: value-type(InterestStats) -- plain counters copied into
+// reports.
+struct InterestStats {
+  std::int64_t opened = 0;    ///< first-claim windows started
+  std::int64_t resolved = 0;  ///< windows closed by a landed copy
+  std::int64_t attaches = 0;  ///< claims that coalesced onto a window
+  std::int64_t aborted = 0;   ///< windows dropped by fetcher death / delete
+};
+
+/// Per-directory pending-interest bookkeeping. Confined alongside the
+/// directory that owns it; every call arrives from the directory's domain.
+class HOPLITE_DOMAIN_CONFINED InterestTable {
+ public:
+  /// Opens the coalescing window for `object`: `fetcher` is performing the
+  /// one in-flight origin fetch. No-op is a bug — one window per object.
+  void Open(ObjectID object, NodeID fetcher);
+
+  /// True while the object's first fetch is in flight.
+  [[nodiscard]] bool Pending(ObjectID object) const { return entries_.contains(object); }
+
+  /// Records a claim that coalesced onto in-flight supply instead of
+  /// fetching. Valid with or without an open window: attaches also happen
+  /// after the first copy landed, while the fan-out transfers it seeded are
+  /// still in flight (supply is the location table then, not a window).
+  void NoteAttach(ObjectID object);
+
+  /// Closes the window because a copy landed. Safe to call when no window
+  /// is open (the resolving fetch may predate coalescing being enabled).
+  void Resolve(ObjectID object);
+
+  /// Drops the window (fetcher died or the object was deleted) without
+  /// counting it resolved. Safe to call when no window is open.
+  void Abort(ObjectID object);
+
+  /// Drops every window whose fetcher is `node`; returns the objects whose
+  /// windows were dropped so the directory can restart their fetches.
+  [[nodiscard]] std::vector<ObjectID> OnNodeFailed(NodeID node);
+
+  [[nodiscard]] const InterestStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t pending_count() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    NodeID fetcher = -1;
+    std::int64_t attaches = 0;
+  };
+
+  det::Map<ObjectID, Entry> entries_;
+  InterestStats stats_;
+};
+
+}  // namespace hoplite::cache

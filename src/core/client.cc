@@ -158,9 +158,14 @@ void HopliteClient::PutInternal(ObjectID object, store::Buffer payload, PutCallb
 void HopliteClient::GetInternal(ObjectID object, GetOptions options, GetCallback callback) {
   HOPLITE_CHECK(callback != nullptr);
   if (local_store().Contains(object)) {
+    local_store().NoteHit();
+    // The read is the replacement policy's recency signal: a re-read hit is
+    // what distinguishes a hot replica from one-touch scan pollution.
+    local_store().Touch(object);
     DeliverLocal(object, options, std::move(callback));
     return;
   }
+  local_store().NoteMiss();
   auto it = fetches_.find(object);
   if (it != fetches_.end()) {
     it->second.early_waiters.emplace_back(options, std::move(callback));
@@ -191,13 +196,21 @@ void HopliteClient::OnClaimReply(const directory::ClaimReply& reply) {
   if (it == fetches_.end()) {
     // The fetch was purged while the claim was in flight; release the grant
     // so the sender does not stay busy forever.
-    if (!reply.inline_payload) {
+    if (!reply.inline_payload && !reply.deleted) {
       cluster_.directory().TransferAborted(reply.object, reply.sender, node_,
                                            /*sender_alive=*/true);
     }
     return;
   }
   FetchSession& session = it->second;
+
+  if (reply.deleted) {
+    // Our claim was attached to a coalesced in-flight fetch and the object
+    // was deleted before the fetch landed: fail the waiting Gets kDeleted
+    // (same contract as a delete push racing a local copy).
+    PurgeObject(reply.object);
+    return;
+  }
 
   if (reply.local_copy) {
     // The object is materializing in our own store (e.g. a Reduce sink).
@@ -225,6 +238,24 @@ void HopliteClient::OnClaimReply(const directory::ClaimReply& reply) {
     auto waiters = std::move(session.early_waiters);
     fetches_.erase(it);
     const std::uint64_t inc = incarnation_;
+    if (cluster_.network().config().cache.coalescing &&
+        !local_store().Contains(reply.object)) {
+      // Serving cache: keep the inline payload as an evictable complete
+      // store copy and announce it, so claims attached to this object's
+      // pending-interest window fan out from us (and from every holder the
+      // fan-out creates in turn) instead of re-paying the shard's egress,
+      // and later local Gets hit without any wire traffic.
+      auto& st = local_store();
+      st.CreatePartial(reply.object, reply.payload.size(), store::CopyKind::kCached,
+                       config_.chunk_size);
+      st.MarkComplete(reply.object, reply.payload);
+      cluster_.directory().RegisterCachedCopy(
+          reply.object, node_, [this, inc, object = reply.object] {
+            // Deleted while our payload was in flight: the purge wave could
+            // not see us, so reap the cached copy ourselves.
+            if (inc == incarnation_) PurgeObject(object);
+          });
+    }
     for (auto& [options, callback] : waiters) {
       if (options.read_only) {
         callback(reply.payload);

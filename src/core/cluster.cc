@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "cache/eviction_policy.h"
 #include "common/logging.h"
 #include "core/client.h"
 #include "sim/sharded_simulator.h"
@@ -29,8 +30,10 @@ HopliteCluster::HopliteCluster(Options options)
   stores_.reserve(static_cast<std::size_t>(n));
   clients_.reserve(static_cast<std::size_t>(n));
   for (NodeID node = 0; node < n; ++node) {
-    stores_.push_back(
-        std::make_unique<store::LocalStore>(node, options_.store_capacity_bytes));
+    stores_.push_back(std::make_unique<store::LocalStore>(
+        node, options_.store_capacity_bytes,
+        cache::MakeEvictionPolicy(options_.network.cache.policy,
+                                  options_.store_capacity_bytes)));
     clients_.push_back(std::make_unique<HopliteClient>(*this, node, options_.hoplite));
   }
 }

@@ -16,7 +16,33 @@ template <typename Records>
                           [](const auto& rec, NodeID n) { return rec.node < n; });
 }
 
+/// SplitMix64 finalizer: turns an object id into a well-mixed scan offset so
+/// PickSender's rotation start is deterministic per object but uncorrelated
+/// with the id's low bits (which also pick the shard).
+[[nodiscard]] std::uint64_t MixForRotation(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
+
+/// True if some location can supply bytes now or soon: a landed complete
+/// copy, a busy copy mid-transfer, or a locally produced partial (which
+/// streams as it is written). A fetch-origin partial alone is NOT supply —
+/// it is itself waiting on a fetch, and if that fetch's source vanished
+/// (sender evicted and retracted), coalescing a window onto it would wedge
+/// every attached claim forever.
+bool ObjectDirectory::HasSupply(const ObjectEntry& entry) {
+  for (const auto& rec : entry.locations) {
+    if (rec.loc.complete || rec.loc.state == LocationState::kBusy ||
+        !rec.loc.fetch_origin) {
+      return true;
+    }
+  }
+  return false;
+}
 
 ObjectDirectory::Location* ObjectDirectory::ObjectEntry::FindLocation(NodeID node) {
   const auto it = LowerBound(locations, node);
@@ -83,6 +109,36 @@ void ObjectDirectory::MarkComplete(ObjectID object, NodeID node) {
   });
 }
 
+void ObjectDirectory::RegisterCachedCopy(ObjectID object, NodeID node,
+                                         std::function<void()> on_deleted) {
+  ApplyWrite([this, object, node, on_deleted = std::move(on_deleted)] {
+    auto obj_it = objects_.find(object);
+    if (obj_it == objects_.end()) {
+      // Deleted while the payload was in flight; the window (if any) died
+      // with the delete, this is just the late registration arriving. The
+      // delete's purge wave could not have reached the registering node (it
+      // was not a location yet), so tell it to reap the copy itself.
+      interests_.Abort(object);
+      if (on_deleted) {
+        sim_.ScheduleAfter(config_.notify_latency, std::move(on_deleted));
+      }
+      return;
+    }
+    ObjectEntry& entry = obj_it->second;
+    interests_.Resolve(object);
+    const auto [loc, inserted] = entry.AddLocation(node);
+    loc->complete = true;
+    loc->chain.clear();
+    loc->fetch_origin = false;
+    if (loc->state != LocationState::kBusy) {
+      loc->state = LocationState::kAvailableComplete;
+    }
+    Publish(object, entry, LocationEvent{object, node, entry.size, true, false,
+                                         /*is_inline=*/entry.is_inline});
+    ServeParked(object);
+  });
+}
+
 void ObjectDirectory::RemoveLocation(ObjectID object, NodeID node) {
   ApplyWrite([this, object, node] {
     auto obj_it = objects_.find(object);
@@ -125,30 +181,64 @@ void ObjectDirectory::DeleteObject(ObjectID object,
     auto it = objects_.find(object);
     if (it != objects_.end()) {
       for (const auto& rec : it->second.locations) holders.push_back(rec.node);
-      // A claim parked at delete time must not be dropped: its callback
-      // would never fire and the claimant would hang forever. It stays
-      // parked on the id — semantically identical to the same claim
-      // arriving one tick after the delete — and resolves when the object
-      // is re-created.
+      const std::int64_t size = it->second.size;
       std::deque<ParkedClaim> parked = std::move(it->second.parked);
       objects_.erase(it);
-      if (!parked.empty()) EntryOf(object).parked = std::move(parked);
+      interests_.Abort(object);
+      // Claims that *attached* to an in-flight coalesced fetch fail now
+      // with a `deleted` reply: their claimants observed the object exist
+      // and merged onto its fetch, so the honest outcome of a concurrent
+      // Delete is kDeleted — not silently waiting for a re-creation that
+      // may never come. A plain pre-production park must not be dropped,
+      // though: its callback would never fire and the claimant would hang
+      // forever. It stays parked on the id — semantically identical to the
+      // same claim arriving one tick after the delete — and resolves when
+      // the object is re-created.
+      std::deque<ParkedClaim> replug;
+      for (auto& claim : parked) {
+        if (claim.attached) {
+          ClaimReply reply;
+          reply.object = object;
+          reply.object_size = size;
+          reply.deleted = true;
+          sim_.ScheduleAfter(config_.notify_latency,
+                             [callback = std::move(claim.callback), reply] { callback(reply); });
+        } else {
+          replug.push_back(std::move(claim));
+        }
+      }
+      if (!replug.empty()) EntryOf(object).parked = std::move(replug);
     }
     if (on_deleted) on_deleted(std::move(holders));
   });
 }
 
-NodeID ObjectDirectory::PickSender(const ObjectEntry& entry, NodeID receiver) const {
-  // Ascending-node scan of the sorted table: the first available complete
-  // copy wins; failing that, the first available partial copy whose chain
-  // does not contain the receiver (granting one would create a cyclic
-  // fetch, §3.5.1).
+NodeID ObjectDirectory::PickSender(ObjectID object, const ObjectEntry& entry,
+                                   NodeID receiver) const {
+  // Rotated scan of the sorted table: the start index is a deterministic
+  // per-object hash, so different hot objects spread their copy-serving
+  // load across replicas instead of every claim landing on the lowest node
+  // id. From the rotated start, the first available complete copy wins;
+  // failing that, the first available partial copy whose chain does not
+  // contain the receiver (granting one would create a cyclic fetch, §3.5.1).
+  // Under coalescing, fetch-origin partials are skipped entirely: a copy
+  // that is itself still being fetched is the pending interest later
+  // claimants attach to, not a sender — the fan-out tree grows only from
+  // landed copies (and locally produced partials, which stream as they are
+  // written).
+  const std::size_t n = entry.locations.size();
+  if (n == 0) return kInvalidNode;
+  const bool coalesce = coalescing();
+  const std::size_t start =
+      static_cast<std::size_t>(MixForRotation(object.value()) % static_cast<std::uint64_t>(n));
   NodeID best_partial = kInvalidNode;
-  for (const auto& rec : entry.locations) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& rec = entry.locations[(start + i) % n];
     if (rec.node == receiver) continue;
     if (rec.loc.state == LocationState::kBusy) continue;
     if (rec.loc.state == LocationState::kAvailableComplete) return rec.node;
     if (best_partial != kInvalidNode) continue;
+    if (coalesce && rec.loc.fetch_origin) continue;
     if (std::find(rec.loc.chain.begin(), rec.loc.chain.end(), receiver) !=
         rec.loc.chain.end()) {
       continue;
@@ -243,18 +333,8 @@ void ObjectDirectory::ClaimSender(ObjectID object, NodeID receiver, ClaimCallbac
   sim_.ScheduleAfter(config_.read_latency, [this, object, receiver,
                                             callback = std::move(callback)]() mutable {
     ObjectEntry& entry = EntryOf(object);
-    if (entry.is_inline) {
-      ClaimReply reply;
-      reply.object = object;
-      reply.object_size = entry.size;
-      reply.inline_payload = true;
-      reply.payload = entry.inline_payload;
-      // Payload bytes travel from the shard node to the receiver.
-      const NodeID shard = LiveShardOf(object);
-      network_.Send(shard, receiver, entry.size,
-                    [callback = std::move(callback), reply = std::move(reply)] {
-                      callback(reply);
-                    });
+    if (entry.is_inline && !coalescing()) {
+      ServeInlineFromShard(object, entry, receiver, std::move(callback));
       return;
     }
     if (const Location* self = entry.FindLocation(receiver);
@@ -269,12 +349,33 @@ void ObjectDirectory::ClaimSender(ObjectID object, NodeID receiver, ClaimCallbac
       callback(reply);
       return;
     }
-    const NodeID sender = PickSender(entry, receiver);
-    if (sender == kInvalidNode) {
-      entry.parked.push_back(ParkedClaim{receiver, std::move(callback)});
+    const NodeID sender = PickSender(object, entry, receiver);
+    if (sender != kInvalidNode) {
+      Grant(object, entry, sender, receiver, std::move(callback), SimDuration{0});
       return;
     }
-    Grant(object, entry, sender, receiver, std::move(callback), SimDuration{0});
+    if (entry.is_inline) {
+      // Coalescing: the first claim of a window fetches the payload from the
+      // shard; while that fetch is in flight (or granted fan-out transfers
+      // are), later claimants attach to the pending interest and drain
+      // through the cached-holder fan-out instead of each paying the shard's
+      // egress again.
+      if (!interests_.Pending(object) && !HasSupply(entry)) {
+        interests_.Open(object, receiver);
+        ServeInlineFromShard(object, entry, receiver, std::move(callback));
+        return;
+      }
+      interests_.NoteAttach(object);
+      entry.parked.push_back(ParkedClaim{receiver, std::move(callback), /*attached=*/true});
+      return;
+    }
+    // Attached == parked while supply was already in flight: under
+    // coalescing these claims ride the pending fetch (and fail kDeleted if
+    // the object is deleted first); a park on an empty entry is the plain
+    // get-before-put wait and keeps its legacy semantics.
+    const bool attached = coalescing() && HasSupply(entry);
+    if (attached) interests_.NoteAttach(object);
+    entry.parked.push_back(ParkedClaim{receiver, std::move(callback), attached});
   });
 }
 
@@ -296,7 +397,7 @@ void ObjectDirectory::ServeParked(ObjectID object) {
   // The caller just mutated this entry; audit the post-mutation shape before
   // grants mutate it further (Grant audits again after each grant).
   HOPLITE_AUDIT_SCOPE(AuditEntry(entry));
-  if (entry.is_inline) {
+  if (entry.is_inline && !coalescing()) {
     // Everything parked resolves through the inline cache.
     auto parked = std::move(entry.parked);
     entry.parked.clear();
@@ -316,6 +417,9 @@ void ObjectDirectory::ServeParked(ObjectID object) {
   // Serve claims FIFO while senders are available. A claim that still has no
   // suitable sender blocks the ones behind it (fairness; also matches the
   // behaviour of a per-object wait queue in the reference implementation).
+  // Under coalescing this loop IS the broadcast fan-out: each landed copy
+  // frees its sender and adds a new complete holder, so the number of
+  // grants per wake-up doubles until the parked queue drains.
   while (!entry.parked.empty()) {
     const NodeID receiver = entry.parked.front().receiver;
     const Location* self = entry.FindLocation(receiver);
@@ -334,13 +438,40 @@ void ObjectDirectory::ServeParked(ObjectID object) {
                          [callback = std::move(claim.callback), reply] { callback(reply); });
       continue;
     }
-    const NodeID sender = PickSender(entry, receiver);
-    if (sender == kInvalidNode) return;
-    ParkedClaim claim = std::move(entry.parked.front());
-    entry.parked.pop_front();
-    Grant(object, entry, sender, claim.receiver, std::move(claim.callback),
-          config_.notify_latency);
+    const NodeID sender = PickSender(object, entry, receiver);
+    if (sender != kInvalidNode) {
+      ParkedClaim claim = std::move(entry.parked.front());
+      entry.parked.pop_front();
+      Grant(object, entry, sender, claim.receiver, std::move(claim.callback),
+            config_.notify_latency);
+      continue;
+    }
+    if (entry.is_inline && !interests_.Pending(object) && !HasSupply(entry)) {
+      // Coalesced inline object with no supply at all (the window's fetcher
+      // died before its copy landed): restart the window with the next
+      // parked claim so the survivors re-resolve.
+      ParkedClaim claim = std::move(entry.parked.front());
+      entry.parked.pop_front();
+      interests_.Open(object, claim.receiver);
+      ServeInlineFromShard(object, entry, claim.receiver, std::move(claim.callback));
+      continue;
+    }
+    return;
   }
+}
+
+void ObjectDirectory::ServeInlineFromShard(ObjectID object, const ObjectEntry& entry,
+                                           NodeID receiver, ClaimCallback callback) {
+  ClaimReply reply;
+  reply.object = object;
+  reply.object_size = entry.size;
+  reply.inline_payload = true;
+  reply.payload = entry.inline_payload;
+  // Payload bytes travel from the shard node to the receiver.
+  network_.Send(LiveShardOf(object), receiver, entry.size,
+                [callback = std::move(callback), reply = std::move(reply)] {
+                  callback(reply);
+                });
 }
 
 void ObjectDirectory::TransferFinished(ObjectID object, NodeID sender, NodeID receiver) {
@@ -466,6 +597,13 @@ void ObjectDirectory::NodeFailed(NodeID node) {
     parked.erase(std::remove_if(parked.begin(), parked.end(),
                                 [node](const ParkedClaim& c) { return c.receiver == node; }),
                  parked.end());
+    ServeParked(object);
+  }
+  // Pending-interest windows whose fetcher died with the node are dropped;
+  // re-serving the parked queue restarts each window with the next attached
+  // claimant (the in-flight shard send to the dead fetcher was aborted by
+  // the fabric, so no copy will ever land from it).
+  for (const ObjectID object : interests_.OnNodeFailed(node)) {
     ServeParked(object);
   }
   HOPLITE_AUDIT_SCOPE(AuditDirectory());

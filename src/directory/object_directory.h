@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/interest.h"
 #include "common/annotations.h"
 #include "common/ids.h"
 #include "common/logging.h"
@@ -66,6 +67,10 @@ enum class LocationState {
 struct ClaimReply {
   ObjectID object;
   std::int64_t object_size = 0;
+  /// True when the claim failed because the object was deleted while the
+  /// claimant was attached to an in-flight coalesced fetch. No sender, no
+  /// payload: the receiver must fail the waiting Gets with kDeleted.
+  bool deleted = false;
   /// True when the payload was served from the inline small-object cache;
   /// `payload` is set and no sender/transfer is involved.
   bool inline_payload = false;
@@ -154,6 +159,16 @@ class HOPLITE_DOMAIN_CONFINED ObjectDirectory {
   /// Cancels a parked claim for `receiver` (e.g. the receiver failed).
   void CancelClaim(ObjectID object, NodeID receiver);
 
+  /// Announces that `node` holds a complete cached copy of an *inline*
+  /// object (the serving cache retained the payload). Resolves the object's
+  /// pending-interest window, registers the node as a complete location so
+  /// attached waiters fan out from cached holders, and serves parked claims.
+  /// If the object was deleted while the payload was in flight, the copy
+  /// must not outlive it: `on_deleted` (optional) is notified so the caller
+  /// purges the just-cached copy instead of serving a dead id forever.
+  void RegisterCachedCopy(ObjectID object, NodeID node,
+                          std::function<void()> on_deleted = nullptr);
+
   /// After a successful transfer: the sender returns to the available pool
   /// (complete if it was complete, otherwise still partial) and the receiver
   /// is marked complete.
@@ -200,6 +215,16 @@ class HOPLITE_DOMAIN_CONFINED ObjectDirectory {
   /// Total directory operations served (reads + writes), for benches.
   [[nodiscard]] std::uint64_t ops_served() const noexcept { return ops_served_; }
 
+  /// Request-coalescing counters (windows opened/resolved, claims attached).
+  [[nodiscard]] const cache::InterestStats& interest_stats() const noexcept {
+    return interests_.stats();
+  }
+
+  /// Coalescing windows currently open (first fetch still in flight).
+  [[nodiscard]] std::size_t pending_interests() const noexcept {
+    return interests_.pending_count();
+  }
+
   /// Full table-shape walk (audit builds; also directly callable from tests):
   /// every location table sorted strictly ascending, busy/serving bits
   /// cross-consistent, complete copies with empty chains, no copy in its own
@@ -226,6 +251,11 @@ class HOPLITE_DOMAIN_CONFINED ObjectDirectory {
   struct ParkedClaim {
     NodeID receiver = kInvalidNode;
     ClaimCallback callback;
+    /// True when the claim parked while supply for the object was already in
+    /// flight (request coalescing): the claimant attached to the pending
+    /// fetch instead of starting its own. A Delete fails attached claims
+    /// with `deleted` replies; plain pre-production parks stay parked.
+    bool attached = false;
   };
   /// One copy of the object: flat record in the per-object location table.
   struct LocationRecord {
@@ -263,11 +293,30 @@ class HOPLITE_DOMAIN_CONFINED ObjectDirectory {
   /// Per-object slice of AuditDirectory, run after claim-path mutations.
   void AuditEntry(const ObjectEntry& entry) const;
 
-  /// Picks the best available sender for `receiver`, or kInvalidNode.
-  [[nodiscard]] NodeID PickSender(const ObjectEntry& entry, NodeID receiver) const;
+  /// Picks the best available sender for `receiver`, or kInvalidNode. The
+  /// scan starts at a deterministic per-object rotation of the sorted table
+  /// so copy-serving load spreads across replicas instead of always landing
+  /// on the lowest node id. Under coalescing, fetch-origin partials are not
+  /// grantable: their claimants attach to the in-flight fetch instead.
+  [[nodiscard]] NodeID PickSender(ObjectID object, const ObjectEntry& entry,
+                                  NodeID receiver) const;
+
+  /// True when the cluster runs with request coalescing enabled.
+  [[nodiscard]] bool coalescing() const noexcept { return network_.config().cache.coalescing; }
+
+  /// True if some location can supply bytes now or soon (complete, busy
+  /// mid-transfer, or locally produced). Fetch-origin partials alone are
+  /// not supply: the coalescing window must (re)open rather than park
+  /// claims on a fetch whose source may already be gone.
+  [[nodiscard]] static bool HasSupply(const ObjectEntry& entry);
 
   /// Serves as many parked claims as possible after a state change.
   void ServeParked(ObjectID object);
+
+  /// Sends `entry`'s inline payload from the live shard node to `receiver`
+  /// and schedules the payload reply on arrival.
+  void ServeInlineFromShard(ObjectID object, const ObjectEntry& entry, NodeID receiver,
+                            ClaimCallback callback);
 
   /// Grants `sender` to `receiver` and schedules the reply callback.
   void Grant(ObjectID object, ObjectEntry& entry, NodeID sender, NodeID receiver,
@@ -281,6 +330,8 @@ class HOPLITE_DOMAIN_CONFINED ObjectDirectory {
   sim::Engine& sim_;
   DirectoryConfig config_;
   std::unordered_map<ObjectID, ObjectEntry> objects_;
+  /// Pending-interest windows for coalesced inline fetches + counters.
+  cache::InterestTable interests_;
   SubscriptionId next_subscription_ = 1;
   std::uint64_t ops_served_ = 0;
 };

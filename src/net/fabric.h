@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/cache_config.h"
 #include "common/annotations.h"
 #include "common/ids.h"
 #include "common/logging.h"
@@ -92,6 +93,10 @@ struct ClusterConfig {
 
   /// Topology selection (flat testbed vs. racks behind ToR uplinks).
   FabricConfig fabric;
+
+  /// Hot-object serving knobs: the store's eviction policy and the
+  /// directory's request-coalescing switch (see cache/cache_config.h).
+  cache::CacheConfig cache;
 
   [[nodiscard]] BytesPerSecond BandwidthOf(NodeID node) const {
     if (!per_node_bandwidth.empty()) {

@@ -6,6 +6,15 @@
 
 namespace hoplite::store {
 
+LocalStore::LocalStore(NodeID node, std::int64_t capacity_bytes,
+                       std::unique_ptr<cache::EvictionPolicy> policy)
+    : node_(node),
+      capacity_bytes_(capacity_bytes),
+      policy_(policy != nullptr
+                  ? std::move(policy)
+                  : cache::MakeEvictionPolicy(cache::EvictionPolicyKind::kLru,
+                                              capacity_bytes)) {}
+
 void LocalStore::CreatePartial(ObjectID object, std::int64_t size, CopyKind kind,
                                std::int64_t chunk_size) {
   HOPLITE_CHECK(!Contains(object)) << "object " << object << " already in store of node "
@@ -16,8 +25,7 @@ void LocalStore::CreatePartial(ObjectID object, std::int64_t size, CopyKind kind
   entry.state.size = size;
   entry.state.layout = ChunkLayout{size, chunk_size};
   entry.state.kind = kind;
-  lru_.push_front(object);
-  entry.lru_pos = lru_.begin();
+  policy_->OnInsert(object, size);
   used_bytes_ += size;
   peak_used_bytes_ = std::max(peak_used_bytes_, used_bytes_);
   entries_.emplace(object, std::move(entry));
@@ -72,13 +80,14 @@ void LocalStore::ResetProgress(ObjectID object) {
 void LocalStore::Remove(ObjectID object) {
   auto it = entries_.find(object);
   if (it == entries_.end()) return;
-  EraseEntry(it);
+  EraseEntry(it, cache::RemovalCause::kErased);
   HOPLITE_AUDIT_SCOPE(AuditAccounting());
 }
 
-void LocalStore::EraseEntry(std::unordered_map<ObjectID, Entry>::iterator it) {
+void LocalStore::EraseEntry(std::unordered_map<ObjectID, Entry>::iterator it,
+                            cache::RemovalCause cause) {
   used_bytes_ -= it->second.state.size;
-  lru_.erase(it->second.lru_pos);
+  policy_->OnRemove(it->first, cause);
   entries_.erase(it);
 }
 
@@ -147,10 +156,8 @@ void LocalStore::Unref(ObjectID object) {
 }
 
 void LocalStore::Touch(ObjectID object) {
-  Entry& entry = MutableEntry(object);
-  lru_.erase(entry.lru_pos);
-  lru_.push_front(object);
-  entry.lru_pos = lru_.begin();
+  HOPLITE_CHECK(Contains(object)) << "object " << object << " not in store of node " << node_;
+  policy_->OnTouch(object);
 }
 
 std::vector<ObjectID> LocalStore::ListObjects() const {
@@ -174,37 +181,32 @@ void LocalStore::AuditAccounting() const {
       HOPLITE_AUDIT(e.completion_subs.empty())
           << object << " kept completion subscribers past completion";
     }
-    HOPLITE_AUDIT(*e.lru_pos == object) << object << " lru iterator drift";
+    HOPLITE_AUDIT(policy_->Contains(object)) << object << " resident but untracked by policy";
     for (const auto& sub : e.chunk_subs) HOPLITE_AUDIT(sub.first < e.next_token);
     for (const auto& sub : e.completion_subs) HOPLITE_AUDIT(sub.first < e.next_token);
   }
   HOPLITE_AUDIT(resident == used_bytes_)
       << "(" << resident << " resident bytes vs counter " << used_bytes_ << ")";
   HOPLITE_AUDIT(peak_used_bytes_ >= used_bytes_);
-  HOPLITE_AUDIT(lru_.size() == entries_.size())
-      << "(" << lru_.size() << " lru entries vs " << entries_.size() << " objects)";
-  for (const ObjectID object : lru_) {
-    HOPLITE_AUDIT(entries_.count(object) == 1) << object << " on lru but not resident";
-  }
+  HOPLITE_AUDIT(policy_->size() == entries_.size())
+      << "(" << policy_->size() << " policy entries vs " << entries_.size() << " objects)";
 }
 
 void LocalStore::MaybeEvict() {
   if (capacity_bytes_ <= 0) return;
   while (used_bytes_ > capacity_bytes_) {
-    // Scan from least-recently used; stop if nothing is evictable.
-    auto victim = lru_.end();
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      auto entry_it = entries_.find(*it);
+    // The policy proposes candidates in its order; the store accepts the
+    // first one that is actually evictable. Stop if nothing is.
+    const auto victim = policy_->PickVictim([this](ObjectID candidate) {
+      auto entry_it = entries_.find(candidate);
       HOPLITE_CHECK(entry_it != entries_.end());
-      if (Evictable(entry_it->second)) {
-        victim = std::prev(it.base());
-        break;
-      }
-    }
-    if (victim == lru_.end()) return;  // over capacity but nothing evictable
+      return Evictable(entry_it->second);
+    });
+    if (!victim.has_value()) return;  // over capacity but nothing evictable
     auto entry_it = entries_.find(*victim);
+    HOPLITE_CHECK(entry_it != entries_.end());
     ++evictions_;
-    EraseEntry(entry_it);
+    EraseEntry(entry_it, cache::RemovalCause::kEvicted);
   }
 }
 

@@ -4,18 +4,20 @@
 // process (Figure 3): it buffers immutable objects, tracks partially received
 // copies at chunk granularity so that partial copies can act as senders
 // (§3.2/§3.3), pins primary copies created via Put until the framework calls
-// Delete (§6 "Garbage collection"), and evicts unpinned secondary copies with
-// a local LRU policy when a capacity limit is configured.
+// Delete (§6 "Garbage collection"), and evicts unpinned secondary copies via
+// a pluggable replacement policy (cache/eviction_policy.h; LRU by default)
+// when a capacity limit is configured.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <list>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "cache/eviction_policy.h"
 #include "common/annotations.h"
 #include "common/det.h"
 #include "common/ids.h"
@@ -30,6 +32,7 @@ enum class CopyKind {
   kPrimary,  ///< created by a local Put; pinned until Delete
   kReplica,  ///< received from a remote node during broadcast/get
   kReduced,  ///< produced locally as a (partial or final) reduce result
+  kCached,   ///< inline payload retained by the serving cache (coalescing)
 };
 
 /// Observable state of one object in one store.
@@ -49,8 +52,10 @@ class HOPLITE_DOMAIN_CONFINED LocalStore {
   using ChunkCallback = std::function<void(std::int64_t chunks_ready)>;
   using CompletionCallback = std::function<void(const Buffer&)>;
 
-  explicit LocalStore(NodeID node, std::int64_t capacity_bytes = 0)
-      : node_(node), capacity_bytes_(capacity_bytes) {}
+  /// `policy` decides replacement order; null selects classic LRU, which
+  /// reproduces the pre-policy hard-wired list bit for bit.
+  explicit LocalStore(NodeID node, std::int64_t capacity_bytes = 0,
+                      std::unique_ptr<cache::EvictionPolicy> policy = nullptr);
 
   [[nodiscard]] NodeID node() const noexcept { return node_; }
 
@@ -98,8 +103,18 @@ class HOPLITE_DOMAIN_CONFINED LocalStore {
   void Ref(ObjectID object);
   void Unref(ObjectID object);
 
-  /// Marks the entry most-recently-used for LRU purposes.
+  /// Records a use with the eviction policy (reorders/promotes the entry).
   void Touch(ObjectID object);
+
+  /// Serving-cache counters: a Get that found a local complete copy is a
+  /// hit, one that had to fetch is a miss. Charged by the client layer so
+  /// the definition matches what a user-visible Get observed.
+  void NoteHit() noexcept { ++hits_; }
+  void NoteMiss() noexcept { ++misses_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+  [[nodiscard]] const cache::EvictionPolicy& policy() const noexcept { return *policy_; }
 
   /// Bytes currently held (partial copies count their full reserved size).
   [[nodiscard]] std::int64_t used_bytes() const noexcept { return used_bytes_; }
@@ -123,7 +138,6 @@ class HOPLITE_DOMAIN_CONFINED LocalStore {
   struct Entry {
     ObjectState state;
     std::int64_t refs = 0;
-    std::list<ObjectID>::iterator lru_pos;
     std::uint64_t next_token = 1;
     // det::Map so callback firing order is ascending token == subscription
     // order, not hash placement.
@@ -137,15 +151,18 @@ class HOPLITE_DOMAIN_CONFINED LocalStore {
     return e.state.complete && e.refs == 0 && e.state.kind != CopyKind::kPrimary;
   }
   void MaybeEvict();
-  void EraseEntry(std::unordered_map<ObjectID, Entry>::iterator it);
+  void EraseEntry(std::unordered_map<ObjectID, Entry>::iterator it,
+                  cache::RemovalCause cause);
 
   NodeID node_;
   std::int64_t capacity_bytes_;  ///< 0 = unlimited
   std::int64_t used_bytes_ = 0;
   std::int64_t peak_used_bytes_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
   std::unordered_map<ObjectID, Entry> entries_;
-  std::list<ObjectID> lru_;  ///< front = most recently used
+  std::unique_ptr<cache::EvictionPolicy> policy_;  ///< replacement order oracle
 };
 
 }  // namespace hoplite::store

@@ -113,7 +113,10 @@ class HopliteWorkloadBackend final : public WorkloadBackend {
       hw.evictions += st.evictions();
       hw.peak_used_bytes = std::max(hw.peak_used_bytes, st.peak_used_bytes());
       hw.final_used_bytes += st.used_bytes();
+      hw.hits += st.hits();
+      hw.misses += st.misses();
     }
+    hw.coalesced_attaches = cluster_.directory().interest_stats().attaches;
     return hw;
   }
 
@@ -122,6 +125,7 @@ class HopliteWorkloadBackend final : public WorkloadBackend {
     core::HopliteCluster::Options options;
     options.network.num_nodes = spec.num_nodes;
     options.network.fabric = spec.fabric;
+    options.network.cache = spec.cache;
     options.store_capacity_bytes = spec.store_capacity_bytes;
     options.engine_shards = spec.engine_shards;
     return options;

@@ -20,9 +20,14 @@ namespace hoplite::workload {
 /// Aggregated store-pressure counters (zeros for backends with no store
 /// model, i.e. the task-framework baselines).
 struct StoreHighWater {
-  std::uint64_t evictions = 0;        ///< total LRU evictions across nodes
+  std::uint64_t evictions = 0;        ///< total policy evictions across nodes
   std::int64_t peak_used_bytes = 0;   ///< max per-node used_bytes high-water
   std::int64_t final_used_bytes = 0;  ///< sum of used_bytes when the run drained
+  std::uint64_t hits = 0;    ///< Gets served by an already-local copy
+  std::uint64_t misses = 0;  ///< Gets that had to fetch
+  /// Gets that coalesced onto in-flight supply instead of starting their
+  /// own origin fetch (directory interest-table attaches).
+  std::int64_t coalesced_attaches = 0;
 };
 
 class WorkloadBackend {

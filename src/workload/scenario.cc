@@ -103,6 +103,25 @@ WorkloadTrace BuildTrace(const ScenarioSpec& spec) {
     // the reuse pool for re-reads.
     std::vector<std::size_t> reusable;
 
+    // Zipf hot-set lowering: precomputed popularity CDF over the rank
+    // universe, plus the per-rank size fixed at first touch (0 = untouched).
+    std::vector<double> zipf_cdf;
+    std::vector<std::int64_t> zipf_bytes;
+    const ObjectID zipf_ns = ns.WithSuffix("zipf");
+    if (tenant.zipf_hot_set > 0) {
+      HOPLITE_CHECK(!tenant.delete_after)
+          << "zipf_hot_set re-reads need delete_after = false (tenant "
+          << tenant.name << ")";
+      HOPLITE_CHECK_GT(tenant.zipf_alpha, 0.0);
+      double total_weight = 0.0;
+      zipf_cdf.reserve(static_cast<std::size_t>(tenant.zipf_hot_set));
+      for (int r = 0; r < tenant.zipf_hot_set; ++r) {
+        total_weight += 1.0 / std::pow(static_cast<double>(r + 1), tenant.zipf_alpha);
+        zipf_cdf.push_back(total_weight);
+      }
+      zipf_bytes.assign(static_cast<std::size_t>(tenant.zipf_hot_set), 0);
+    }
+
     auto& ops = per_tenant[t];
     SimTime at = 0;
     while (ops.size() < spec.max_ops_per_tenant) {
@@ -121,6 +140,28 @@ WorkloadTrace BuildTrace(const ScenarioSpec& spec) {
       op.delete_after = tenant.delete_after;
       op.get_timeout = tenant.get_timeout;
       op.id = ns.WithIndex(static_cast<std::int64_t>(ops.size()));
+
+      if (tenant.zipf_hot_set > 0 && op.kind == OpKind::kGet) {
+        // Rank draw off the CDF; first touch fixes the rank's size and
+        // produces the object on a peer, later touches re-read it.
+        const double pick = rng.NextDouble() * zipf_cdf.back();
+        const auto rank = std::min(
+            static_cast<std::size_t>(
+                std::upper_bound(zipf_cdf.begin(), zipf_cdf.end(), pick) -
+                zipf_cdf.begin()),
+            zipf_bytes.size() - 1);  // pick can round up to the CDF total
+        op.id = zipf_ns.WithIndex(static_cast<std::int64_t>(rank));
+        if (zipf_bytes[rank] > 0) {
+          op.fresh = false;
+          op.bytes = zipf_bytes[rank];
+          op.peers.clear();
+        } else {
+          zipf_bytes[rank] = op.bytes;
+          op.peers = DrawPeers(rng, spec.num_nodes, op.home, 1);
+        }
+        ops.push_back(std::move(op));
+        continue;
+      }
 
       const bool reuse = op.kind == OpKind::kGet && !tenant.delete_after &&
                          !reusable.empty() &&

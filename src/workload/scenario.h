@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache_config.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/units.h"
@@ -112,6 +113,15 @@ struct TenantSpec {
   /// matter. Only meaningful with delete_after = false (a deleted object
   /// would park the re-read forever).
   double reuse_fraction = 0.0;
+  /// When > 0, every kGet arrival targets one object of a fixed
+  /// `zipf_hot_set`-sized universe, drawn by popularity rank with
+  /// P(rank) proportional to 1/(rank+1)^zipf_alpha. The first touch of a
+  /// rank produces the object (fresh); every later touch is a re-read of
+  /// the same id and size — the skewed hot-object serving regime where
+  /// eviction policy and request coalescing matter. Requires
+  /// delete_after = false and supersedes reuse_fraction for kGet.
+  int zipf_hot_set = 0;
+  double zipf_alpha = 1.0;
   /// Garbage-collect an op's objects once the op settles (the serving
   /// loop's Delete). false leaves garbage behind — the memory-pressure
   /// regime.
@@ -135,6 +145,9 @@ struct ScenarioSpec {
   /// Event-engine shards for the Hoplite backend's cluster (bench --shards;
   /// 1 = the reference Simulator). Engine choice never changes results.
   int engine_shards = 1;
+  /// Hot-object serving knobs (Hoplite backend only): eviction policy for
+  /// the per-node stores and the directory's request-coalescing switch.
+  cache::CacheConfig cache;
   net::FabricConfig fabric;
   std::vector<TenantSpec> tenants;
   /// Safety valve against runaway rate*horizon products.

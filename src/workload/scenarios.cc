@@ -155,6 +155,54 @@ ScenarioSpec BuildMemoryPressure(const ScenarioTuning& tuning) {
   return spec;
 }
 
+/// Skewed hot-object reads: one tenant streams Zipf-popular Gets over a
+/// fixed object universe (first touch produces, later touches re-read).
+/// Popular ranks accumulate replicas under read_only Gets while the cold
+/// tail streams one-touch replicas past them — the regime where recency-only
+/// eviction throws hot replicas away and scan-resistant policies (2Q,
+/// segmented LRU) keep them, and where concurrent Gets for the same hot
+/// object are exactly what request coalescing aggregates. Callers sweep
+/// `store_capacity_bytes` and `cache` (policy / coalescing); the default
+/// store is unlimited.
+ScenarioSpec BuildZipfServing(const ScenarioTuning& tuning) {
+  ScenarioSpec spec;
+  spec.name = "zipf-serving";
+  spec.num_nodes = std::max(2, tuning.num_nodes);
+  spec.horizon = tuning.horizon;
+  spec.seed = tuning.seed;
+
+  TenantSpec readers;
+  readers.name = "readers";
+  readers.arrivals = {ArrivalProcess::Kind::kPoisson, 400.0 * tuning.load_scale};
+  readers.mix = OpMix{0.0, 1.0, 0.0, 0.0};
+  // Non-inline payloads so every copy lives in a store and eviction policy
+  // decides which replicas survive.
+  readers.sizes = Capped(
+      SizeDistribution::Weighted({{KB(128), 0.7}, {KB(256), 0.3}}),
+      tuning.max_object_bytes);
+  readers.delete_after = false;
+  readers.zipf_hot_set = 256;
+  readers.zipf_alpha = 1.1;
+  spec.tenants.push_back(std::move(readers));
+
+  // One-touch scan traffic: every Get is a fresh object read exactly once
+  // and never again — and, like the no-GC regime of §4, never deleted, so
+  // the dead scans linger until the replacement policy reclaims them. Under
+  // plain LRU each scan sits at the MRU end while a zipf-hot replica ages
+  // to the tail and is evicted; 2Q parks scans in its probationary FIFO and
+  // segmented LRU keeps them in probation, so both reclaim the scans and
+  // spare the hot head. This is the workload axis the policy comparison
+  // turns on.
+  TenantSpec scanners;
+  scanners.name = "scanners";
+  scanners.arrivals = {ArrivalProcess::Kind::kPoisson, 150.0 * tuning.load_scale};
+  scanners.mix = OpMix{0.0, 1.0, 0.0, 0.0};
+  scanners.sizes = Capped(SizeDistribution::Fixed(KB(256)), tuning.max_object_bytes);
+  scanners.delete_after = false;
+  spec.tenants.push_back(std::move(scanners));
+  return spec;
+}
+
 }  // namespace
 
 HOPLITE_REGISTER_SCENARIO(serving, "serving",
@@ -169,5 +217,9 @@ HOPLITE_REGISTER_SCENARIO(memory_pressure, "memory-pressure",
                           "no-GC churn + hot re-reads against small stores "
                           "(eviction and stale-location retries under load)",
                           BuildMemoryPressure);
+HOPLITE_REGISTER_SCENARIO(zipf_serving, "zipf-serving",
+                          "Zipf-popular reads over a fixed hot set "
+                          "(eviction-policy quality and request coalescing)",
+                          BuildZipfServing);
 
 }  // namespace hoplite::workload

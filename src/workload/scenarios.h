@@ -14,6 +14,9 @@
 //                    Fig. 6 / Fig. 14 size band — the load_sweep workload
 //   memory-pressure  no garbage collection, hot re-reads, tiny stores:
 //                    drives eviction and the stale-location retry path
+//   zipf-serving     Zipf-popular reads over a fixed hot set: the serving
+//                    regime where eviction-policy quality (LRU vs 2Q vs
+//                    segmented LRU) and request coalescing show up
 #pragma once
 
 #include <cstdint>

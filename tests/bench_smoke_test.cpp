@@ -24,13 +24,14 @@ RunOptions SmokeScale() {
   return options;
 }
 
-TEST(BenchRegistryTest, AllNineteenFiguresRegistered) {
+TEST(BenchRegistryTest, AllTwentyOneFiguresRegistered) {
   const std::set<std::string> expected{
       "fig6",  "fig7",  "fig8",  "fig9",       "fig10",
       "fig11", "fig12", "fig13", "fig14",      "fig15",
       "adaptive-d", "directory-latency", "engine-micro",
       "topo_oversubscription", "scale_nodes", "scale_shards",
-      "pipeline_dag", "load_sweep", "mem_pressure"};
+      "pipeline_dag", "load_sweep", "mem_pressure",
+      "hot_object", "cache_policy"};
   std::set<std::string> registered;
   for (const Figure& figure : Registry::Instance().figures()) {
     EXPECT_NE(figure.fn, nullptr) << figure.name;
@@ -49,7 +50,7 @@ TEST(BenchRegistryTest, FindIsExactAndMissesUnknown) {
 
 TEST(BenchSmokeTest, EveryFigureProducesFiniteRowsAtTinyScale) {
   const RunOptions opt = SmokeScale();
-  EXPECT_EQ(Registry::Instance().figures().size(), 19u);
+  EXPECT_EQ(Registry::Instance().figures().size(), 21u);
   for (const Figure& figure : Registry::Instance().figures()) {
     SCOPED_TRACE(figure.name);
     const std::vector<Row> rows = figure.fn(opt);

@@ -196,15 +196,16 @@ TEST(EvictionPressureTest, InFlightDataBeatsTheDeleteOnTheReceiversIngress) {
 // ----------------------------------------------------------------------
 
 TEST(EvictionPressureTest, EvictedSinceGrantedSenderIsRetriedAndRetracted) {
-  // Node 1's replica of A is evicted but its directory location survives
-  // (eviction is lazy by design). Node 1 has the lowest node id among A's
-  // copies from node 0's perspective... the ascending claim scan grants the
-  // stale node 1 first. The StartPush bounce (HandleSenderGone) must
-  // retract the stale location — not merely return it to the pool, which
-  // would re-grant the same empty sender forever — and the re-claim must
-  // complete the fetch from the surviving primary on node 2.
+  // Node 1's replica of the object is evicted but its directory location
+  // survives (eviction is lazy by design). The claim scan starts at a
+  // per-object rotation of the sorted location table {1, 2}; the name "D"
+  // hashes to rotation start 0, so the stale node 1 is granted first. The
+  // StartPush bounce (HandleSenderGone) must retract the stale location —
+  // not merely return it to the pool, which would re-grant the same empty
+  // sender forever — and the re-claim must complete the fetch from the
+  // surviving primary on node 2.
   HopliteCluster cluster(TinyStoreOptions(4, MB(3)));
-  const ObjectID a = ObjectID::FromName("A");
+  const ObjectID a = ObjectID::FromName("D");
   cluster.client(2).Put(a, store::Buffer::OfSize(MB(1)));
   (void)cluster.client(1).Get(a, GetOptions{.read_only = true});
   cluster.RunAll();

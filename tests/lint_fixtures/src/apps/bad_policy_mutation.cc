@@ -1,0 +1,17 @@
+// Lint self-test fixture: mutating a HOPLITE_DOMAIN_CONFINED cache policy
+// from a foreign domain. src/cache is owned by store/directory/core —
+// src/apps is none of them, so the insert and touch are flagged while the
+// const victim scan and byte accounting reads pass.
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+#include "cache/confined_replacement_policy.h"
+
+namespace hoplite::apps {
+
+long DrivePolicy(cache::ConfinedReplacementPolicy& policy) {
+  policy.OnInsert(7, 4096);  // expect-lint: domain-confinement
+  policy.OnTouch(7);  // expect-lint: domain-confinement
+  (void)policy.PickVictim();
+  return policy.resident_bytes();
+}
+
+}  // namespace hoplite::apps

@@ -1,0 +1,22 @@
+// Lint self-test fixture: a well-annotated domain-confined replacement
+// policy, mirroring src/cache/eviction_policy.h. src/cache is confined with
+// store/directory/core as sanctioned owner layers; anything else may only
+// take const reads (see the src/apps fixture for the flagged mutation).
+// Never compiled; consumed by `lint_determinism.py --self-test`.
+
+namespace hoplite::cache {
+
+class HOPLITE_DOMAIN_CONFINED ConfinedReplacementPolicy {
+ public:
+  void OnInsert(int object, long bytes) { resident_ += bytes; }
+  void OnTouch(int object) { ++touches_; }
+  [[nodiscard]] int PickVictim() const { return victim_; }
+  [[nodiscard]] long resident_bytes() const { return resident_; }
+
+ private:
+  long resident_ = 0;
+  long touches_ = 0;
+  int victim_ = 0;
+};
+
+}  // namespace hoplite::cache
