@@ -136,15 +136,17 @@ LAYERS = {
     "common": set(),
     "cache": {"common"},
     "sim": {"common"},
+    "qos": {"common"},
     "store": {"common", "cache"},
-    "net": {"common", "cache", "sim"},
-    "directory": {"common", "cache", "sim", "net", "store"},
-    "core": {"common", "cache", "sim", "net", "store", "directory"},
-    "task": {"common", "cache", "sim", "net", "store", "directory", "core"},
-    "baselines": {"common", "cache", "sim", "net", "store", "directory", "core"},
-    "apps": {"common", "cache", "sim", "net", "store", "directory", "core", "baselines"},
+    "net": {"common", "cache", "sim", "qos"},
+    "directory": {"common", "cache", "sim", "net", "store", "qos"},
+    "core": {"common", "cache", "sim", "net", "store", "directory", "qos"},
+    "task": {"common", "cache", "sim", "net", "store", "directory", "core", "qos"},
+    "baselines": {"common", "cache", "sim", "net", "store", "directory", "core", "qos"},
+    "apps": {"common", "cache", "sim", "net", "store", "directory", "core", "baselines",
+             "qos"},
     "workload": {"common", "cache", "sim", "net", "store", "directory", "core", "baselines",
-                 "apps"},
+                 "apps", "qos"},
 }
 
 # The one sanctioned randomness implementation may name the primitives it wraps.
@@ -163,7 +165,7 @@ THREADING_HOMES = {
 
 # Directories whose top-level classes hold domain state and must be annotated
 # HOPLITE_DOMAIN_CONFINED (or declared value types).
-CONFINED_DIRS = ("cache", "directory", "net", "store")
+CONFINED_DIRS = ("cache", "directory", "net", "qos", "store")
 # Layers whose code executes on the owning domain's engine by construction:
 # src/core composes each cluster onto one domain and runs only as event
 # callbacks there, so it is the owning layer for all three confined domains.
@@ -173,6 +175,9 @@ CONFINED_OWNER_LAYERS = {
     "cache": {"store", "directory", "core"},
     "directory": {"core"},
     "net": {"core"},
+    # QoS state machines live inside the layer that embeds them: token
+    # buckets in src/core clients, WFQ/AQM engines in the src/net fabric.
+    "qos": {"net", "core"},
     "store": {"core"},
 }
 

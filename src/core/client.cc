@@ -25,19 +25,59 @@ store::LocalStore& HopliteClient::local_store() { return cluster_.store(node_); 
 // the future layer adds no events and no latency.
 // ======================================================================
 
-Ref<ObjectID> HopliteClient::Put(ObjectID object, store::Buffer payload) {
+Ref<ObjectID> HopliteClient::Put(ObjectID object, store::Buffer payload,
+                                 qos::TenantId tenant) {
   RefPromise<ObjectID> promise(&cluster_.simulator(), object);
   TrackPromise(promise);
-  PutInternal(object, std::move(payload), [promise, object] { promise.Resolve(object); });
-  return promise.ref();
+  RefError throttled;
+  const Admission adm = AdmitOp(
+      tenant, &throttled,
+      [this, object, tenant, payload = std::move(payload), promise]() mutable {
+        // Shed, don't send: an op that settled (timed out) while paced in
+        // the bucket queue never reaches the protocol.
+        if (promise.ref().settled()) return;
+        PutInternal(object, std::move(payload),
+                    [promise, object] { promise.Resolve(object); }, tenant);
+      });
+  if (adm == Admission::kRejected) {
+    promise.Reject(throttled);
+    return promise.ref();
+  }
+  Ref<ObjectID> ref = promise.ref();
+  if (adm == Admission::kAdmitted) {
+    const std::uint64_t inc = incarnation_;
+    ref.OnSettled([this, inc, tenant](const Ref<ObjectID>& r) {
+      if (inc == incarnation_) OnOpSettled(tenant, !r.failed());
+    });
+  }
+  return ref;
 }
 
 Ref<store::Buffer> HopliteClient::Get(ObjectID object, GetOptions options) {
   RefPromise<store::Buffer> promise(&cluster_.simulator(), object);
   TrackGetPromise(object, promise);
-  GetInternal(object, options,
-              [promise](const store::Buffer& payload) { promise.Resolve(payload); });
+  RefError throttled;
+  const Admission adm =
+      AdmitOp(options.tenant, &throttled, [this, object, options, promise] {
+        // Shed, don't send: a Get whose timeout fired while it waited for a
+        // token is dead to the caller — issuing the fetch anyway would burn
+        // fabric capacity on an answer nobody reads.
+        if (promise.ref().settled()) return;
+        GetInternal(object, options,
+                    [promise](const store::Buffer& payload) { promise.Resolve(payload); });
+      });
+  if (adm == Admission::kRejected) {
+    promise.Reject(throttled);
+    return promise.ref();
+  }
   Ref<store::Buffer> ref = promise.ref();
+  if (adm == Admission::kAdmitted) {
+    const std::uint64_t inc = incarnation_;
+    const qos::TenantId tenant = options.tenant;
+    ref.OnSettled([this, inc, tenant](const Ref<store::Buffer>& r) {
+      if (inc == incarnation_) OnOpSettled(tenant, !r.failed());
+    });
+  }
   if (options.timeout > 0 && !ref.settled()) {
     // Reject the tracked promise itself (not a mirror) so the entry settles
     // and gets pruned; the underlying fetch keeps running — late data can
@@ -64,9 +104,27 @@ Ref<ObjectID> HopliteClient::Delete(ObjectID object) {
 Ref<ReduceResult> HopliteClient::Reduce(ReduceSpec spec) {
   RefPromise<ReduceResult> promise(&cluster_.simulator(), spec.target);
   TrackPromise(promise);
-  ReduceInternal(std::move(spec),
-                 [promise](const ReduceResult& result) { promise.Resolve(result); });
-  return promise.ref();
+  const qos::TenantId tenant = spec.tenant;
+  RefError throttled;
+  const Admission adm =
+      AdmitOp(tenant, &throttled, [this, spec = std::move(spec), promise]() mutable {
+        if (promise.ref().settled()) return;  // shed ops dead before their token
+        ReduceInternal(std::move(spec), [promise](const ReduceResult& result) {
+          promise.Resolve(result);
+        });
+      });
+  if (adm == Admission::kRejected) {
+    promise.Reject(throttled);
+    return promise.ref();
+  }
+  Ref<ReduceResult> ref = promise.ref();
+  if (adm == Admission::kAdmitted) {
+    const std::uint64_t inc = incarnation_;
+    ref.OnSettled([this, inc, tenant](const Ref<ReduceResult>& r) {
+      if (inc == incarnation_) OnOpSettled(tenant, !r.failed());
+    });
+  }
+  return ref;
 }
 
 void HopliteClient::TrackGetPromise(ObjectID object,
@@ -97,16 +155,94 @@ void HopliteClient::RejectGetPromises(ObjectID object, const RefError& error) {
 }
 
 // ======================================================================
+// Admission control (QoS layer 3): per-tenant token-bucket pacing plus an
+// outstanding-op cap, applied before an op touches the protocol. Shaping
+// first (admitted ops are delayed to the bucket's grant time), policing
+// only at the cap (kThrottled with a retry-after hint) — so a moderately
+// bursty tenant is smoothed, and only a runaway one sees failures.
+// ======================================================================
+
+HopliteClient::TenantAdmission* HopliteClient::AdmissionOf(qos::TenantId tenant) {
+  if (tenant == qos::kNoTenant) return nullptr;
+  const qos::QosConfig& qos = cluster_.options().network.qos;
+  if (!qos.admission) return nullptr;
+  auto it = admission_.find(tenant);
+  if (it == admission_.end()) {
+    it = admission_
+             .emplace(tenant,
+                      TenantAdmission{qos::TokenBucket(qos.admission_tuning.RateFor(tenant),
+                                                       qos.admission_tuning.burst_ops),
+                                      0})
+             .first;
+  }
+  return &it->second;
+}
+
+HopliteClient::Admission HopliteClient::AdmitOp(qos::TenantId tenant, RefError* error,
+                                                std::function<void()> issue) {
+  TenantAdmission* adm = AdmissionOf(tenant);
+  if (adm == nullptr) {
+    issue();
+    return Admission::kBypass;
+  }
+  const SimTime now = cluster_.Now();
+  if (adm->outstanding >= cluster_.options().network.qos.admission_tuning.max_outstanding_ops) {
+    ++throttled_ops_;
+    *error = RefError{RefErrorCode::kThrottled,
+                      "tenant " + std::to_string(tenant) + " over outstanding-op cap",
+                      std::max<SimDuration>(adm->bucket.NextAdmission(now) - now, 1)};
+    return Admission::kRejected;
+  }
+  adm->outstanding += 1;
+  const SimTime grant = adm->bucket.Acquire(now);
+  if (grant <= now) {
+    issue();
+  } else {
+    ++paced_ops_;
+    const std::uint64_t inc = incarnation_;
+    cluster_.simulator().ScheduleAt(grant, [this, inc, issue = std::move(issue)] {
+      if (inc == incarnation_) issue();
+    });
+  }
+  return Admission::kAdmitted;
+}
+
+void HopliteClient::OnOpSettled(qos::TenantId tenant, bool ok) {
+  auto it = admission_.find(tenant);
+  if (it == admission_.end()) return;  // admission toggled off or wiped by a kill
+  it->second.outstanding = std::max(0, it->second.outstanding - 1);
+  // A failed op never moved its bytes; hand the token back so failures do
+  // not count against the tenant's rate.
+  if (!ok) it->second.bucket.Refund();
+}
+
+void HopliteClient::OnBackpressure(qos::TenantId tenant) {
+  TenantAdmission* adm = AdmissionOf(tenant);
+  if (adm == nullptr) return;  // admission off: AQM marks only pause flows
+  adm->bucket.Penalize(cluster_.options().network.qos.admission_tuning.backpressure_penalty_ops);
+}
+
+int HopliteClient::outstanding_ops(qos::TenantId tenant) const {
+  const auto it = admission_.find(tenant);
+  return it == admission_.end() ? 0 : it->second.outstanding;
+}
+
+// ======================================================================
 // Put
 // ======================================================================
 
-void HopliteClient::PutInternal(ObjectID object, store::Buffer payload, PutCallback done) {
+void HopliteClient::PutInternal(ObjectID object, store::Buffer payload, PutCallback done,
+                                qos::TenantId tenant) {
   auto& dir = cluster_.directory();
   if (payload.size() < dir.config().inline_threshold) {
-    // Small-object fast path: the payload lives in the directory (§3.2).
-    dir.PutInline(object, node_, std::move(payload), [done = std::move(done)] {
-      if (done) done();
-    });
+    // Small-object fast path: the payload lives in the directory (§3.2). The
+    // node->shard upload is wire traffic, charged to the putter's tenant.
+    dir.PutInline(
+        object, node_, std::move(payload),
+        [done = std::move(done)] {
+          if (done) done();
+        },
+        tenant);
     return;
   }
 
@@ -173,6 +309,9 @@ void HopliteClient::GetInternal(ObjectID object, GetOptions options, GetCallback
   }
   FetchSession session;
   session.object = object;
+  // First Get wins: waiters attaching to an in-flight fetch above do not
+  // re-tag it — the window-opening tenant pays for the shared transfer.
+  session.tenant = options.tenant;
   session.early_waiters.emplace_back(options, std::move(callback));
   fetches_.emplace(object, std::move(session));
   StartFetch(object);
@@ -185,10 +324,12 @@ void HopliteClient::StartFetch(ObjectID object) {
   it->second.sender = kInvalidNode;
   const std::uint64_t inc = incarnation_;
   cluster_.directory().ClaimSender(
-      object, node_, [this, inc](const directory::ClaimReply& reply) {
+      object, node_,
+      [this, inc](const directory::ClaimReply& reply) {
         if (inc != incarnation_) return;
         OnClaimReply(reply);
-      });
+      },
+      it->second.tenant);
 }
 
 void HopliteClient::OnClaimReply(const directory::ClaimReply& reply) {
@@ -292,9 +433,14 @@ void HopliteClient::OnClaimReply(const directory::ClaimReply& reply) {
   const ObjectID object = reply.object;
   const NodeID sender = reply.sender;
   const NodeID receiver = node_;
-  cluster_.SendControl(node_, sender, [this, object, sender, receiver, resume, epoch] {
-    cluster_.client(sender).HandleStartPush(object, receiver, resume, epoch);
-  });
+  // The sender's push stream charges *our* tenant: relays in the broadcast
+  // tree forward on behalf of the requesting receiver, not themselves.
+  const qos::TenantId tenant = session.tenant;
+  cluster_.SendControl(node_, sender,
+                       [this, object, sender, receiver, resume, epoch, tenant] {
+                         cluster_.client(sender).HandleStartPush(object, receiver, resume,
+                                                                 epoch, tenant);
+                       });
 }
 
 void HopliteClient::AbortFetchAndReclaim(ObjectID object, bool sender_alive,
@@ -440,7 +586,8 @@ void HopliteClient::ResetDeliveries(ObjectID object) {
 // ======================================================================
 
 void HopliteClient::HandleStartPush(ObjectID object, NodeID receiver,
-                                    std::int64_t from_chunk, std::uint32_t epoch) {
+                                    std::int64_t from_chunk, std::uint32_t epoch,
+                                    qos::TenantId tenant) {
   auto& st = local_store();
   if (!st.Contains(object)) {
     // Evicted (or deleted) since the directory granted us: tell the receiver
@@ -456,6 +603,7 @@ void HopliteClient::HandleStartPush(ObjectID object, NodeID receiver,
   PushSession session;
   session.object = object;
   session.receiver = receiver;
+  session.tenant = tenant;
   session.next_chunk = from_chunk;
   session.total_chunks = st.StateOf(object).layout.num_chunks();
   session.epoch = epoch;
@@ -498,7 +646,8 @@ void HopliteClient::PumpPush(PushKey key) {
                         // Flow-control ack back to the sender (same instant;
                         // the wire is drained once the last byte arrived).
                         cluster_.client(sender).OnPushChunkDelivered(key);
-                      });
+                      },
+                      push.tenant);
     if (final) push.final_sent = true;
   }
   if (push.final_sent && push.in_flight == 0) EndPush(key);
@@ -711,13 +860,17 @@ void HopliteClient::RouteSinkChunk(const ReduceChunkMsg& msg) {
   it->second->OnSinkChunk(msg);
 }
 
-void HopliteClient::SendReduceChunk(NodeID to, std::int64_t bytes, ReduceChunkMsg msg) {
+void HopliteClient::SendReduceChunk(NodeID to, std::int64_t bytes, ReduceChunkMsg msg,
+                                    qos::TenantId tenant) {
   const ReduceId id = msg.reduce_id;
   const int from_index = msg.from_index;
-  cluster_.SendData(node_, to, bytes, [this, to, id, from_index, msg = std::move(msg)] {
-    cluster_.client(to).HandleReduceChunk(msg);
-    OnReduceChunkDelivered(id, from_index);
-  });
+  cluster_.SendData(
+      node_, to, bytes,
+      [this, to, id, from_index, msg = std::move(msg)] {
+        cluster_.client(to).HandleReduceChunk(msg);
+        OnReduceChunkDelivered(id, from_index);
+      },
+      tenant);
 }
 
 void HopliteClient::OnReduceChunkDelivered(ReduceId id, int tree_index) {
@@ -803,6 +956,10 @@ void HopliteClient::OnKilled() {
   coordinators_.clear();
   reduce_sessions_.clear();
   pending_reduce_chunks_.clear();
+  // A restarted process starts with full token buckets and zero outstanding
+  // ops; the incarnation guard keeps stale OnSettled hooks from decrementing
+  // the fresh ledgers.
+  admission_.clear();
   auto& st = local_store();
   for (const ObjectID object : st.ListObjects()) st.Remove(object);
 }

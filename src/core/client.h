@@ -46,11 +46,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/det.h"
 #include "common/ids.h"
 #include "common/units.h"
 #include "core/ref.h"
 #include "core/types.h"
 #include "directory/object_directory.h"
+#include "qos/qos.h"
+#include "qos/token_bucket.h"
 #include "store/buffer.h"
 #include "store/local_store.h"
 
@@ -78,14 +81,19 @@ class HopliteClient {
   /// directory immediately (before the worker->store copy finishes) so
   /// receivers can start pipelined fetches (§3.3). Small objects take the
   /// directory inline fast path instead (§3.2). The ref becomes ready (with
-  /// the object id) when the local copy is complete.
-  Ref<ObjectID> Put(ObjectID object, store::Buffer payload);
+  /// the object id) when the local copy is complete. `tenant` charges the
+  /// op's wire traffic (and, under admission control, its token) to that
+  /// tenant; kNoTenant bypasses both.
+  Ref<ObjectID> Put(ObjectID object, store::Buffer payload,
+                    qos::TenantId tenant = qos::kNoTenant);
 
   /// Fetches `object` into worker memory; the ref becomes ready with the
   /// payload. With options.read_only, the copy out of the local store is
   /// skipped ("immutable get", §3.3). With options.timeout > 0, the ref
   /// fails with kTimeout after that much simulated time instead of parking
-  /// forever when no producer exists.
+  /// forever when no producer exists. With options.tenant set, the fetch's
+  /// wire traffic is charged to that tenant; under admission control the op
+  /// may be paced (issued at the token grant) or rejected kThrottled.
   [[nodiscard]] Ref<store::Buffer> Get(ObjectID object, GetOptions options = {});
 
   /// Deletes all copies of `object` across the cluster (Table 1; §6). Must
@@ -115,9 +123,11 @@ class HopliteClient {
   // ------------------------------------------------------------------
 
   /// Receiver asked this node to stream `object` starting at `from_chunk`,
-  /// tagging chunks with `epoch` (bumped across failure resets).
+  /// tagging chunks with `epoch` (bumped across failure resets). The relay
+  /// flows are charged to `tenant` — the *requesting* Get's tenant, not this
+  /// (sending) node's: broadcast-tree relays inherit the requester's tenant.
   void HandleStartPush(ObjectID object, NodeID receiver, std::int64_t from_chunk,
-                       std::uint32_t epoch);
+                       std::uint32_t epoch, qos::TenantId tenant);
 
   /// Receiver no longer wants the stream (re-claimed elsewhere / deleted).
   void HandleStopPush(ObjectID object, NodeID receiver);
@@ -162,12 +172,28 @@ class HopliteClient {
   void OnRecovered();
 
   // ------------------------------------------------------------------
+  // QoS admission (per-tenant token buckets + outstanding-op caps).
+  // ------------------------------------------------------------------
+
+  /// ECN-like backpressure from the fabric's AQM: one of this node's
+  /// transfers for `tenant` was marked. Debits the tenant's token bucket by
+  /// the configured penalty, slowing its future admissions. No-op when
+  /// admission control is off or the tenant is untagged.
+  void OnBackpressure(qos::TenantId tenant);
+
+  // ------------------------------------------------------------------
   // Introspection for tests and benches.
   // ------------------------------------------------------------------
 
   [[nodiscard]] bool HasFetchSession(ObjectID object) const {
     return fetches_.count(object) > 0;
   }
+  /// Ops of `tenant` admitted on this node and not yet settled.
+  [[nodiscard]] int outstanding_ops(qos::TenantId tenant) const;
+  /// Ops rejected kThrottled (lifetime) and ops delayed to their token
+  /// grant instant (lifetime), across all tenants on this node.
+  [[nodiscard]] std::int64_t throttled_ops() const noexcept { return throttled_ops_; }
+  [[nodiscard]] std::int64_t paced_ops() const noexcept { return paced_ops_; }
   [[nodiscard]] std::size_t active_push_sessions() const noexcept { return pushes_.size(); }
   [[nodiscard]] std::size_t active_reduce_sessions() const noexcept {
     return reduce_sessions_.size();
@@ -185,10 +211,38 @@ class HopliteClient {
   // protocol and the ref adapters are the only callers).
   // ------------------------------------------------------------------
 
-  void PutInternal(ObjectID object, store::Buffer payload, PutCallback done);
+  void PutInternal(ObjectID object, store::Buffer payload, PutCallback done,
+                   qos::TenantId tenant);
   void GetInternal(ObjectID object, GetOptions options, GetCallback callback);
   void DeleteInternal(ObjectID object, DeleteCallback done);
   void ReduceInternal(ReduceSpec spec, ReduceCallback callback);
+
+  // ------------------------------------------------------------------
+  // Admission layer (QoS): token pacing + outstanding-op policing.
+  // ------------------------------------------------------------------
+
+  /// What AdmitOp decided for one public-API call.
+  enum class Admission {
+    kBypass,    ///< untagged tenant or admission off: issued inline, no accounting
+    kAdmitted,  ///< counted + token taken; issued now or at the token grant
+    kRejected,  ///< policed away: caller rejects the promise with *error
+  };
+
+  struct TenantAdmission {
+    qos::TokenBucket bucket;
+    int outstanding = 0;
+  };
+
+  /// Lazily creates the tenant's bucket. Null when the op bypasses admission.
+  TenantAdmission* AdmissionOf(qos::TenantId tenant);
+  /// The shared admission gate of Put/Get/Reduce: beyond the outstanding-op
+  /// cap the op is policed (kRejected, *error filled with kThrottled and a
+  /// retry-after hint); otherwise it is shaped — `issue` runs immediately if
+  /// a token is free, else at the bucket's grant instant (the op completes
+  /// late rather than failing). On kAdmitted the caller must arrange
+  /// OnOpSettled when the op's ref settles.
+  Admission AdmitOp(qos::TenantId tenant, RefError* error, std::function<void()> issue);
+  void OnOpSettled(qos::TenantId tenant, bool ok);
 
   /// A type-erased pending promise, registered so node death can fail it.
   struct TrackedPromise {
@@ -237,6 +291,9 @@ class HopliteClient {
     std::int64_t object_size = -1;
     std::uint32_t expected_epoch = 0;
     bool claiming = true;
+    /// Tenant of the Get that opened this fetch; every wire byte the fetch
+    /// pulls (including via re-claims) is charged here.
+    qos::TenantId tenant = qos::kNoTenant;
     /// Gets that arrived before the object size (and store entry) existed.
     std::vector<std::pair<GetOptions, GetCallback>> early_waiters;
   };
@@ -252,6 +309,8 @@ class HopliteClient {
     bool store_reffed = false;
     int in_flight = 0;  ///< chunks on the wire (bounded by transfer_window)
     bool final_sent = false;
+    /// The requesting receiver's tenant (relays inherit it), not ours.
+    qos::TenantId tenant = qos::kNoTenant;
   };
 
   using PushKey = std::pair<std::uint64_t, NodeID>;  // (object id value, receiver)
@@ -286,8 +345,10 @@ class HopliteClient {
   /// Hands a sink chunk to the owning coordinator (to_index == -1).
   void RouteSinkChunk(const ReduceChunkMsg& msg);
 
-  /// Streams one reduce chunk to the session/sink on `to`.
-  void SendReduceChunk(NodeID to, std::int64_t bytes, ReduceChunkMsg msg);
+  /// Streams one reduce chunk to the session/sink on `to`, charged to the
+  /// owning ReduceSpec's tenant.
+  void SendReduceChunk(NodeID to, std::int64_t bytes, ReduceChunkMsg msg,
+                       qos::TenantId tenant);
 
   void FinishCoordinator(ReduceId id);
 
@@ -321,6 +382,12 @@ class HopliteClient {
   /// streams and assignments travel on different sender->receiver pairs, so
   /// there is no FIFO guarantee between them). Replayed on assignment.
   std::map<std::pair<ReduceId, int>, std::vector<ReduceChunkMsg>> pending_reduce_chunks_;
+
+  /// Admission state per tenant (created on first tagged op; wiped with the
+  /// rest of the volatile state when the node dies).
+  det::Map<qos::TenantId, TenantAdmission> admission_;
+  std::int64_t throttled_ops_ = 0;
+  std::int64_t paced_ops_ = 0;
 };
 
 }  // namespace hoplite::core

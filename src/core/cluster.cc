@@ -36,6 +36,12 @@ HopliteCluster::HopliteCluster(Options options)
                                   options_.store_capacity_bytes)));
     clients_.push_back(std::make_unique<HopliteClient>(*this, node, options_.hoplite));
   }
+  // AQM marks flow back to the sending node's admission layer (ECN-like
+  // backpressure). Wired unconditionally: the fabric only emits marks when
+  // qos.aqm is on, and the client only reacts when qos.admission is on.
+  network_->SetBackpressureHandler([this](NodeID src, qos::TenantId tenant) {
+    if (IsAlive(src)) client(src).OnBackpressure(tenant);
+  });
 }
 
 HopliteCluster::~HopliteCluster() = default;
@@ -57,9 +63,9 @@ void HopliteCluster::SendControl(NodeID from, NodeID to, std::function<void()> h
 }
 
 void HopliteCluster::SendData(NodeID from, NodeID to, std::int64_t bytes,
-                              std::function<void()> handler) {
+                              std::function<void()> handler, qos::TenantId tenant) {
   if (network_->IsFailed(from) || network_->IsFailed(to)) return;  // dropped
-  network_->Send(from, to, bytes, std::move(handler));
+  network_->Send(from, to, bytes, std::move(handler), /*on_failed=*/nullptr, tenant);
 }
 
 void HopliteCluster::KillNode(NodeID node) {

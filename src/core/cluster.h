@@ -75,7 +75,8 @@ class HopliteCluster {
   // ------------------------------------------------------------------
 
   void SendControl(NodeID from, NodeID to, std::function<void()> handler);
-  void SendData(NodeID from, NodeID to, std::int64_t bytes, std::function<void()> handler);
+  void SendData(NodeID from, NodeID to, std::int64_t bytes, std::function<void()> handler,
+                qos::TenantId tenant = qos::kNoTenant);
 
   // ------------------------------------------------------------------
   // Failure injection (§3.5, §5.5).

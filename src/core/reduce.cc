@@ -190,6 +190,7 @@ ReduceAssignment ReduceCoordinator::MakeAssignment(int position) const {
   for (const int child : children) {
     a.child_epochs.emplace_back(child, position_epoch_[static_cast<std::size_t>(child)]);
   }
+  a.tenant = spec_.tenant;
   return a;
 }
 
@@ -380,7 +381,7 @@ void ReduceCoordinator::SmallPathFetch(std::size_t source_index) {
   source.fetched = true;
   ++small_fetched_;
   client_.GetInternal(
-      source.id, GetOptions{.read_only = true},
+      source.id, GetOptions{.read_only = true, .tenant = spec_.tenant},
       [client = &client_, id = id_, source_index](const store::Buffer& payload) {
         auto it = client->coordinators_.find(id);
         if (it == client->coordinators_.end() || it->second->done()) return;
@@ -403,12 +404,14 @@ void ReduceCoordinator::MaybeFinishSmallPath() {
   for (std::size_t i = 1; i < small_payloads_.size(); ++i) {
     result = store::Buffer::Reduce(result, small_payloads_[i].second, spec_.op);
   }
-  client_.PutInternal(spec_.target, std::move(result),
-                      [client = &client_, id = id_] {
-                        auto it = client->coordinators_.find(id);
-                        if (it == client->coordinators_.end() || it->second->done()) return;
-                        it->second->Finish();
-                      });
+  client_.PutInternal(
+      spec_.target, std::move(result),
+      [client = &client_, id = id_] {
+        auto it = client->coordinators_.find(id);
+        if (it == client->coordinators_.end() || it->second->done()) return;
+        it->second->Finish();
+      },
+      spec_.tenant);
 }
 
 // ======================================================================
@@ -556,7 +559,8 @@ void ReduceSession::Pump() {
       final_sent_ = true;
     }
     ++in_flight_;
-    client_.SendReduceChunk(assignment_.parent_host, layout.ChunkBytes(i), std::move(msg));
+    client_.SendReduceChunk(assignment_.parent_host, layout.ChunkBytes(i), std::move(msg),
+                            assignment_.tenant);
     if (final) break;
   }
 }

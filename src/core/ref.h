@@ -54,6 +54,8 @@ enum class RefErrorCode {
   kDeleted,       ///< the bound object was Delete'd while the ref was pending
   kTimeout,       ///< WithTimeout / GetOptions::timeout expired
   kUnsatisfiable, ///< WhenAny can no longer reach k ready refs
+  kThrottled,     ///< per-tenant admission control rejected the op (QoS);
+                  ///< RefError::retry_after hints when to resubmit
 };
 
 [[nodiscard]] constexpr const char* RefErrorCodeName(RefErrorCode code) noexcept {
@@ -62,6 +64,7 @@ enum class RefErrorCode {
     case RefErrorCode::kDeleted: return "deleted";
     case RefErrorCode::kTimeout: return "timeout";
     case RefErrorCode::kUnsatisfiable: return "unsatisfiable";
+    case RefErrorCode::kThrottled: return "throttled";
   }
   return "?";
 }
@@ -70,6 +73,9 @@ enum class RefErrorCode {
 struct RefError {
   RefErrorCode code = RefErrorCode::kProducerLost;
   std::string message{};
+  /// kThrottled only: how long until the tenant's token bucket would admit
+  /// the op (0 for every other code).
+  SimDuration retry_after = 0;
 };
 
 template <typename T>

@@ -9,6 +9,7 @@
 
 #include "common/ids.h"
 #include "common/units.h"
+#include "qos/qos.h"
 #include "store/buffer.h"
 
 namespace hoplite::core {
@@ -43,6 +44,10 @@ struct GetOptions {
   /// parking forever (e.g. every producer of the object is dead). 0 = wait
   /// indefinitely.
   SimDuration timeout = 0;
+  /// Tenant the op's wire traffic is charged to (kNoTenant = untagged).
+  /// With QoS off the tag only feeds accounting; with QoS on it selects the
+  /// WFQ weight class and the admission bucket.
+  qos::TenantId tenant = qos::kNoTenant;
 };
 
 using GetCallback = std::function<void(const store::Buffer&)>;
@@ -56,6 +61,8 @@ struct ReduceSpec {
   std::vector<ObjectID> sources;
   std::size_t num_objects = 0;
   store::ReduceOp op = store::ReduceOp::kSum;
+  /// Tenant every tree-internal flow of this reduce is charged to.
+  qos::TenantId tenant = qos::kNoTenant;
 };
 
 /// Completion report of a Reduce: which sources made it into the result and
@@ -99,6 +106,9 @@ struct ReduceAssignment {
   ReduceEpoch out_epoch = 0;
   /// Expected input epoch per child tree index.
   std::vector<std::pair<int, ReduceEpoch>> child_epochs;
+  /// Tenant of the owning ReduceSpec: every relay flow a session pushes on
+  /// behalf of this position inherits the requester's tenant.
+  qos::TenantId tenant = qos::kNoTenant;
 };
 
 /// One chunk of a reduce data stream, child position -> parent position

@@ -151,7 +151,7 @@ void ObjectDirectory::RemoveLocation(ObjectID object, NodeID node) {
 }
 
 void ObjectDirectory::PutInline(ObjectID object, NodeID creator, store::Buffer payload,
-                                std::function<void()> on_stored) {
+                                std::function<void()> on_stored, qos::TenantId tenant) {
   HOPLITE_CHECK_LT(payload.size(), config_.inline_threshold);
   const NodeID shard = LiveShardOf(object);
   const std::int64_t bytes = payload.size();
@@ -171,7 +171,8 @@ void ObjectDirectory::PutInline(ObjectID object, NodeID creator, store::Buffer p
           ServeParked(object);
           if (on_stored) on_stored();
         });
-      });
+      },
+      /*on_failed=*/nullptr, tenant);
 }
 
 void ObjectDirectory::DeleteObject(ObjectID object,
@@ -328,13 +329,14 @@ void ObjectDirectory::AuditDirectory() const {
   }
 }
 
-void ObjectDirectory::ClaimSender(ObjectID object, NodeID receiver, ClaimCallback callback) {
+void ObjectDirectory::ClaimSender(ObjectID object, NodeID receiver, ClaimCallback callback,
+                                  qos::TenantId tenant) {
   ++ops_served_;
-  sim_.ScheduleAfter(config_.read_latency, [this, object, receiver,
+  sim_.ScheduleAfter(config_.read_latency, [this, object, receiver, tenant,
                                             callback = std::move(callback)]() mutable {
     ObjectEntry& entry = EntryOf(object);
     if (entry.is_inline && !coalescing()) {
-      ServeInlineFromShard(object, entry, receiver, std::move(callback));
+      ServeInlineFromShard(object, entry, receiver, std::move(callback), tenant);
       return;
     }
     if (const Location* self = entry.FindLocation(receiver);
@@ -362,11 +364,12 @@ void ObjectDirectory::ClaimSender(ObjectID object, NodeID receiver, ClaimCallbac
       // egress again.
       if (!interests_.Pending(object) && !HasSupply(entry)) {
         interests_.Open(object, receiver);
-        ServeInlineFromShard(object, entry, receiver, std::move(callback));
+        ServeInlineFromShard(object, entry, receiver, std::move(callback), tenant);
         return;
       }
       interests_.NoteAttach(object);
-      entry.parked.push_back(ParkedClaim{receiver, std::move(callback), /*attached=*/true});
+      entry.parked.push_back(
+          ParkedClaim{receiver, std::move(callback), /*attached=*/true, tenant});
       return;
     }
     // Attached == parked while supply was already in flight: under
@@ -375,7 +378,7 @@ void ObjectDirectory::ClaimSender(ObjectID object, NodeID receiver, ClaimCallbac
     // get-before-put wait and keeps its legacy semantics.
     const bool attached = coalescing() && HasSupply(entry);
     if (attached) interests_.NoteAttach(object);
-    entry.parked.push_back(ParkedClaim{receiver, std::move(callback), attached});
+    entry.parked.push_back(ParkedClaim{receiver, std::move(callback), attached, tenant});
   });
 }
 
@@ -410,7 +413,8 @@ void ObjectDirectory::ServeParked(ObjectID object) {
       network_.Send(LiveShardOf(object), claim.receiver, entry.size,
                     [callback = std::move(claim.callback), reply = std::move(reply)] {
                       callback(reply);
-                    });
+                    },
+                    /*on_failed=*/nullptr, claim.tenant);
     }
     return;
   }
@@ -453,7 +457,10 @@ void ObjectDirectory::ServeParked(ObjectID object) {
       ParkedClaim claim = std::move(entry.parked.front());
       entry.parked.pop_front();
       interests_.Open(object, claim.receiver);
-      ServeInlineFromShard(object, entry, claim.receiver, std::move(claim.callback));
+      // The restarting claim becomes the new window opener and pays the
+      // shard egress, exactly as if it had opened the window first.
+      ServeInlineFromShard(object, entry, claim.receiver, std::move(claim.callback),
+                           claim.tenant);
       continue;
     }
     return;
@@ -461,7 +468,8 @@ void ObjectDirectory::ServeParked(ObjectID object) {
 }
 
 void ObjectDirectory::ServeInlineFromShard(ObjectID object, const ObjectEntry& entry,
-                                           NodeID receiver, ClaimCallback callback) {
+                                           NodeID receiver, ClaimCallback callback,
+                                           qos::TenantId tenant) {
   ClaimReply reply;
   reply.object = object;
   reply.object_size = entry.size;
@@ -471,7 +479,8 @@ void ObjectDirectory::ServeInlineFromShard(ObjectID object, const ObjectEntry& e
   network_.Send(LiveShardOf(object), receiver, entry.size,
                 [callback = std::move(callback), reply = std::move(reply)] {
                   callback(reply);
-                });
+                },
+                /*on_failed=*/nullptr, tenant);
 }
 
 void ObjectDirectory::TransferFinished(ObjectID object, NodeID sender, NodeID receiver) {

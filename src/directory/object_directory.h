@@ -128,9 +128,11 @@ class HOPLITE_DOMAIN_CONFINED ObjectDirectory {
   void RemoveLocation(ObjectID object, NodeID node);
 
   /// Small-object fast path: caches the payload inside the directory.
-  /// `creator` pays NIC serialization to the shard node.
+  /// `creator` pays NIC serialization to the shard node; the upload's wire
+  /// bytes are charged to `tenant` (the putter's).
   void PutInline(ObjectID object, NodeID creator, store::Buffer payload,
-                 std::function<void()> on_stored);
+                 std::function<void()> on_stored,
+                 qos::TenantId tenant = qos::kNoTenant);
 
   /// Drops every trace of `object` (Delete). Returns (via callback, after
   /// the write latency) the set of nodes that held copies so the caller can
@@ -154,7 +156,12 @@ class HOPLITE_DOMAIN_CONFINED ObjectDirectory {
   ///   * registers the receiver as an available partial location whose chain
   ///     is the sender's chain plus the sender.
   /// Small objects resolve through the inline cache instead (payload reply).
-  void ClaimSender(ObjectID object, NodeID receiver, ClaimCallback callback);
+  /// `tenant` charges the claim's shard-egress bytes (inline path only):
+  /// under coalescing the claim that *opens* a pending-interest window pays
+  /// for the shared shard fetch; attached claimants ride it for free and are
+  /// charged only for the fan-out transfers they individually receive.
+  void ClaimSender(ObjectID object, NodeID receiver, ClaimCallback callback,
+                   qos::TenantId tenant = qos::kNoTenant);
 
   /// Cancels a parked claim for `receiver` (e.g. the receiver failed).
   void CancelClaim(ObjectID object, NodeID receiver);
@@ -256,6 +263,9 @@ class HOPLITE_DOMAIN_CONFINED ObjectDirectory {
     /// fetch instead of starting its own. A Delete fails attached claims
     /// with `deleted` replies; plain pre-production parks stay parked.
     bool attached = false;
+    /// Tenant the claim's inline shard egress is charged to if this claim
+    /// ends up opening (or restarting) a coalescing window.
+    qos::TenantId tenant = qos::kNoTenant;
   };
   /// One copy of the object: flat record in the per-object location table.
   struct LocationRecord {
@@ -314,9 +324,9 @@ class HOPLITE_DOMAIN_CONFINED ObjectDirectory {
   void ServeParked(ObjectID object);
 
   /// Sends `entry`'s inline payload from the live shard node to `receiver`
-  /// and schedules the payload reply on arrival.
+  /// (charged to `tenant`) and schedules the payload reply on arrival.
   void ServeInlineFromShard(ObjectID object, const ObjectEntry& entry, NodeID receiver,
-                            ClaimCallback callback);
+                            ClaimCallback callback, qos::TenantId tenant);
 
   /// Grants `sender` to `receiver` and schedules the reply callback.
   void Grant(ObjectID object, ObjectEntry& entry, NodeID sender, NodeID receiver,

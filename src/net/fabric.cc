@@ -24,7 +24,8 @@ Fabric::Fabric(sim::Engine& simulator, ClusterConfig config)
 Fabric::~Fabric() = default;
 
 TransferId Fabric::Send(NodeID src, NodeID dst, std::int64_t bytes,
-                        DeliveryCallback on_delivered, FailureCallback on_failed) {
+                        DeliveryCallback on_delivered, FailureCallback on_failed,
+                        qos::TenantId tenant) {
   CheckNode(src);
   CheckNode(dst);
   HOPLITE_CHECK_GE(bytes, 0);
@@ -45,8 +46,8 @@ TransferId Fabric::Send(NodeID src, NodeID dst, std::int64_t bytes,
     return id;
   }
 
-  CountMessage(src, dst, bytes);
-  StartTransfer(id, src, dst, bytes, std::move(on_delivered), std::move(on_failed));
+  CountMessage(src, dst, bytes, tenant);
+  StartTransfer(id, src, dst, bytes, std::move(on_delivered), std::move(on_failed), tenant);
   return id;
 }
 
@@ -88,13 +89,20 @@ const NodeTrafficStats& Fabric::TrafficOf(NodeID node) const {
   return traffic_[static_cast<std::size_t>(node)];
 }
 
-void Fabric::CountMessage(NodeID src, NodeID dst, std::int64_t bytes) {
+void Fabric::CountMessage(NodeID src, NodeID dst, std::int64_t bytes,
+                          qos::TenantId tenant) {
   auto& src_stats = traffic_[static_cast<std::size_t>(src)];
   auto& dst_stats = traffic_[static_cast<std::size_t>(dst)];
   src_stats.bytes_sent += bytes;
   src_stats.messages_sent += 1;
   dst_stats.bytes_received += bytes;
   dst_stats.messages_received += 1;
+  if (tenant != qos::kNoTenant) tenant_bytes_[tenant] += bytes;
+}
+
+std::int64_t Fabric::TenantBytes(qos::TenantId tenant) const {
+  const auto it = tenant_bytes_.find(tenant);
+  return it == tenant_bytes_.end() ? 0 : it->second;
 }
 
 void Fabric::ScheduleFailureNotice(FailureCallback on_failed, NodeID dead) {
@@ -106,6 +114,18 @@ void Fabric::ScheduleFailureNotice(FailureCallback on_failed, NodeID dead) {
 std::unique_ptr<Fabric> MakeFabric(sim::Engine& simulator, ClusterConfig config) {
   switch (config.fabric.topology) {
     case TopologyKind::kFlat:
+      if (config.qos.wfq || config.qos.aqm) {
+        // The flat FIFO-reservation model has no per-flow rate allocation to
+        // reweight, so a QoS'd "flat" cluster runs on the fair-share engine
+        // as one non-blocking rack: same full-duplex NIC limits, no uplink
+        // contention, but contended host links divide max-min across
+        // tenants. (QoS off keeps the paper-identical FlatFabric, bit for
+        // bit.)
+        config.fabric.num_racks = 1;
+        config.fabric.oversubscription = 1.0;
+        config.fabric.cross_rack_extra_latency = 0;
+        return std::make_unique<RackFabric>(simulator, std::move(config));
+      }
       return std::make_unique<FlatFabric>(simulator, std::move(config));
     case TopologyKind::kRack:
       return std::make_unique<RackFabric>(simulator, std::move(config));

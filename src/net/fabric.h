@@ -19,13 +19,16 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cache/cache_config.h"
 #include "common/annotations.h"
+#include "common/det.h"
 #include "common/ids.h"
 #include "common/logging.h"
 #include "common/units.h"
+#include "qos/qos.h"
 #include "sim/simulator.h"
 
 namespace hoplite::net {
@@ -98,6 +101,10 @@ struct ClusterConfig {
   /// directory's request-coalescing switch (see cache/cache_config.h).
   cache::CacheConfig cache;
 
+  /// Per-tenant QoS knobs: fabric WFQ, uplink AQM and client admission
+  /// (see qos/qos.h). All off by default — byte-identical to pre-QoS.
+  qos::QosConfig qos;
+
   [[nodiscard]] BytesPerSecond BandwidthOf(NodeID node) const {
     if (!per_node_bandwidth.empty()) {
       HOPLITE_CHECK_LT(static_cast<std::size_t>(node), per_node_bandwidth.size());
@@ -135,6 +142,9 @@ class HOPLITE_DOMAIN_CONFINED Fabric {
   /// Invoked (instead of delivery) when the peer node fails; the argument is
   /// the failed node.
   using FailureCallback = std::function<void(NodeID)>;
+  /// ECN-like congestion signal from the fabric's AQM: (sending node whose
+  /// transfer was marked, tenant the marked queue belongs to).
+  using BackpressureHandler = std::function<void(NodeID, qos::TenantId)>;
 
   Fabric(sim::Engine& simulator, ClusterConfig config);
   virtual ~Fabric();
@@ -154,7 +164,8 @@ class HOPLITE_DOMAIN_CONFINED Fabric {
   // sanctioned way state crosses a domain boundary (payload travels as
   // timestamped wire events, never as shared memory).
   TransferId Send(NodeID src, NodeID dst, std::int64_t bytes, DeliveryCallback on_delivered,
-                  FailureCallback on_failed = nullptr);
+                  FailureCallback on_failed = nullptr,
+                  qos::TenantId tenant = qos::kNoTenant);
 
   /// Cancels an in-flight transfer: neither callback will fire. Returns
   /// false if the transfer already completed/failed. The wire time already
@@ -178,7 +189,17 @@ class HOPLITE_DOMAIN_CONFINED Fabric {
 
   [[nodiscard]] bool IsFailed(NodeID node) const;
 
+  /// Installs the AQM backpressure sink (the cluster routes it to the
+  /// sending node's client). At most one handler; null disables.
+  void SetBackpressureHandler(BackpressureHandler handler) {
+    backpressure_ = std::move(handler);
+  }
+
   [[nodiscard]] const NodeTrafficStats& TrafficOf(NodeID node) const;
+  /// Total wire bytes charged to `tenant` (self-sends excluded, counted at
+  /// send time like the per-node counters). Tenant accounting works with
+  /// QoS off — tags alone never change scheduling.
+  [[nodiscard]] std::int64_t TenantBytes(qos::TenantId tenant) const;
   [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
   [[nodiscard]] sim::Engine& simulator() noexcept { return sim_; }
   [[nodiscard]] SimTime Now() const noexcept { return sim_.Now(); }
@@ -189,7 +210,8 @@ class HOPLITE_DOMAIN_CONFINED Fabric {
   /// are live, src != dst, bytes >= 0, and the traffic counters are already
   /// charged when this runs.
   virtual void StartTransfer(TransferId id, NodeID src, NodeID dst, std::int64_t bytes,
-                             DeliveryCallback on_delivered, FailureCallback on_failed) = 0;
+                             DeliveryCallback on_delivered, FailureCallback on_failed,
+                             qos::TenantId tenant) = 0;
 
   /// FailNode hook: abort every in-flight transfer touching `node`,
   /// scheduling the surviving peers' failure notices.
@@ -213,10 +235,15 @@ class HOPLITE_DOMAIN_CONFINED Fabric {
   /// Charges a message to the endpoint traffic counters (at send time; a
   /// later in-flight failure does not refund the counters — the bytes were
   /// committed to the wire).
-  void CountMessage(NodeID src, NodeID dst, std::int64_t bytes);
+  void CountMessage(NodeID src, NodeID dst, std::int64_t bytes, qos::TenantId tenant);
 
   /// Schedules `on_failed(dead)` one failure-detection delay from now.
   void ScheduleFailureNotice(FailureCallback on_failed, NodeID dead);
+
+  /// Delivers the AQM's ECN-like mark signal to the installed handler.
+  void NotifyBackpressure(NodeID src, qos::TenantId tenant) {
+    if (backpressure_) backpressure_(src, tenant);
+  }
 
   sim::Engine& sim_;
   ClusterConfig config_;
@@ -226,6 +253,8 @@ class HOPLITE_DOMAIN_CONFINED Fabric {
   std::vector<SimTime> memcpy_free_at_;
   std::vector<bool> failed_;
   std::vector<NodeTrafficStats> traffic_;
+  det::Map<qos::TenantId, std::int64_t> tenant_bytes_;
+  BackpressureHandler backpressure_;
 };
 
 /// Constructs the fabric implementation selected by `config.fabric`.

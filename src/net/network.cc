@@ -13,7 +13,8 @@ FlatFabric::FlatFabric(sim::Engine& simulator, ClusterConfig config)
 }
 
 void FlatFabric::StartTransfer(TransferId id, NodeID src, NodeID dst, std::int64_t bytes,
-                               DeliveryCallback on_delivered, FailureCallback on_failed) {
+                               DeliveryCallback on_delivered, FailureCallback on_failed,
+                               qos::TenantId /*tenant*/) {
   // The transfer occupies the sender's egress and the receiver's ingress for
   // the serialization time at the slower of the two NICs, starting when both
   // are free. Delivery lands one propagation latency + per-message software

@@ -44,7 +44,8 @@ class HOPLITE_DOMAIN_CONFINED FlatFabric final : public Fabric {
 
  protected:
   void StartTransfer(TransferId id, NodeID src, NodeID dst, std::int64_t bytes,
-                     DeliveryCallback on_delivered, FailureCallback on_failed) override;
+                     DeliveryCallback on_delivered, FailureCallback on_failed,
+                     qos::TenantId tenant) override;
   void AbortTransfersOf(NodeID node) override;
   void OnNodeRecovered(NodeID node) override;
 

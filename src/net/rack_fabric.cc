@@ -16,6 +16,17 @@ namespace {
 /// flow's booked residue is at most rounding error — well under half a byte.
 constexpr double kDoneBytes = 0.5;
 
+/// Floor on a WFQ-frozen rate, bytes per second. A float-tie edge case can
+/// otherwise freeze a flow at a zero water level, and a zero rate breaks the
+/// completion-time division. One byte per second is twelve orders of
+/// magnitude under a NIC — scheduling-wise it is "stopped", numerically it
+/// is safe.
+constexpr double kMinRate = 1.0;
+
+/// Relative tolerance for "this demand group ties the global minimum"
+/// when freezing a WFQ round.
+constexpr double kFreezeEps = 1e-9;
+
 /// Min-heap comparator for the lazy completion heaps (earliest time first;
 /// ties broken by id only to keep the comparison a strict weak order).
 struct EntryLater {
@@ -28,7 +39,7 @@ struct EntryLater {
 }  // namespace
 
 RackFabric::RackFabric(sim::Engine& simulator, ClusterConfig config)
-    : Fabric(simulator, std::move(config)) {
+    : Fabric(simulator, std::move(config)), aqm_(config_.qos.aqm_tuning) {
   HOPLITE_CHECK_GT(config_.fabric.num_racks, 0);
   HOPLITE_CHECK_GT(config_.fabric.oversubscription, 0.0);
   num_racks_ = std::min(config_.fabric.num_racks, config_.num_nodes);
@@ -87,10 +98,12 @@ void RackFabric::Materialize(Flow& flow, SimTime t) {
 }
 
 void RackFabric::StartTransfer(TransferId id, NodeID src, NodeID dst, std::int64_t bytes,
-                               DeliveryCallback on_delivered, FailureCallback on_failed) {
+                               DeliveryCallback on_delivered, FailureCallback on_failed,
+                               qos::TenantId tenant) {
   Flow flow;
   flow.src = src;
   flow.dst = dst;
+  flow.tenant = tenant;
   flow.on_delivered = std::move(on_delivered);
   flow.on_failed = std::move(on_failed);
   auto [it, inserted] = flows_.emplace(id, std::move(flow));
@@ -105,32 +118,39 @@ void RackFabric::StartTransfer(TransferId id, NodeID src, NodeID dst, std::int64
 
   f.remaining = static_cast<double>(bytes);
   f.anchor = sim_.Now();
-  f.links[static_cast<std::size_t>(f.num_links++)] = EgressLink(src);
-  f.links[static_cast<std::size_t>(f.num_links++)] = IngressLink(dst);
-  const int src_rack = RackOf(src);
-  const int dst_rack = RackOf(dst);
-  if (src_rack != dst_rack) {
-    f.links[static_cast<std::size_t>(f.num_links++)] = UplinkLink(src_rack);
-    f.links[static_cast<std::size_t>(f.num_links++)] = DownlinkLink(dst_rack);
-  }
   std::vector<int>& dirty = dirty_scratch_;
   dirty.clear();
-  for (int i = 0; i < f.num_links; ++i) {
-    const int link = f.links[static_cast<std::size_t>(i)];
+  AssignLinks(id, f, dirty);
+
+  Recompute(dirty);
+  RescheduleCompletion();
+}
+
+void RackFabric::AssignLinks(TransferId id, Flow& flow, std::vector<int>& dirty) {
+  flow.num_links = 0;
+  flow.links[static_cast<std::size_t>(flow.num_links++)] = EgressLink(flow.src);
+  flow.links[static_cast<std::size_t>(flow.num_links++)] = IngressLink(flow.dst);
+  const int src_rack = RackOf(flow.src);
+  const int dst_rack = RackOf(flow.dst);
+  if (src_rack != dst_rack) {
+    flow.links[static_cast<std::size_t>(flow.num_links++)] = UplinkLink(src_rack);
+    flow.links[static_cast<std::size_t>(flow.num_links++)] = DownlinkLink(dst_rack);
+  }
+  for (int i = 0; i < flow.num_links; ++i) {
+    const int link = flow.links[static_cast<std::size_t>(i)];
     links_[static_cast<std::size_t>(link)].flows.push_back(id);
     dirty.push_back(link);
   }
   wire_flow_count_ += 1;
-
-  Recompute(dirty);
-  RescheduleCompletion();
 }
 
 bool RackFabric::CancelTransfer(TransferId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return false;
   Flow& flow = it->second;
-  if (flow.stage == Stage::kDelivery) {
+  if (flow.stage != Stage::kWire) {
+    // kDelivery and kPaused both hold exactly one pending event (the
+    // delivery, or the AQM resume) and occupy no links.
     sim_.Cancel(flow.delivery_event);
     flows_.erase(it);
     return true;
@@ -159,8 +179,8 @@ void RackFabric::AbortTransfersOf(NodeID node) {
   for (const TransferId id : victims) {
     auto it = flows_.find(id);
     Flow& flow = it->second;
-    if (flow.stage == Stage::kDelivery) {
-      sim_.Cancel(flow.delivery_event);
+    if (flow.stage != Stage::kWire) {
+      sim_.Cancel(flow.delivery_event);  // delivery, or the AQM resume
     } else {
       DetachFromLinks(id, flow, dirty);
     }
@@ -248,6 +268,22 @@ void RackFabric::Recompute(const std::vector<int>& dirty) {
     l.saturated = false;
   }
 
+  if (config_.qos.wfq) {
+    FillWeighted();
+  } else {
+    FillMaxMin();
+  }
+
+  for (const CompFlow& cf : comp_flows_) {
+    ++cf.flow->gen;
+    PushCompletionRecords(cf.id, *cf.flow);
+  }
+  CompactHeaps();
+  if (config_.qos.aqm) ArmAqmChecks();
+  HOPLITE_AUDIT_SCOPE(AuditFairShare());
+}
+
+void RackFabric::FillMaxMin() {
   // Progressive filling by water levels: every round, the lowest per-link
   // fair share among unsaturated links is the level at which those links
   // saturate; their flows freeze at exactly that level. Assigning the level
@@ -291,13 +327,196 @@ void RackFabric::Recompute(const std::vector<int>& dirty) {
     }
   }
   HOPLITE_CHECK_EQ(unfrozen_flows, 0) << "progressive filling did not converge";
+}
 
-  for (const CompFlow& cf : comp_flows_) {
-    ++cf.flow->gen;
-    PushCompletionRecords(cf.id, *cf.flow);
+void RackFabric::FillWeighted() {
+  // Hierarchical (two-level) max-min: each contended link divides capacity
+  // across *tenant demand groups* in proportion to QosConfig weights, then
+  // evenly across each group's flows. Each round solves every contended
+  // link's tenant water level nu (sum over groups of max(frozen, w * nu) ==
+  // capacity), derives each group's per-flow candidate rate, and freezes the
+  // flows of the globally tightest group(s) at that minimum: those flows are
+  // at their hierarchical bottleneck, and every other link they cross can
+  // sustain the granted rate (its own candidate was no smaller). Candidates
+  // are monotone non-decreasing across rounds, so assigning the global
+  // minimum level directly keeps the component-local pass bit-identical to
+  // a whole-fabric pass, exactly like FillMaxMin.
+  for (const int link : comp_links_) {
+    links_[static_cast<std::size_t>(link)].wfq.clear();
   }
-  CompactHeaps();
-  HOPLITE_AUDIT_SCOPE(AuditFairShare());
+  // Build each link's demand groups in first-appearance order of the
+  // id-sorted component flows: a deterministic order, so the solver's
+  // float-sum order is reproducible run to run.
+  for (const CompFlow& cf : comp_flows_) {
+    const Flow& f = *cf.flow;
+    for (int i = 0; i < f.num_links; ++i) {
+      Link& l = links_[static_cast<std::size_t>(f.links[static_cast<std::size_t>(i)])];
+      qos::TenantDemand* group = nullptr;
+      for (qos::TenantDemand& g : l.wfq) {
+        if (g.tenant == f.tenant) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        l.wfq.push_back(qos::TenantDemand{f.tenant, config_.qos.WeightOf(f.tenant),
+                                          /*frozen=*/0.0, /*unfrozen=*/0, /*cand=*/0.0});
+        group = &l.wfq.back();
+      }
+      group->unfrozen += 1;
+    }
+  }
+
+  int unfrozen_flows = static_cast<int>(comp_flows_.size());
+  int guard = unfrozen_flows + static_cast<int>(comp_links_.size()) + 1;
+  while (unfrozen_flows > 0 && guard-- > 0) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const int link : comp_links_) {
+      Link& l = links_[static_cast<std::size_t>(link)];
+      if (l.unfrozen == 0) continue;
+      const double nu = qos::SolveTenantWaterLevel(l.wfq, l.capacity);
+      for (qos::TenantDemand& g : l.wfq) {
+        if (g.unfrozen == 0) continue;
+        g.cand = std::max(0.0, g.weight * nu - g.frozen) / g.unfrozen;
+        best = std::min(best, g.cand);
+      }
+    }
+    HOPLITE_CHECK(std::isfinite(best)) << "unfrozen flow with no contended link";
+    const double rate = std::max(best, kMinRate);
+    const double cut = best + std::max(best, 1.0) * kFreezeEps;
+    for (const CompFlow& cf : comp_flows_) {
+      Flow& f = *cf.flow;
+      if (f.frozen) continue;
+      bool tightest = false;
+      for (int i = 0; i < f.num_links && !tightest; ++i) {
+        const Link& l =
+            links_[static_cast<std::size_t>(f.links[static_cast<std::size_t>(i)])];
+        for (const qos::TenantDemand& g : l.wfq) {
+          if (g.tenant == f.tenant) {
+            tightest = g.unfrozen > 0 && g.cand <= cut;
+            break;
+          }
+        }
+      }
+      if (!tightest) continue;
+      f.frozen = true;
+      f.rate = rate;
+      --unfrozen_flows;
+      for (int i = 0; i < f.num_links; ++i) {
+        Link& l = links_[static_cast<std::size_t>(f.links[static_cast<std::size_t>(i)])];
+        l.unfrozen -= 1;
+        l.frozen_sum += rate;
+        for (qos::TenantDemand& g : l.wfq) {
+          if (g.tenant == f.tenant) {
+            g.frozen += rate;
+            g.unfrozen -= 1;
+            break;
+          }
+        }
+      }
+    }
+  }
+  HOPLITE_CHECK_EQ(unfrozen_flows, 0) << "weighted filling did not converge";
+}
+
+void RackFabric::ArmAqmChecks() {
+  // Only ToR uplinks carry AQM queues (the oversubscribed resource). Flows
+  // on a component link were just materialized and re-rated by Recompute,
+  // so `remaining` / `rate` are current.
+  const int first_up = 2 * config_.num_nodes;
+  const int last_up = first_up + num_racks_;
+  for (const int link : comp_links_) {
+    if (link < first_up || link >= last_up) continue;
+    det::Map<qos::TenantId, std::pair<double, double>> queues;  // bytes, rate
+    for (const TransferId id : links_[static_cast<std::size_t>(link)].flows) {
+      const Flow& f = flows_.find(id)->second;
+      auto& [bytes, rate] = queues[f.tenant];
+      bytes += f.remaining;
+      rate += f.rate;
+    }
+    for (const auto& [tenant, load] : queues) {
+      const auto& [bytes, rate] = load;
+      if (rate <= 0.0) continue;
+      if (bytes * 1e9 <= static_cast<double>(aqm_.sojourn_target()) * rate) continue;
+      if (aqm_.Arm(link, tenant)) {
+        sim_.ScheduleAfter(aqm_.interval(),
+                           [this, link, tenant] { OnAqmCheck(link, tenant); });
+      }
+    }
+  }
+}
+
+std::pair<double, double> RackFabric::TenantLoadOn(int link,
+                                                   qos::TenantId tenant) const {
+  const SimTime now = sim_.Now();
+  double bytes = 0;
+  double rate = 0;
+  for (const TransferId id : links_[static_cast<std::size_t>(link)].flows) {
+    const Flow& f = flows_.find(id)->second;
+    if (f.tenant != tenant) continue;
+    bytes += RemainingAt(f, now);
+    rate += f.rate;
+  }
+  return {bytes, rate};
+}
+
+void RackFabric::OnAqmCheck(int link, qos::TenantId tenant) {
+  const auto [bytes, rate] = TenantLoadOn(link, tenant);
+  const bool above =
+      rate > 0.0 && bytes * 1e9 > static_cast<double>(aqm_.sojourn_target()) * rate;
+  const qos::CodelAqm::Verdict verdict = aqm_.OnCheck(link, tenant, above);
+  if (!verdict.mark) return;  // back under target: queue reset to quiescent
+
+  // CoDel's early "drop", applied to the queue the sojourn was measured
+  // over: every flow of the tenant's virtual queue on this link leaves the
+  // wire for one pause, and each distinct sending client hears about it.
+  // Pausing a single flow could not help anyone under WFQ — the tenant's
+  // link share is unchanged while its other flows stay on the wire — so
+  // the mark backs the whole per-tenant queue off, the flow-queuing
+  // analogue of CE-marking the aggregate.
+  std::vector<TransferId> queue;
+  for (const TransferId id : links_[static_cast<std::size_t>(link)].flows) {
+    if (flows_.find(id)->second.tenant == tenant) queue.push_back(id);
+  }
+  det::Set<NodeID> senders;
+  for (const TransferId id : queue) {
+    senders.insert(flows_.find(id)->second.src);
+    PauseFlow(id);
+  }
+  for (const NodeID src : senders) NotifyBackpressure(src, tenant);
+  sim_.ScheduleAfter(verdict.next_check,
+                     [this, link, tenant] { OnAqmCheck(link, tenant); });
+}
+
+void RackFabric::PauseFlow(TransferId id) {
+  auto it = flows_.find(id);
+  HOPLITE_CHECK(it != flows_.end());
+  Flow& flow = it->second;
+  HOPLITE_CHECK(flow.stage == Stage::kWire);
+  Materialize(flow, sim_.Now());
+  std::vector<int>& dirty = dirty_scratch_;
+  dirty.clear();
+  DetachFromLinks(id, flow, dirty);
+  flow.stage = Stage::kPaused;
+  flow.delivery_event =
+      sim_.ScheduleAfter(aqm_.pause(), [this, id] { ResumeFlow(id); });
+  Recompute(dirty);
+  RescheduleCompletion();
+}
+
+void RackFabric::ResumeFlow(TransferId id) {
+  auto it = flows_.find(id);
+  HOPLITE_CHECK(it != flows_.end());
+  Flow& flow = it->second;
+  HOPLITE_CHECK(flow.stage == Stage::kPaused);
+  flow.stage = Stage::kWire;
+  flow.delivery_event = sim::EventId{};
+  flow.anchor = sim_.Now();
+  std::vector<int>& dirty = dirty_scratch_;
+  dirty.clear();
+  AssignLinks(id, flow, dirty);
+  Recompute(dirty);
+  RescheduleCompletion();
 }
 
 void RackFabric::AuditFairShare() const {
@@ -318,7 +537,11 @@ void RackFabric::AuditFairShare() const {
     }
     wire_flows_on_links += links_[link].flows.size();
     // Rate conservation: granted fair shares never exceed the link capacity.
-    HOPLITE_AUDIT(rate_sum[link] <= links_[link].capacity * (1 + 1e-6) + eps)
+    // WFQ mode clamps frozen rates to kMinRate, which can numerically
+    // overshoot by up to one clamp per flow on the link.
+    const double clamp_slack =
+        config_.qos.wfq ? static_cast<double>(links_[link].flows.size()) * kMinRate : 0.0;
+    HOPLITE_AUDIT(rate_sum[link] <= links_[link].capacity * (1 + 1e-6) + eps + clamp_slack)
         << "link " << link << " oversubscribed: " << rate_sum[link] << " of "
         << links_[link].capacity;
   }
@@ -332,15 +555,21 @@ void RackFabric::AuditFairShare() const {
     HOPLITE_AUDIT(f.rate >= 0 && f.remaining >= 0) << "flow " << id;
     // Max-min optimality: every wire flow is bottlenecked somewhere — it
     // crosses a link with no slack where no concurrent flow gets more.
-    bool bottlenecked = false;
-    for (int i = 0; i < f.num_links && !bottlenecked; ++i) {
-      const auto link = static_cast<std::size_t>(f.links[static_cast<std::size_t>(i)]);
-      const double slack = links_[link].capacity - rate_sum[link];
-      bottlenecked = slack <= links_[link].capacity * 1e-6 + eps &&
-                     f.rate >= rate_max[link] - eps;
+    // Per-flow equality does not hold under WFQ (shares are weighted by
+    // tenant and split within the tenant, so concurrent flows on the
+    // bottleneck legitimately differ); conservation, membership and the
+    // counters above are the audited invariants in that mode.
+    if (!config_.qos.wfq) {
+      bool bottlenecked = false;
+      for (int i = 0; i < f.num_links && !bottlenecked; ++i) {
+        const auto link = static_cast<std::size_t>(f.links[static_cast<std::size_t>(i)]);
+        const double slack = links_[link].capacity - rate_sum[link];
+        bottlenecked = slack <= links_[link].capacity * 1e-6 + eps &&
+                       f.rate >= rate_max[link] - eps;
+      }
+      HOPLITE_AUDIT(bottlenecked)
+          << "flow " << id << " (rate " << f.rate << ") has no max-min bottleneck";
     }
-    HOPLITE_AUDIT(bottlenecked)
-        << "flow " << id << " (rate " << f.rate << ") has no max-min bottleneck";
     // Membership: the flow appears on each of its links' lists.
     for (int i = 0; i < f.num_links; ++i) {
       const auto& on_link =

@@ -38,11 +38,21 @@
 //    old full-scan sweep that let sub-residue flows piggyback on a
 //    concurrent completion. Stale heap records are generation-stamped and
 //    skipped (and compacted once they dominate).
+//
+// With `ClusterConfig::qos.wfq` the filling becomes hierarchical: contended
+// links divide capacity max-min across *tenants* first (weighted by
+// QosConfig::tenant_weights), then across each tenant's flows — same dirty
+// component machinery, different water-level solver (qos/wfq.h). With
+// `qos.aqm` each (ToR uplink, tenant) pair carries a CoDel-style virtual
+// queue (qos/aqm.h): sustained above-target sojourn pauses the tenant's
+// fattest transfer on that uplink and raises ECN-like backpressure to the
+// sending client. Both default off, leaving behaviour bit-identical.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/annotations.h"
@@ -50,6 +60,9 @@
 #include "common/ids.h"
 #include "common/units.h"
 #include "net/fabric.h"
+#include "qos/aqm.h"
+#include "qos/qos.h"
+#include "qos/wfq.h"
 #include "sim/simulator.h"
 
 namespace hoplite::net {
@@ -75,10 +88,13 @@ class HOPLITE_DOMAIN_CONFINED RackFabric final : public Fabric {
   [[nodiscard]] double CurrentRate(TransferId id) const;
   /// Number of flows currently occupying wire bandwidth.
   [[nodiscard]] std::size_t wire_flows() const noexcept { return wire_flow_count_; }
+  /// Cumulative AQM early-mark count (0 unless `qos.aqm` is on).
+  [[nodiscard]] std::int64_t aqm_marks() const noexcept { return aqm_.marks(); }
 
  protected:
   void StartTransfer(TransferId id, NodeID src, NodeID dst, std::int64_t bytes,
-                     DeliveryCallback on_delivered, FailureCallback on_failed) override;
+                     DeliveryCallback on_delivered, FailureCallback on_failed,
+                     qos::TenantId tenant) override;
   void AbortTransfersOf(NodeID node) override;
 
  private:
@@ -91,10 +107,14 @@ class HOPLITE_DOMAIN_CONFINED RackFabric final : public Fabric {
     double frozen_sum = 0;  ///< total rate already granted to frozen flows
     bool saturated = false;
     std::uint64_t mark = 0;  ///< BFS epoch stamp
+    /// Scratch per-tenant demand groups (WFQ mode only), rebuilt per
+    /// Recompute in first-appearance order of the id-sorted component flows.
+    std::vector<qos::TenantDemand> wfq;
   };
 
   enum class Stage {
     kWire,      ///< occupying link bandwidth (remaining > 0)
+    kPaused,    ///< AQM-paused: off the links, residue frozen, resume scheduled
     kDelivery,  ///< past the wire; propagation latency event scheduled
   };
 
@@ -102,6 +122,7 @@ class HOPLITE_DOMAIN_CONFINED RackFabric final : public Fabric {
     NodeID src = kInvalidNode;
     NodeID dst = kInvalidNode;
     Stage stage = Stage::kWire;
+    qos::TenantId tenant = qos::kNoTenant;
     double remaining = 0;  ///< bytes left on the wire as of `anchor`
     SimTime anchor = 0;    ///< virtual time `remaining` was last materialized
     double rate = 0;       ///< current fair share, bytes per second
@@ -110,7 +131,8 @@ class HOPLITE_DOMAIN_CONFINED RackFabric final : public Fabric {
     int num_links = 0;
     std::uint32_t gen = 0;   ///< stamps completion-heap records; bumps on re-rate
     std::uint64_t mark = 0;  ///< BFS epoch stamp
-    sim::EventId delivery_event;  ///< valid in kDelivery
+    sim::EventId delivery_event;  ///< valid in kDelivery; doubles as the
+                                  ///< resume event while kPaused
     DeliveryCallback on_delivered;
     FailureCallback on_failed;  // may be empty
   };
@@ -148,11 +170,41 @@ class HOPLITE_DOMAIN_CONFINED RackFabric final : public Fabric {
   /// Books progress up to `t` and re-anchors the flow there.
   static void Materialize(Flow& flow, SimTime t);
 
+  /// Derives the flow's link set from its endpoints, registers it on those
+  /// links' flow lists (appending them to `dirty`) and counts it as a wire
+  /// flow. Shared by StartTransfer and the AQM resume path (DetachFromLinks
+  /// zeroes `num_links`, so resuming must re-derive the set).
+  void AssignLinks(TransferId id, Flow& flow, std::vector<int>& dirty);
+
   /// Recomputes rates for the component reachable from `dirty` links via
   /// progressive filling, re-anchors those flows and refreshes their
   /// completion-heap records. Flows sharing no (transitive) link with a
   /// dirty one keep their rates — their allocation cannot have changed.
   void Recompute(const std::vector<int>& dirty);
+  /// The plain (per-flow) progressive-filling water levels. Called by
+  /// Recompute on the prepared component; assigns every comp flow's rate.
+  void FillMaxMin();
+  /// The two-level (tenant-weighted, then per-flow) water levels of WFQ
+  /// mode: contended links divide capacity max-min across tenants first
+  /// (per QosConfig::tenant_weights), then across each tenant's flows.
+  void FillWeighted();
+
+  // ----------------------------- AQM hooks ------------------------------
+
+  /// End-of-Recompute scan (aqm mode): arms a CoDel check on every
+  /// (uplink, tenant) virtual queue of the component whose sojourn —
+  /// queued bytes over allocated rate — exceeds the target.
+  void ArmAqmChecks();
+  /// Per-tenant queued bytes and allocated rate on `link` at `now`.
+  [[nodiscard]] std::pair<double, double> TenantLoadOn(int link,
+                                                       qos::TenantId tenant) const;
+  /// The scheduled CoDel control-law check for one (uplink, tenant) queue.
+  void OnAqmCheck(int link, qos::TenantId tenant);
+  /// Early "drop": takes the tenant's largest-remaining flow on `link` off
+  /// the wire for the configured pause, then resumes it. The ECN-like
+  /// backpressure notice goes to the flow's sending node.
+  void PauseFlow(TransferId id);
+  void ResumeFlow(TransferId id);
   /// Predicts the flow's completion and pushes fresh heap records.
   void PushCompletionRecords(TransferId id, Flow& flow);
   /// (Re)schedules the single completion event at the earliest predicted
@@ -191,6 +243,9 @@ class HOPLITE_DOMAIN_CONFINED RackFabric final : public Fabric {
   std::vector<TransferId> done_scratch_;
   std::vector<TransferId> not_yet_scratch_;
   sim::EventId completion_event_;
+  /// CoDel state machines of the per-(uplink, tenant) virtual queues
+  /// (inert unless `config_.qos.aqm`).
+  qos::CodelAqm aqm_;
 };
 
 }  // namespace hoplite::net

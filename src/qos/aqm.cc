@@ -1,0 +1,34 @@
+#include "qos/aqm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hoplite::qos {
+
+bool CodelAqm::Arm(int link, TenantId tenant) {
+  Queue& queue = queues_[{link, tenant}];
+  if (queue.armed) return false;
+  queue.armed = true;
+  return true;
+}
+
+CodelAqm::Verdict CodelAqm::OnCheck(int link, TenantId tenant, bool above_target) {
+  Queue& queue = queues_.at({link, tenant});
+  if (!above_target) {
+    // Back under target: the episode is over; the next excursion starts a
+    // fresh interval at the base cadence.
+    queue.mark_count = 0;
+    queue.armed = false;
+    return Verdict{};
+  }
+  ++queue.mark_count;
+  ++marks_;
+  // CoDel's control law: the k-th consecutive mark re-checks interval/sqrt(k)
+  // later (std::sqrt is IEEE correctly-rounded, so this is deterministic).
+  const double next =
+      static_cast<double>(config_.interval) / std::sqrt(static_cast<double>(queue.mark_count));
+  return Verdict{.mark = true,
+                 .next_check = std::max<SimDuration>(1, static_cast<SimDuration>(next + 0.5))};
+}
+
+}  // namespace hoplite::qos

@@ -1,0 +1,40 @@
+#include "qos/token_bucket.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hoplite::qos {
+
+TokenBucket::TokenBucket(double ops_per_s, double burst_ops) {
+  HOPLITE_CHECK_GT(ops_per_s, 0.0);
+  HOPLITE_CHECK_GE(burst_ops, 0.0);
+  gap_ns_ = 1e9 / ops_per_s;
+  burst_ns_ = gap_ns_ * burst_ops;
+}
+
+SimTime TokenBucket::Acquire(SimTime now) {
+  const double now_ns = static_cast<double>(now);
+  // Idle time banks at most `burst_ns_` of credit: tokens that would have
+  // refilled before (now - burst) are forfeited, exactly a depth-limited
+  // bucket.
+  next_free_ = std::max(next_free_, now_ns - burst_ns_);
+  const double grant = std::max(now_ns, next_free_);
+  next_free_ += gap_ns_;
+  return static_cast<SimTime>(grant + 0.5);
+}
+
+void TokenBucket::Refund() { next_free_ -= gap_ns_; }
+
+void TokenBucket::Penalize(double tokens) {
+  HOPLITE_CHECK_GE(tokens, 0.0);
+  next_free_ += gap_ns_ * tokens;
+}
+
+SimTime TokenBucket::NextAdmission(SimTime now) const {
+  const double now_ns = static_cast<double>(now);
+  const double head = std::max(next_free_, now_ns - burst_ns_);
+  return static_cast<SimTime>(std::max(now_ns, head) + 0.5);
+}
+
+}  // namespace hoplite::qos

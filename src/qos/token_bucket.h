@@ -1,0 +1,45 @@
+// Deterministic token bucket over simulated time (client admission layer).
+//
+// The bucket is virtual-scheduling style: instead of materializing a token
+// count it tracks `next_free_` — the virtual instant the next token becomes
+// available. Acquire charges one token and returns the instant the charged
+// op may proceed (>= now); a caller that paces ops to the returned instant
+// emits at most `ops_per_s` sustained with `burst_ops` of slack, with no
+// periodic refill events and no floating-point drift across platforms
+// (IEEE arithmetic on the same operands in the same order).
+#pragma once
+
+#include "common/annotations.h"
+#include "common/units.h"
+
+namespace hoplite::qos {
+
+/// One tenant's admission bucket on one client node. Owned by the client,
+/// so every call arrives on the owning cluster's domain.
+class HOPLITE_DOMAIN_CONFINED TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double ops_per_s, double burst_ops);
+
+  /// Charges one token; returns the instant the charged op may proceed
+  /// (now when a token is free, later when the caller must pace).
+  [[nodiscard]] SimTime Acquire(SimTime now);
+
+  /// Returns one previously charged token (the op failed or was cancelled,
+  /// so its debt is released).
+  void Refund();
+
+  /// Debits `tokens` without admitting anything — the backpressure penalty
+  /// that pushes a marked tenant's future admissions later.
+  void Penalize(double tokens);
+
+  /// The instant an Acquire issued now would be allowed to proceed.
+  [[nodiscard]] SimTime NextAdmission(SimTime now) const;
+
+ private:
+  double gap_ns_ = 0.0;    ///< refill period: ns of credit one token costs
+  double burst_ns_ = 0.0;  ///< bucket depth expressed as banked credit
+  double next_free_ = 0.0; ///< virtual instant the next token is available
+};
+
+}  // namespace hoplite::qos

@@ -1,0 +1,52 @@
+#include "qos/wfq.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hoplite::qos {
+
+double SolveTenantWaterLevel(const std::vector<TenantDemand>& demands,
+                             double capacity) {
+  HOPLITE_CHECK_GT(capacity, 0.0);
+  // Below every breakpoint the total is the frozen sum; each growing tenant
+  // joins the slope once nu passes frozen_t / weight_t (where its weighted
+  // share overtakes what its frozen flows already hold).
+  double total = 0.0;
+  struct Breakpoint {
+    double at;
+    double weight;
+  };
+  std::vector<Breakpoint> breakpoints;
+  breakpoints.reserve(demands.size());
+  for (const TenantDemand& demand : demands) {
+    HOPLITE_CHECK_GT(demand.weight, 0.0);
+    HOPLITE_CHECK_GE(demand.frozen, 0.0);
+    total += demand.frozen;
+    if (demand.unfrozen > 0) {
+      breakpoints.push_back(Breakpoint{demand.frozen / demand.weight, demand.weight});
+    }
+  }
+  HOPLITE_CHECK(!breakpoints.empty()) << "no unfrozen demand on the link";
+  // stable_sort: equal breakpoints keep the caller's deterministic order, so
+  // the slope accumulates in the same float order on every run.
+  std::stable_sort(breakpoints.begin(), breakpoints.end(),
+                   [](const Breakpoint& a, const Breakpoint& b) { return a.at < b.at; });
+
+  double nu = 0.0;
+  double slope = 0.0;
+  for (const Breakpoint& bp : breakpoints) {
+    if (slope > 0.0) {
+      const double reach = nu + (capacity - total) / slope;
+      if (reach <= bp.at) return std::max(reach, 0.0);
+    }
+    total += slope * (bp.at - nu);
+    nu = bp.at;
+    slope += bp.weight;
+  }
+  // Frozen flows may numerically overshoot the capacity; the max keeps the
+  // solved level (and thus every freeze candidate) non-negative.
+  return std::max(nu + (capacity - total) / slope, 0.0);
+}
+
+}  // namespace hoplite::qos

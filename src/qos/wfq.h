@@ -1,0 +1,45 @@
+// Weighted tenant-first water filling: the per-link solver of the fabric's
+// hierarchical max-min mode.
+//
+// One call answers, for a single contended link: "if every tenant's
+// still-unfrozen flows on this link were limited here, what per-tenant fair
+// level nu would exhaust the capacity?" Tenant t's link-level allocation is
+// max(frozen_t, weight_t * nu) — its weighted share, but never less than
+// what its already-frozen flows consume — and nu solves
+//
+//     sum_t max(frozen_t, weight_t * nu) = capacity.
+//
+// The left side is piecewise linear and non-decreasing in nu, so the solver
+// walks the breakpoints frozen_t / weight_t in ascending order and
+// interpolates. The fabric's outer loop (rack_fabric.cc) turns nu into
+// per-flow freeze candidates (weight_t * nu - frozen_t) / unfrozen_t and
+// freezes the globally tightest group each round — the hierarchical
+// generalization of progressive filling that reduces exactly to the classic
+// single-level algorithm when every flow belongs to one tenant.
+#pragma once
+
+#include <vector>
+
+#include "qos/qos.h"
+
+namespace hoplite::qos {
+
+/// One tenant's demand on one link, as seen by the solver.
+// hoplite-sa: value-type(TenantDemand) -- plain solver input passed by value.
+struct TenantDemand {
+  TenantId tenant = kNoTenant;
+  double weight = 1.0;
+  double frozen = 0.0;  ///< rate sum of this tenant's already-frozen flows
+  int unfrozen = 0;     ///< this tenant's not-yet-frozen flows on the link
+  double cand = 0.0;    ///< caller scratch (per-round freeze candidate);
+                        ///< ignored by the solver
+};
+
+/// Solves sum_t max(frozen_t, weight_t * nu) = capacity over `demands`
+/// (tenants with unfrozen == 0 contribute their frozen rate only). Requires
+/// at least one demand with unfrozen > 0. Ties between breakpoints resolve
+/// in input order, so callers must present demands in a deterministic order.
+[[nodiscard]] double SolveTenantWaterLevel(const std::vector<TenantDemand>& demands,
+                                           double capacity);
+
+}  // namespace hoplite::qos

@@ -4,10 +4,12 @@
 #include <vector>
 
 #include "baselines/ray_like.h"
+#include "common/det.h"
 #include "common/logging.h"
 #include "core/client.h"
 #include "core/cluster.h"
 #include "net/fabric.h"
+#include "qos/qos.h"
 #include "store/buffer.h"
 #include "store/local_store.h"
 
@@ -64,21 +66,33 @@ class HopliteWorkloadBackend final : public WorkloadBackend {
 
   [[nodiscard]] Ref<Unit> Issue(const WorkloadOp& op) override {
     auto& sim = cluster_.simulator();
+    if (TouchesDeadNode(op)) {
+      // The fault schedule took a node this op needs: fail fast the way a
+      // real caller's RPC to a dead peer would, instead of producing on a
+      // ghost.
+      RefPromise<Unit> promise(&sim, op.id);
+      promise.Reject(RefError{RefErrorCode::kProducerLost,
+                              "op issued to a node the fault schedule killed"});
+      return promise.ref();
+    }
+    const qos::TenantId tenant = static_cast<qos::TenantId>(op.tenant);
     Ref<Unit> done;
     switch (op.kind) {
       case OpKind::kPut:
         done = ToUnit(sim, op.id,
-                      cluster_.client(op.home).Put(op.id, store::Buffer::OfSize(op.bytes)));
+                      cluster_.client(op.home).Put(op.id, store::Buffer::OfSize(op.bytes),
+                                                   tenant));
         break;
       case OpKind::kGet: {
         if (op.fresh) {
-          cluster_.client(op.peers.at(0)).Put(op.id, store::Buffer::OfSize(op.bytes));
+          cluster_.client(op.peers.at(0))
+              .Put(op.id, store::Buffer::OfSize(op.bytes), tenant);
         }
         done = ToUnit(sim, op.id, cluster_.client(op.home).Get(op.id, GetOpts(op)));
         break;
       }
       case OpKind::kBroadcast: {
-        cluster_.client(op.home).Put(op.id, store::Buffer::OfSize(op.bytes));
+        cluster_.client(op.home).Put(op.id, store::Buffer::OfSize(op.bytes), tenant);
         std::vector<Ref<store::Buffer>> gets;
         gets.reserve(op.peers.size());
         for (const NodeID peer : op.peers) {
@@ -90,10 +104,12 @@ class HopliteWorkloadBackend final : public WorkloadBackend {
       case OpKind::kReduce: {
         core::ReduceSpec spec;
         spec.target = op.id;
+        spec.tenant = tenant;
         for (std::size_t k = 0; k < op.peers.size(); ++k) {
           const ObjectID source = op.id.WithIndex(static_cast<std::int64_t>(k) + 1);
           spec.sources.push_back(source);
-          cluster_.client(op.peers[k]).Put(source, store::Buffer::OfSize(op.bytes));
+          cluster_.client(op.peers[k]).Put(source, store::Buffer::OfSize(op.bytes),
+                                           tenant);
         }
         cluster_.client(op.home).Reduce(spec);
         // §5.1.2 measurement: the op ends when the reduced result has been
@@ -104,6 +120,14 @@ class HopliteWorkloadBackend final : public WorkloadBackend {
     }
     MaybeGc(op, done);
     return done;
+  }
+
+  void InjectFault(NodeID node, bool kill) override {
+    if (kill) {
+      if (dead_.insert(node).second) cluster_.KillNode(node);
+    } else if (dead_.erase(node) > 0) {
+      cluster_.RecoverNode(node);
+    }
   }
 
   [[nodiscard]] StoreHighWater store_high_water() override {
@@ -126,13 +150,26 @@ class HopliteWorkloadBackend final : public WorkloadBackend {
     options.network.num_nodes = spec.num_nodes;
     options.network.fabric = spec.fabric;
     options.network.cache = spec.cache;
+    options.network.qos = spec.qos;
     options.store_capacity_bytes = spec.store_capacity_bytes;
     options.engine_shards = spec.engine_shards;
     return options;
   }
 
   [[nodiscard]] static core::GetOptions GetOpts(const WorkloadOp& op) {
-    return core::GetOptions{.read_only = true, .timeout = op.get_timeout};
+    return core::GetOptions{.read_only = true, .timeout = op.get_timeout,
+                            .tenant = static_cast<qos::TenantId>(op.tenant)};
+  }
+
+  /// True when the op's home or any node it must produce on is currently
+  /// down per the fault schedule.
+  [[nodiscard]] bool TouchesDeadNode(const WorkloadOp& op) const {
+    if (dead_.empty()) return false;
+    if (dead_.contains(op.home)) return true;
+    for (const NodeID peer : op.peers) {
+      if (dead_.contains(peer)) return true;
+    }
+    return false;
   }
 
   /// The serving loop's garbage collection: once the op settled (success or
@@ -145,6 +182,7 @@ class HopliteWorkloadBackend final : public WorkloadBackend {
     const auto sources = static_cast<std::int64_t>(
         op.kind == OpKind::kReduce ? op.peers.size() : 0);
     done.OnSettled([this, home, id, sources](const Ref<Unit>&) {
+      if (!cluster_.IsAlive(home)) return;  // the fault schedule beat the GC
       cluster_.client(home).Delete(id);
       for (std::int64_t k = 1; k <= sources; ++k) {
         cluster_.client(home).Delete(id.WithIndex(k));
@@ -153,6 +191,8 @@ class HopliteWorkloadBackend final : public WorkloadBackend {
   }
 
   core::HopliteCluster cluster_;
+  /// Nodes currently down per InjectFault, so ops fail fast at issue.
+  det::Set<NodeID> dead_;
 };
 
 // --------------------------------------------------------------------

@@ -125,12 +125,19 @@ WorkloadTrace BuildTrace(const ScenarioSpec& spec) {
     auto& ops = per_tenant[t];
     SimTime at = 0;
     while (ops.size() < spec.max_ops_per_tenant) {
-      at += tenant.arrivals.Next(rng);
+      const SimDuration gap = tenant.arrivals.Next(rng);
+      at += gap;
       if (at > spec.horizon) break;
 
       WorkloadOp op;
       op.tenant = static_cast<int>(t);
       op.at = at;
+      // Closed loop: the same drawn gap becomes the think time, and the
+      // cumulative `at` is only the op-count bound (zero-latency issue
+      // instants). The draws themselves are identical either way, so
+      // flipping closed_loop never perturbs sizes/kinds/placements.
+      op.closed_loop = tenant.closed_loop;
+      op.think_gap = gap;
       op.kind = tenant.mix.Sample(rng);
       op.bytes = tenant.sizes.Sample(rng);
       op.home = tenant.pinned_home != kInvalidNode

@@ -25,6 +25,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "net/fabric.h"
+#include "qos/qos.h"
 
 namespace hoplite::workload {
 
@@ -131,6 +132,24 @@ struct TenantSpec {
   SimDuration get_timeout = 0;
   /// Node issuing this tenant's ops; kInvalidNode = uniform per op.
   NodeID pinned_home = kInvalidNode;
+  /// Closed loop: the arrival process draws *think times* instead of
+  /// absolute arrivals — op k+1 issues only when op k settled plus the
+  /// drawn gap, like the §5.4 serving app's request loop. Under a closed
+  /// loop the offered rate self-throttles with latency, which is exactly
+  /// what distinguishes a well-behaved interactive tenant from an
+  /// open-loop aggressor in the fairness experiments.
+  bool closed_loop = false;
+};
+
+/// One entry of a scenario's fault schedule: kill (or recover) a node at a
+/// fixed simulated instant. Lowered by the driver into
+/// `WorkloadBackend::InjectFault`; backends without a failure model ignore
+/// it. Ops issued to a dead node reject immediately (kProducerLost) and
+/// count as failures in the report.
+struct FaultEvent {
+  SimTime at = 0;
+  NodeID node = 0;
+  bool kill = true;  ///< false = recover the node (fresh stores, new incarnation)
 };
 
 /// A whole multi-tenant workload.
@@ -149,6 +168,13 @@ struct ScenarioSpec {
   /// the per-node stores and the directory's request-coalescing switch.
   cache::CacheConfig cache;
   net::FabricConfig fabric;
+  /// Per-tenant QoS knobs (Hoplite backend only): WFQ at shared links,
+  /// flow-queuing AQM at ToR uplinks, client-side admission control. The
+  /// workload tenant index doubles as the qos::TenantId. All-off default
+  /// reproduces the pre-QoS fabric bit for bit.
+  qos::QosConfig qos;
+  /// Kill/recover schedule applied during the run (Hoplite backend only).
+  std::vector<FaultEvent> faults;
   std::vector<TenantSpec> tenants;
   /// Safety valve against runaway rate*horizon products.
   std::size_t max_ops_per_tenant = 1u << 20;
@@ -169,6 +195,11 @@ struct WorkloadOp {
   bool fresh = true;
   bool delete_after = true;
   SimDuration get_timeout = 0;
+  /// Closed-loop ops: the drawn gap is a think time — the driver issues
+  /// this op `think_gap` after the tenant's previous op settled, and `at`
+  /// (the cumulative gap sum) is only the offered-load bookkeeping bound.
+  bool closed_loop = false;
+  SimDuration think_gap = 0;
 };
 
 /// A fully materialized open-loop trace: ops sorted by arrival time (ties

@@ -203,6 +203,80 @@ ScenarioSpec BuildZipfServing(const ScenarioTuning& tuning) {
   return spec;
 }
 
+/// The QoS adversarial regime: two racks behind a 4:1-oversubscribed ToR
+/// uplink, one open-loop aggressor in rack 0 blasting cluster-wide
+/// broadcasts across it, and closed-loop interactive victims in rack 1
+/// whose small cross-rack Gets share the same bottleneck. `load_scale` is
+/// the aggression axis: past ~1 the aggressor is open-loop unstable, its
+/// in-flight cross-uplink flows pile up, and per-flow max-min hands it
+/// nearly the whole uplink — the victims' Gets crawl and start missing
+/// their timeout. Callers flip `spec.qos` mechanisms (WFQ / AQM /
+/// admission) to claw that back; tenant 0 is the aggressor, so weights and
+/// fairness reports line up by index.
+ScenarioSpec BuildMisbehavingTenant(const ScenarioTuning& tuning) {
+  ScenarioSpec spec;
+  spec.name = "misbehaving-tenant";
+  spec.num_nodes = std::max(8, tuning.num_nodes);
+  spec.horizon = tuning.horizon;
+  spec.seed = tuning.seed;
+  spec.fabric.topology = net::TopologyKind::kRack;
+  spec.fabric.num_racks = 2;
+  spec.fabric.oversubscription = 16.0;
+
+  // Open loop and deadline-free: arrivals keep coming whether or not
+  // earlier broadcasts finished (every arrival adds cross-uplink flows,
+  // fanout 0 = every node so the tree must cross the core), and a bulk
+  // replicator does not time its transfers out — it just hogs. Its
+  // completion share therefore stays 1.0 under every mechanism; unfairness
+  // shows up entirely as victim damage, which is what Jain should see.
+  TenantSpec aggressor;
+  aggressor.name = "aggressor";
+  aggressor.arrivals = {ArrivalProcess::Kind::kPoisson, 96.0 * tuning.load_scale};
+  aggressor.mix = OpMix{0.0, 0.0, 1.0, 0.0};
+  aggressor.sizes = Capped(SizeDistribution::Fixed(MB(2)), tuning.max_object_bytes);
+  aggressor.fanout = 0;
+  aggressor.pinned_home = 0;
+  spec.tenants.push_back(std::move(aggressor));
+
+  // Interactive victims: closed loop (a real frontend waits for the reply
+  // before the next request), pinned in rack 1 so the producer draw makes
+  // roughly half their 1 MB Gets cross the contended uplink. The tight
+  // timeout is the SLO: it sits above the WFQ worst case (a 1/4 tenant
+  // share of the uplink) but far below what per-flow sharing against a
+  // backlogged aggressor delivers — so a starved victim shows up as failed
+  // ops (a falling completion share), not just tail latency.
+  const int victims = tuning.num_tenants > 1 ? tuning.num_tenants - 1 : 3;
+  const NodeID rack1_first = static_cast<NodeID>(spec.num_nodes / 2);
+  const NodeID rack1_size = static_cast<NodeID>(spec.num_nodes) - rack1_first;
+  for (int v = 0; v < victims; ++v) {
+    TenantSpec victim;
+    victim.name = "victim-" + std::to_string(v);
+    victim.closed_loop = true;
+    victim.arrivals = {ArrivalProcess::Kind::kPoisson, 120.0};
+    victim.mix = OpMix{0.0, 1.0, 0.0, 0.0};
+    victim.sizes = Capped(SizeDistribution::Fixed(MB(1)), tuning.max_object_bytes);
+    victim.get_timeout = Milliseconds(11);
+    victim.pinned_home = rack1_first + static_cast<NodeID>(v) % rack1_size;
+    spec.tenants.push_back(std::move(victim));
+  }
+
+  // QoS tuning the benches flip on: the sojourn target sits above the WFQ
+  // worst-case victim sojourn (so AQM only ever marks the backlogged
+  // aggressor queue), and the per-tenant pacing rate pins the aggressor
+  // near its entitled uplink share while victims keep the generous
+  // default. Flags stay off here — each figure cell arms its own stack.
+  spec.qos.tenant_weights.assign(spec.tenants.size(), 1.0);
+  spec.qos.aqm_tuning.sojourn_target = Milliseconds(15);
+  spec.qos.aqm_tuning.interval = Milliseconds(8);
+  spec.qos.aqm_tuning.pause = Milliseconds(10);
+  spec.qos.admission_tuning.ops_per_s = 10000.0;
+  spec.qos.admission_tuning.burst_ops = 1.0;
+  spec.qos.admission_tuning.max_outstanding_ops = 4096;
+  spec.qos.admission_tuning.per_tenant_ops_per_s.assign(spec.tenants.size(), 0.0);
+  spec.qos.admission_tuning.per_tenant_ops_per_s[0] = 6.0;
+  return spec;
+}
+
 }  // namespace
 
 HOPLITE_REGISTER_SCENARIO(serving, "serving",
@@ -221,5 +295,9 @@ HOPLITE_REGISTER_SCENARIO(zipf_serving, "zipf-serving",
                           "Zipf-popular reads over a fixed hot set "
                           "(eviction-policy quality and request coalescing)",
                           BuildZipfServing);
+HOPLITE_REGISTER_SCENARIO(misbehaving_tenant, "misbehaving-tenant",
+                          "open-loop aggressor vs closed-loop victims across "
+                          "an oversubscribed ToR uplink (the QoS regime)",
+                          BuildMisbehavingTenant);
 
 }  // namespace hoplite::workload

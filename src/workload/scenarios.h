@@ -17,6 +17,10 @@
 //   zipf-serving     Zipf-popular reads over a fixed hot set: the serving
 //                    regime where eviction-policy quality (LRU vs 2Q vs
 //                    segmented LRU) and request coalescing show up
+//   misbehaving-tenant  one open-loop aggressor blasting broadcasts across
+//                    an oversubscribed ToR uplink vs closed-loop interactive
+//                    victims: the regime the per-tenant QoS mechanisms
+//                    (WFQ / AQM / admission) are judged on
 #pragma once
 
 #include <cstdint>

@@ -24,14 +24,14 @@ RunOptions SmokeScale() {
   return options;
 }
 
-TEST(BenchRegistryTest, AllTwentyOneFiguresRegistered) {
+TEST(BenchRegistryTest, AllTwentyTwoFiguresRegistered) {
   const std::set<std::string> expected{
       "fig6",  "fig7",  "fig8",  "fig9",       "fig10",
       "fig11", "fig12", "fig13", "fig14",      "fig15",
       "adaptive-d", "directory-latency", "engine-micro",
       "topo_oversubscription", "scale_nodes", "scale_shards",
       "pipeline_dag", "load_sweep", "mem_pressure",
-      "hot_object", "cache_policy"};
+      "hot_object", "cache_policy", "fairness"};
   std::set<std::string> registered;
   for (const Figure& figure : Registry::Instance().figures()) {
     EXPECT_NE(figure.fn, nullptr) << figure.name;
@@ -50,7 +50,7 @@ TEST(BenchRegistryTest, FindIsExactAndMissesUnknown) {
 
 TEST(BenchSmokeTest, EveryFigureProducesFiniteRowsAtTinyScale) {
   const RunOptions opt = SmokeScale();
-  EXPECT_EQ(Registry::Instance().figures().size(), 21u);
+  EXPECT_EQ(Registry::Instance().figures().size(), 22u);
   for (const Figure& figure : Registry::Instance().figures()) {
     SCOPED_TRACE(figure.name);
     const std::vector<Row> rows = figure.fn(opt);
@@ -267,6 +267,60 @@ TEST(BenchSmokeTest, MemPressureReachesEvictionAndStillCompletesEverything) {
           << "retry paths must keep every op completing at capacity " << capacity;
     }
   }
+}
+
+// The fairness figure is this repo's gate for the QoS subsystem: at the
+// highest aggressor intensity the Jain index over per-tenant completion
+// shares must strictly improve with every layer an operator stacks on
+// (none -> wfq -> wfq+aqm -> wfq+aqm+adm), and the full stack must hold
+// the worst victim p99 within 2x of the aggressor-free baseline. Runs at
+// the reduced deterministic scale (8 nodes, 100 ms horizon) the CI bench
+// sweep uses, so the asserted cells are the shipped artifact's cells.
+TEST(BenchSmokeTest, FairnessJainImprovesPerMechanismAndVictimTailIsBounded) {
+  const Figure* figure = Registry::Instance().Find("fairness");
+  ASSERT_NE(figure, nullptr);
+  RunOptions opt;
+  opt.max_nodes = 8;
+  opt.max_object_bytes = MB(4);
+  opt.repeats = 1;
+  opt.rounds = 2;
+  const std::vector<Row> rows = figure->fn(opt);
+  ASSERT_FALSE(rows.empty());
+
+  const auto value_of = [&rows](const std::string& series, const std::string& metric,
+                                double intensity) {
+    for (const Row& row : rows) {
+      if (row.series != series) continue;
+      if (row.labels.empty() ||
+          row.labels[0] != std::make_pair(std::string("metric"), metric)) {
+        continue;
+      }
+      if (row.coords.empty() || row.coords[0].second != intensity) continue;
+      return row.value;
+    }
+    ADD_FAILURE() << "missing row: " << series << " " << metric << " " << intensity;
+    return 0.0;
+  };
+
+  const double kTop = 4.0;  // the highest aggressor intensity swept
+  double previous = 0.0;
+  for (const std::string mech : {"none", "wfq", "wfq+aqm", "wfq+aqm+adm"}) {
+    const double jain = value_of(mech, "jain", kTop);
+    EXPECT_GT(jain, previous)
+        << mech << " failed to strictly improve Jain at intensity " << kTop;
+    previous = jain;
+  }
+
+  const double baseline_p99 = value_of("baseline", "victim_p99", 0.0);
+  const double full_stack_p99 = value_of("wfq+aqm+adm", "victim_p99", kTop);
+  ASSERT_GT(baseline_p99, 0.0);
+  EXPECT_LE(full_stack_p99, 2.0 * baseline_p99)
+      << "full QoS stack left the victim tail more than 2x the aggressor-free "
+         "baseline";
+
+  // Admission must tame the aggressor, not execute it: even fully stacked,
+  // the aggressor still completes a useful fraction of its offered load.
+  EXPECT_GT(value_of("wfq+aqm+adm", "aggressor_share", kTop), 0.25);
 }
 
 }  // namespace

@@ -85,7 +85,7 @@ void ExpectSameDocument(const std::string& first, const std::string& second,
 }
 
 TEST(SweepDeterminismTest, FullSweepTwiceInProcessIsByteIdentical) {
-  ASSERT_EQ(Registry::Instance().figures().size(), 21u);
+  ASSERT_EQ(Registry::Instance().figures().size(), 22u);
   const RunOptions options = ReducedScale();
   const std::string first = SweepJson(options);
   const std::string second = SweepJson(options);

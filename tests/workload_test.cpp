@@ -178,6 +178,83 @@ TEST(WorkloadDriverTest, KeepsCountingPastTimedOutOps) {
   }
 }
 
+TEST(WorkloadDriverTest, ClosedLoopTenantsChainIssueOnSettle) {
+  // One closed-loop tenant of back-to-back Puts: op k+1 must go out exactly
+  // think_gap after op k settled, never at its pre-drawn arrival.
+  ScenarioSpec spec;
+  spec.name = "closed";
+  spec.num_nodes = 4;
+  spec.horizon = Milliseconds(50);
+  spec.seed = 5;
+  TenantSpec tenant;
+  tenant.name = "interactive";
+  tenant.closed_loop = true;
+  tenant.arrivals = {ArrivalProcess::Kind::kPeriodic, 1000.0};
+  tenant.mix = OpMix{1.0, 0.0, 0.0, 0.0};
+  tenant.sizes = SizeDistribution::Fixed(MB(4));  // ~0.4 ms store write each
+  spec.tenants.push_back(tenant);
+
+  const WorkloadTrace trace = BuildTrace(spec);
+  ASSERT_GT(trace.ops.size(), 2u);
+  const auto backend = MakeBackend(BackendKind::kHoplite, spec);
+  const LoadReport report = RunTrace(trace, *backend);
+
+  EXPECT_TRUE(report.all_settled);
+  EXPECT_EQ(report.total.completed, trace.ops.size());
+  for (std::size_t i = 0; i < trace.ops.size(); ++i) {
+    const OpOutcome& outcome = report.ops[i];
+    ASSERT_TRUE(outcome.settled());
+    if (i == 0) {
+      EXPECT_EQ(outcome.issued_at, trace.ops[i].at);
+      continue;
+    }
+    // The chain rule, exactly: settle + think = next issue.
+    EXPECT_EQ(outcome.issued_at,
+              report.ops[i - 1].settled_at + trace.ops[i].think_gap)
+        << "op " << i;
+    // And with a think rate faster than the op latency, the chain must lag
+    // the open-loop schedule the trace pre-drew.
+    EXPECT_GT(outcome.issued_at, trace.ops[i].at) << "op " << i;
+  }
+}
+
+TEST(WorkloadDriverTest, FaultScheduleKillsAndRecoversMidRun) {
+  // A pinned-home Put tenant; its node dies for the middle third of the
+  // run. Ops issued in the dead window reject kProducerLost, ops after the
+  // recovery complete again, and the driver drains everything.
+  ScenarioSpec spec;
+  spec.name = "faulted";
+  spec.num_nodes = 4;
+  spec.horizon = Milliseconds(90);
+  spec.seed = 6;
+  spec.faults.push_back(FaultEvent{Milliseconds(30), 1, /*kill=*/true});
+  spec.faults.push_back(FaultEvent{Milliseconds(60), 1, /*kill=*/false});
+  TenantSpec tenant;
+  tenant.name = "steady";
+  tenant.arrivals = {ArrivalProcess::Kind::kPeriodic, 500.0};
+  tenant.mix = OpMix{1.0, 0.0, 0.0, 0.0};
+  tenant.sizes = SizeDistribution::Fixed(KB(64));
+  tenant.pinned_home = 1;
+  spec.tenants.push_back(tenant);
+
+  const LoadReport report = RunScenario(spec, BackendKind::kHoplite);
+  EXPECT_TRUE(report.all_settled);
+  EXPECT_EQ(report.total.unsettled, 0u);
+  EXPECT_GT(report.total.failed, 0u);
+  EXPECT_GT(report.total.completed, 0u);
+  for (const OpOutcome& outcome : report.ops) {
+    // Inclusive on both edges: an op issued at the kill instant issues
+    // first (schedule order) and then dies mid-flight; one issued at the
+    // recovery instant still sees the node down.
+    const bool in_dead_window = outcome.issued_at >= Milliseconds(30) &&
+                                outcome.issued_at <= Milliseconds(60);
+    EXPECT_EQ(outcome.ok, !in_dead_window) << "op issued at " << outcome.issued_at;
+    if (!outcome.ok) {
+      EXPECT_EQ(outcome.error, RefErrorCode::kProducerLost);
+    }
+  }
+}
+
 TEST(WorkloadScenarioRegistryTest, CanonicalScenariosAreRegistered) {
   EXPECT_NE(ScenarioRegistry::Instance().Find("serving"), nullptr);
   EXPECT_NE(ScenarioRegistry::Instance().Find("mixed"), nullptr);
